@@ -1,0 +1,128 @@
+// E10: declarative (P2/OverLog) Chord vs hand-coded imperative Chord on
+// identical workloads — the cost of declarativeness.
+//
+// The paper compares against the MIT implementation's published numbers;
+// offline we run our own imperative comparator (src/baseline) on the same
+// simulated testbed and wire format and report the same metrics side by
+// side: topology quality, maintenance bytes, lookup hops/latency, and
+// lookup consistency.
+//
+// Usage: baseline_compare [--quick]
+#include <cstdio>
+#include <cstring>
+
+#include "src/harness/metrics.h"
+#include "src/harness/workload.h"
+
+namespace p2 {
+namespace {
+
+struct CompareResult {
+  double ring_consistency = 0;
+  double maint_bw = 0;
+  double mean_hops = 0;
+  double p50_latency = 0;
+  double p90_latency = 0;
+  double consistency = 0;
+  double completed_frac = 0;
+};
+
+CompareResult RunOne(bool use_baseline, size_t n, int lookups, uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = seed;
+  cfg.use_baseline = use_baseline;
+  cfg.join_stagger_s = 3.0;
+  ChordTestbed tb(cfg);
+  tb.BuildAndSettle(3.0 * static_cast<double>(n) + 300.0);
+
+  CompareResult r;
+  r.ring_consistency = tb.RingConsistencyFraction();
+  uint64_t maint0 = tb.TotalMaintBytesOut();
+  double window = 120.0;
+  tb.RunFor(window);
+  r.maint_bw = static_cast<double>(tb.TotalMaintBytesOut() - maint0) / window /
+               static_cast<double>(tb.num_live());
+
+  for (int i = 0; i < lookups; ++i) {
+    tb.IssueRandomLookup();
+    tb.RunFor(0.5);
+  }
+  tb.RunFor(30.0);
+  Cdf latency;
+  Cdf hops;
+  size_t completed = 0;
+  size_t consistent = 0;
+  for (const auto& rec : tb.lookups()) {
+    if (rec.completed) {
+      ++completed;
+      consistent += rec.consistent ? 1 : 0;
+      latency.Add(rec.latency_s);
+      hops.Add(static_cast<double>(rec.hops));
+    }
+  }
+  r.mean_hops = hops.Mean();
+  r.p50_latency = latency.Quantile(0.5);
+  r.p90_latency = latency.Quantile(0.9);
+  r.consistency = completed == 0 ? 0
+                                 : static_cast<double>(consistent) /
+                                       static_cast<double>(completed);
+  r.completed_frac = tb.lookups().empty()
+                         ? 0
+                         : static_cast<double>(completed) /
+                               static_cast<double>(tb.lookups().size());
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  size_t n = quick ? 32 : 100;
+  int lookups = quick ? 100 : 300;
+
+  std::printf("=== E10: P2 Chord (47 OverLog rules) vs hand-coded Chord (~600 LoC C++) ===\n");
+  std::printf("N=%zu nodes, identical topology, wire format and workload\n\n", n);
+  std::fprintf(stderr, "[compare] running P2 Chord...\n");
+  CompareResult p2r = RunOne(false, n, lookups, 77);
+  std::fprintf(stderr, "[compare] running hand-coded Chord...\n");
+  CompareResult blr = RunOne(true, n, lookups, 77);
+
+  auto row = [](const char* name, const CompareResult& r) {
+    char ring[32];
+    char bw[32];
+    char hops[32];
+    char p50[32];
+    char p90[32];
+    char cons[32];
+    char comp[32];
+    std::snprintf(ring, sizeof(ring), "%.3f", r.ring_consistency);
+    std::snprintf(bw, sizeof(bw), "%.1f", r.maint_bw);
+    std::snprintf(hops, sizeof(hops), "%.2f", r.mean_hops);
+    std::snprintf(p50, sizeof(p50), "%.3f", r.p50_latency);
+    std::snprintf(p90, sizeof(p90), "%.3f", r.p90_latency);
+    std::snprintf(cons, sizeof(cons), "%.3f", r.consistency);
+    std::snprintf(comp, sizeof(comp), "%.3f", r.completed_frac);
+    std::printf("%s\n",
+                FormatRow({name, ring, bw, hops, p50, p90, cons, comp}, 12).c_str());
+  };
+  std::printf("%s\n", FormatRow({"impl", "ring", "maintB/s", "hops", "lat p50", "lat p90",
+                                 "consist", "complete"},
+                                12)
+                          .c_str());
+  row("p2-overlog", p2r);
+  row("hand-coded", blr);
+  std::printf(
+      "\npaper shape check: both maintain the same topology (ring~1, hops~log2N/2);\n"
+      "the declarative implementation pays a modest constant factor in\n"
+      "maintenance bytes, not an asymptotic one.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2
+
+int main(int argc, char** argv) { return p2::Main(argc, argv); }

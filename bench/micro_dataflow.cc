@@ -1,0 +1,185 @@
+// E8 micro-benchmarks: the cost of the runtime primitives the paper
+// quantifies in §3.3 ("most [transitions] take about 50 machine
+// instructions on an ia32 processor, or 75 if the callback is invoked").
+//
+// Measured here: element push/pull handoff, PEL dispatch, stream×table
+// equijoin probes, table insertion, tuple marshaling, and end-to-end rule
+// firing through a compiled OverLog chain.
+#include <benchmark/benchmark.h>
+
+#include "src/dataflow/basic_elements.h"
+#include "src/dataflow/graph.h"
+#include "src/dataflow/rel_elements.h"
+#include "src/p2/node.h"
+#include "src/runtime/marshal.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+namespace {
+
+TuplePtr BenchTuple() {
+  return Tuple::Make("lookup", {Value::Addr("n0"), Value::Id(Uint160::HashOf("key")),
+                                Value::Addr("n1"), Value::Id(Uint160(42))});
+}
+
+// --- Element handoff ---
+
+void BM_PushHandoff(benchmark::State& state) {
+  Graph g;
+  auto* dup = g.Add<DupElement>("dup");
+  auto* sink = g.Add<DiscardElement>("sink");
+  g.Connect(dup, 0, sink, 0);
+  TuplePtr t = BenchTuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dup->Push(0, t, nullptr));
+  }
+}
+BENCHMARK(BM_PushHandoff);
+
+void BM_PushPullThroughQueue(benchmark::State& state) {
+  Graph g;
+  auto* q = g.Add<QueueElement>("q", 16);
+  TuplePtr t = BenchTuple();
+  for (auto _ : state) {
+    q->Push(0, t, nullptr);
+    benchmark::DoNotOptimize(q->Pull(0, nullptr));
+  }
+}
+BENCHMARK(BM_PushPullThroughQueue);
+
+// --- PEL ---
+
+void BM_PelArithmetic(benchmark::State& state) {
+  SimEventLoop loop;
+  Rng rng(1);
+  std::string addr = "n0";
+  PelVm vm(PelEnv{&loop, &rng, &addr});
+  // D := K - B - 1 (the Chord distance computation) on 160-bit ids.
+  PelProgram prog;
+  prog.Emit(PelOp::kPushField, 1);
+  prog.Emit(PelOp::kPushField, 3);
+  prog.Emit(PelOp::kSub);
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Int(1)));
+  prog.Emit(PelOp::kSub);
+  TuplePtr t = BenchTuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.Eval(prog, t.get()));
+  }
+}
+BENCHMARK(BM_PelArithmetic);
+
+void BM_PelRangeTest(benchmark::State& state) {
+  SimEventLoop loop;
+  Rng rng(1);
+  std::string addr = "n0";
+  PelVm vm(PelEnv{&loop, &rng, &addr});
+  PelProgram prog;  // K in (N, S]
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Id(Uint160::HashOf("k"))));
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Id(Uint160::HashOf("n"))));
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Id(Uint160::HashOf("s"))));
+  prog.Emit(PelOp::kInOC);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.EvalBool(prog, nullptr));
+  }
+}
+BENCHMARK(BM_PelRangeTest);
+
+// --- Tables and joins ---
+
+void BM_TableInsertReplace(benchmark::State& state) {
+  SimEventLoop loop;
+  TableSpec spec;
+  spec.name = "t";
+  spec.key_positions = {0};
+  Table table(spec, &loop);
+  TuplePtr t = BenchTuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Insert(t));
+  }
+}
+BENCHMARK(BM_TableInsertReplace);
+
+void BM_JoinProbe(benchmark::State& state) {
+  SimEventLoop loop;
+  Rng rng(1);
+  std::string addr = "n0";
+  Graph g;
+  TableSpec spec;
+  spec.name = "finger";
+  spec.key_positions = {1};
+  Table table(spec, &loop);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    table.Insert(Tuple::Make(
+        "finger", {Value::Addr("n0"), Value::Int(i),
+                   Value::Id(Uint160::HashOf(std::to_string(i))), Value::Addr("nX")}));
+  }
+  PelProgram key;
+  key.Emit(PelOp::kPushField, 0);
+  std::vector<JoinKey> keys;
+  keys.push_back(JoinKey{0, std::move(key)});
+  auto* join =
+      g.Add<JoinElement>("join", PelEnv{&loop, &rng, &addr}, &table, std::move(keys), "j");
+  auto* sink = g.Add<DiscardElement>("sink");
+  g.Connect(join, 0, sink, 0);
+  TuplePtr ev = Tuple::Make("ev", {Value::Addr("n0")});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join->Push(0, ev, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinProbe)->Arg(16)->Arg(160);
+
+// --- Marshaling ---
+
+void BM_MarshalTuple(benchmark::State& state) {
+  TuplePtr t = BenchTuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MarshalTupleToBytes(*t));
+  }
+}
+BENCHMARK(BM_MarshalTuple);
+
+void BM_UnmarshalTuple(benchmark::State& state) {
+  std::vector<uint8_t> bytes = MarshalTupleToBytes(*BenchTuple());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UnmarshalTupleFromBytes(bytes));
+  }
+}
+BENCHMARK(BM_UnmarshalTuple);
+
+// --- End-to-end compiled rule firing ---
+
+void BM_CompiledRuleFire(benchmark::State& state) {
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), 1);
+  auto transport = net.MakeTransport("n0", 0);
+  P2NodeConfig nc;
+  nc.executor = &loop;
+  nc.transport = transport.get();
+  nc.seed = 1;
+  P2Node node(nc);
+  std::string err;
+  bool ok = node.Install(
+      "materialize(kv, infinity, 1000, keys(2)).\n"
+      "r out@X(X,V,D) :- ev@X(X,K,N), kv@X(X,K,V), D := K - N - 1, K in (N,K].\n",
+      &err);
+  if (!ok) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  node.GetTable("kv")->Insert(
+      Tuple::Make("kv", {Value::Addr("n0"), Value::Id(Uint160(7)), Value::Str("v")}));
+  node.Start();
+  loop.RunUntil(0.001);
+  TuplePtr ev = Tuple::Make(
+      "ev", {Value::Addr("n0"), Value::Id(Uint160(7)), Value::Id(Uint160(3))});
+  for (auto _ : state) {
+    node.Inject(ev);
+    loop.RunUntil(loop.Now() + 0.001);  // drain input queue through the rule
+  }
+}
+BENCHMARK(BM_CompiledRuleFire);
+
+}  // namespace
+}  // namespace p2

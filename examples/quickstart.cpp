@@ -1,0 +1,90 @@
+// Quickstart: your first declarative overlay in ~6 OverLog rules.
+//
+// A tiny "reachability" overlay: every node holds a `link` table of direct
+// neighbors; nodes periodically probe their neighbors and pull back the
+// neighbors' reachable sets. The network computes the transitive closure of
+// the link graph — each node ends up knowing every node it can reach, with
+// no imperative protocol code at all.
+//
+// This exercises most of the P2 pipeline: materialized soft-state tables,
+// periodic rules, stream rules, cross-node heads (the '@' location
+// specifier sends tuples over the network), and delta-triggered derivation.
+#include <cstdio>
+
+#include "src/p2/node.h"
+#include "src/sim/network.h"
+
+namespace {
+
+constexpr char kReachabilityProgram[] = R"OLG(
+materialize(link, infinity, 64, keys(2)).
+materialize(reachable, infinity, 256, keys(2)).
+
+/* Direct links are reachable. */
+r1 reachable@X(X,Y) :- link@X(X,Y).
+
+/* Every 2 seconds, probe each neighbor. */
+r2 probe@Y(Y,X) :- periodic@X(X,E,2), link@X(X,Y).
+
+/* A probed node shares everything it can reach with the prober... */
+r3 share@X(X,Z) :- probe@Y(Y,X), reachable@Y(Y,Z).
+
+/* ...which the prober merges into its own reachable set. */
+r4 reachable@X(X,Z) :- share@X(X,Z).
+)OLG";
+
+}  // namespace
+
+int main() {
+  using namespace p2;
+  // A four-node line: n0 - n1 - n2 - n3. Each node only knows its direct
+  // neighbors at startup.
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), /*seed=*/7);
+
+  const size_t kNodes = 4;
+  std::vector<std::unique_ptr<SimTransport>> transports;
+  std::vector<std::unique_ptr<P2Node>> nodes;
+  for (size_t i = 0; i < kNodes; ++i) {
+    transports.push_back(net.MakeTransport("n" + std::to_string(i), i));
+    P2NodeConfig cfg;
+    cfg.executor = &loop;
+    cfg.transport = transports[i].get();
+    cfg.seed = 100 + i;
+    nodes.push_back(std::make_unique<P2Node>(cfg));
+    std::string err;
+    if (!nodes[i]->Install(kReachabilityProgram, &err)) {
+      std::fprintf(stderr, "install failed: %s\n", err.c_str());
+      return 1;
+    }
+  }
+  // Seed the line topology (links are one-directional facts here; the
+  // probe/share rules traverse them in both directions).
+  auto add_link = [&](size_t a, size_t b) {
+    Value self = Value::Addr(nodes[a]->addr());
+    Value peer = Value::Addr(nodes[b]->addr());
+    nodes[a]->GetTable("link")->Insert(Tuple::Make("link", {self, peer}));
+  };
+  for (size_t i = 0; i + 1 < kNodes; ++i) {
+    add_link(i, i + 1);
+    add_link(i + 1, i);
+  }
+  for (auto& n : nodes) {
+    n->Start();
+  }
+
+  // Let the declarative protocol run for 20 simulated seconds.
+  loop.RunUntil(20.0);
+
+  std::printf("reachability after 20s of simulated time:\n");
+  for (auto& n : nodes) {
+    std::printf("  %s reaches:", n->addr().c_str());
+    for (const TuplePtr& row : n->GetTable("reachable")->Scan()) {
+      std::printf(" %s", row->field(1).AsAddr().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nEvery node should reach every other node (transitive closure\n"
+              "of the line graph), computed purely by the 4 OverLog rules.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Real-network deployment: the same P2 runtime over kernel UDP sockets.
+//
+// Modes:
+//   two_process_udp                      one process, two nodes, loopback
+//   two_process_udp listen <port>        run a gossip node, print members
+//   two_process_udp join <port> <peer>   run a node seeded with 127.0.0.1:<peer>
+//
+// Multi-process demo (two shells):
+//   $ ./two_process_udp listen 9001
+//   $ ./two_process_udp join 9002 9001
+// Both processes converge on the same two-member view via the 5-rule
+// gossip overlay — no simulator anywhere, real datagrams.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/net/udp_loop.h"
+#include "src/overlays/gossip.h"
+
+namespace {
+
+int RunNode(uint16_t port, const char* peer_port, double seconds) {
+  using namespace p2;
+  UdpLoop loop;
+  auto transport = loop.MakeTransport(port);
+  if (transport == nullptr) {
+    std::fprintf(stderr, "failed to bind UDP port %u\n", port);
+    return 1;
+  }
+  std::printf("node up at %s\n", transport->local_addr().c_str());
+  GossipConfig cfg;
+  cfg.gossip_period_s = 1.0;
+  P2NodeConfig nc;
+  nc.executor = &loop;
+  nc.transport = transport.get();
+  nc.seed = static_cast<uint64_t>(port) * 2654435761u + 1;
+  std::vector<std::string> seeds;
+  if (peer_port != nullptr) {
+    seeds.push_back(std::string("127.0.0.1:") + peer_port);
+  }
+  GossipNode node(nc, cfg, seeds);
+  node.Start();
+  double step = 2.0;
+  for (double t = 0; t < seconds; t += step) {
+    loop.RunFor(step);
+    std::printf("t=%4.0fs members:", t + step);
+    for (const std::string& m : node.Members()) {
+      std::printf(" %s", m.c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int RunBothInProcess() {
+  using namespace p2;
+  UdpLoop loop;
+  auto ta = loop.MakeTransport(0);
+  auto tb = loop.MakeTransport(0);
+  if (ta == nullptr || tb == nullptr) {
+    std::fprintf(stderr, "failed to bind UDP sockets\n");
+    return 1;
+  }
+  GossipConfig cfg;
+  cfg.gossip_period_s = 0.5;
+  P2NodeConfig ca;
+  ca.executor = &loop;
+  ca.transport = ta.get();
+  ca.seed = 1;
+  P2NodeConfig cb;
+  cb.executor = &loop;
+  cb.transport = tb.get();
+  cb.seed = 2;
+  GossipNode a(ca, cfg, {});
+  GossipNode b(cb, cfg, {ta->local_addr()});  // b knows a
+  a.Start();
+  b.Start();
+  std::printf("a = %s, b = %s (b seeded with a)\n", ta->local_addr().c_str(),
+              tb->local_addr().c_str());
+  loop.RunFor(3.0);
+  std::printf("a's members:");
+  for (const std::string& m : a.Members()) {
+    std::printf(" %s", m.c_str());
+  }
+  std::printf("\nb's members:");
+  for (const std::string& m : b.Members()) {
+    std::printf(" %s", m.c_str());
+  }
+  std::printf("\nboth views should contain both addresses — learned over real\n"
+              "kernel UDP datagrams (a learned b from b's first gossip push).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "listen") == 0) {
+    return RunNode(static_cast<uint16_t>(std::atoi(argv[2])), nullptr, 60.0);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "join") == 0) {
+    return RunNode(static_cast<uint16_t>(std::atoi(argv[2])), argv[3], 60.0);
+  }
+  return RunBothInProcess();
+}

@@ -1,0 +1,127 @@
+// Hand-coded Chord: the imperative comparator (DESIGN.md E10).
+//
+// The paper compares P2 Chord against the hand-tuned MIT implementation's
+// published numbers; offline we build the equivalent comparator ourselves —
+// a classic event-driven Chord written directly against Executor/Transport
+// with explicit state machines, using the same tuple wire format so byte
+// counts are directly comparable with the declarative implementation.
+#ifndef P2_BASELINE_CHORD_BASELINE_H_
+#define P2_BASELINE_CHORD_BASELINE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/random.h"
+#include "src/runtime/tuple.h"
+#include "src/runtime/uint160.h"
+
+namespace p2 {
+
+struct BaselineChordConfig {
+  double stabilize_period_s = 15.0;
+  double finger_fix_period_s = 10.0;
+  double ping_period_s = 5.0;
+  double join_retry_s = 5.0;
+  int max_successors = 4;
+  int num_fingers = 160;
+  int ping_strikes = 2;  // missed pongs before a peer is declared dead
+};
+
+class BaselineChordNode {
+ public:
+  struct LookupResult {
+    Uint160 key;
+    Uint160 successor_id;
+    std::string successor_addr;
+    Uint160 event_id;
+  };
+  using LookupFn = std::function<void(const LookupResult&)>;
+
+  BaselineChordNode(Executor* executor, Transport* transport, uint64_t seed,
+                    const BaselineChordConfig& config, std::string landmark_addr);
+  ~BaselineChordNode();
+  BaselineChordNode(const BaselineChordNode&) = delete;
+  BaselineChordNode& operator=(const BaselineChordNode&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Bootstrap re-resolution for join retries (see ChordNode's equivalent).
+  void SetLandmarkProvider(std::function<std::string()> fn) {
+    landmark_provider_ = std::move(fn);
+  }
+
+  Uint160 Lookup(const Uint160& key);
+  // Re-issues a lookup under an existing event id (workload retries).
+  void RetryLookup(const Uint160& key, const Uint160& event);
+  void OnLookupResult(LookupFn fn) { lookup_fns_.push_back(std::move(fn)); }
+  // Invoked with the event id every time a lookup (original or forwarded)
+  // arrives at this node; the harness counts hops with it.
+  void OnLookupSeen(std::function<void(const Uint160&)> fn) {
+    lookup_seen_ = std::move(fn);
+  }
+
+  const Uint160& id() const { return id_; }
+  const std::string& addr() const { return addr_; }
+
+  std::optional<std::pair<Uint160, std::string>> BestSuccessor() const;
+  std::vector<std::pair<Uint160, std::string>> Successors() const;
+  std::optional<std::pair<Uint160, std::string>> Predecessor() const;
+
+ private:
+  struct Peer {
+    Uint160 id;
+    std::string addr;
+  };
+
+  void OnPacket(const std::string& from, const std::vector<uint8_t>& bytes);
+  void HandleLookup(const Tuple& t);
+  void HandleLookupRes(const Tuple& t);
+  void HandleStabReq(const Tuple& t);
+  void HandleStabResp(const Tuple& t);
+  void HandleNotify(const Tuple& t);
+  void HandlePing(const Tuple& t);
+  void HandlePong(const Tuple& t);
+
+  void Send(const std::string& to, const TuplePtr& t);
+  void AddSuccessor(const Peer& p);
+  void RemovePeer(const std::string& peer_addr);
+  // Closest node preceding `key` among fingers and successors, if any.
+  std::optional<Peer> ClosestPreceding(const Uint160& key) const;
+  void DoJoin();
+  void DoStabilize();
+  void DoFixFinger();
+  void DoPing();
+  void ArmTimers();
+  void ArmOne(size_t slot, double delay, double period, void (BaselineChordNode::*fn)());
+
+  Executor* executor_;
+  Transport* transport_;
+  Rng rng_;
+  BaselineChordConfig config_;
+  std::string addr_;
+  Uint160 id_;
+  std::string landmark_;
+
+  std::vector<Peer> succs_;  // sorted by clockwise distance from id_
+  std::optional<Peer> pred_;
+  std::vector<std::optional<Peer>> fingers_;
+  int next_finger_ = 0;
+  std::unordered_map<std::string, int> ping_strikes_;
+  // Finger-fix lookups in flight: event id (low 64 bits) -> finger index.
+  std::unordered_map<uint64_t, int> fix_pending_;
+  std::vector<LookupFn> lookup_fns_;
+  std::function<void(const Uint160&)> lookup_seen_;
+  std::function<std::string()> landmark_provider_;
+  std::vector<TimerId> timers_;
+  bool running_ = false;
+};
+
+}  // namespace p2
+
+#endif  // P2_BASELINE_CHORD_BASELINE_H_

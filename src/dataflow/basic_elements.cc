@@ -1,0 +1,190 @@
+#include "src/dataflow/basic_elements.h"
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+// --- QueueElement ---
+
+int QueueElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  P2_CHECK(port == 0);
+  // The tuple is always accepted (a rejected push would force upstream
+  // state rollback, §3.3); the return value only signals congestion.
+  if (q_.size() >= capacity_) {
+    ++dropped_;
+    q_.pop_front();  // Shed oldest under overload; overlays are soft state.
+  }
+  q_.push_back(t);
+  if (blocked_puller_) {
+    Callback cb2 = std::move(blocked_puller_);
+    blocked_puller_ = nullptr;
+    cb2();
+  }
+  if (q_.size() >= capacity_) {
+    blocked_pusher_ = cb;
+    return 0;
+  }
+  return 1;
+}
+
+TuplePtr QueueElement::Pull(int port, const Callback& cb) {
+  P2_CHECK(port == 0);
+  if (q_.empty()) {
+    blocked_puller_ = cb;
+    return nullptr;
+  }
+  TuplePtr t = q_.front();
+  q_.pop_front();
+  if (blocked_pusher_) {
+    Callback cb2 = std::move(blocked_pusher_);
+    blocked_pusher_ = nullptr;
+    cb2();
+  }
+  return t;
+}
+
+// --- TimedPullPush ---
+
+TimedPullPush::~TimedPullPush() {
+  if (timer_ != kInvalidTimer) {
+    executor_->Cancel(timer_);
+  }
+}
+
+void TimedPullPush::Start() { Arm(period_); }
+
+void TimedPullPush::Arm(double delay) {
+  if (armed_) {
+    return;
+  }
+  armed_ = true;
+  timer_ = executor_->ScheduleAfter(delay, [this]() {
+    armed_ = false;
+    timer_ = kInvalidTimer;
+    RunOnce();
+  });
+}
+
+void TimedPullPush::RunOnce() {
+  if (period_ > 0) {
+    // Fixed-rate mode: move at most one tuple per period.
+    TuplePtr t = PullIn(0, [this]() { Arm(period_); });
+    if (t != nullptr) {
+      PushOut(0, t);
+      Arm(period_);
+    }
+    return;
+  }
+  // Continuous mode: drain a bounded batch, then yield to the loop so one
+  // busy flow cannot starve timers.
+  constexpr int kBatch = 64;
+  for (int i = 0; i < kBatch; ++i) {
+    TuplePtr t = PullIn(0, [this]() { Arm(0); });
+    if (t == nullptr) {
+      return;  // Blocked; pull callback re-arms us.
+    }
+    int ok = PushOut(0, t, [this]() { Arm(0); });
+    if (ok == 0) {
+      return;  // Downstream congested; push callback re-arms us.
+    }
+  }
+  Arm(0);
+}
+
+// --- DemuxByName ---
+
+int DemuxByName::PortFor(const std::string& tuple_name) {
+  auto it = routes_.find(tuple_name);
+  if (it != routes_.end()) {
+    return it->second;
+  }
+  int port = next_port_++;
+  routes_.emplace(tuple_name, port);
+  return port;
+}
+
+int DemuxByName::Push(int port, const TuplePtr& t, const Callback& cb) {
+  P2_CHECK(port == 0);
+  auto it = routes_.find(t->name());
+  if (it != routes_.end()) {
+    return PushOut(it->second, t, cb);
+  }
+  if (default_port_ >= 0) {
+    return PushOut(default_port_, t, cb);
+  }
+  ++unroutable_;
+  return 1;
+}
+
+// --- DupElement ---
+
+int DupElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  P2_CHECK(port == 0);
+  (void)cb;
+  int signal = 1;
+  for (size_t i = 0; i < num_outputs(); ++i) {
+    signal &= PushOut(static_cast<int>(i), t);
+  }
+  return signal;
+}
+
+// --- MuxElement ---
+
+int MuxElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  return PushOut(0, t, cb);
+}
+
+// --- CallbackSink ---
+
+int CallbackSink::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  (void)cb;
+  fn_(t);
+  return 1;
+}
+
+// --- PeriodicSource ---
+
+PeriodicSource::PeriodicSource(std::string name, Executor* executor, Rng* rng,
+                               std::string local_addr, double period, uint64_t count,
+                               double initial_delay, std::vector<Value> extras)
+    : Element(std::move(name)),
+      executor_(executor),
+      rng_(rng),
+      local_addr_(std::move(local_addr)),
+      period_(period),
+      count_(count),
+      initial_delay_(initial_delay),
+      extras_(std::move(extras)) {}
+
+PeriodicSource::~PeriodicSource() { Stop(); }
+
+void PeriodicSource::Start() {
+  // A small random phase avoids the synchronized-timer artifacts the paper
+  // notes mature implementations tune by hand.
+  double jitter = period_ > 0 ? rng_->NextDouble() * period_ * 0.1 : 0.0;
+  timer_ = executor_->ScheduleAfter(initial_delay_ + jitter, [this]() { Fire(); });
+}
+
+void PeriodicSource::Stop() {
+  if (timer_ != kInvalidTimer) {
+    executor_->Cancel(timer_);
+    timer_ = kInvalidTimer;
+  }
+}
+
+void PeriodicSource::Fire() {
+  timer_ = kInvalidTimer;
+  ++fired_;
+  std::vector<Value> fields;
+  fields.push_back(Value::Addr(local_addr_));
+  fields.push_back(Value::Id(rng_->NextId()));  // unique event identifier E
+  fields.insert(fields.end(), extras_.begin(), extras_.end());
+  PushOut(0, Tuple::Make("periodic", std::move(fields)));
+  if (count_ == 0 || fired_ < count_) {
+    timer_ = executor_->ScheduleAfter(period_ > 0 ? period_ : 0.0, [this]() { Fire(); });
+  }
+}
+
+}  // namespace p2

@@ -1,0 +1,51 @@
+#include "src/dataflow/element.h"
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+int Element::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  (void)t;
+  (void)cb;
+  P2_FATAL("element '%s' has no push input", name_.c_str());
+}
+
+TuplePtr Element::Pull(int port, const Callback& cb) {
+  (void)port;
+  (void)cb;
+  P2_FATAL("element '%s' has no pull output", name_.c_str());
+}
+
+void Element::BindOutput(int out_port, Element* dst, int dst_port) {
+  if (outputs_.size() <= static_cast<size_t>(out_port)) {
+    outputs_.resize(out_port + 1);
+  }
+  outputs_[out_port] = PortRef{dst, dst_port};
+}
+
+void Element::BindInput(int in_port, Element* src, int src_port) {
+  if (inputs_.size() <= static_cast<size_t>(in_port)) {
+    inputs_.resize(in_port + 1);
+  }
+  inputs_[in_port] = PortRef{src, src_port};
+}
+
+int Element::PushOut(int out_port, const TuplePtr& t, const Callback& cb) {
+  if (static_cast<size_t>(out_port) >= outputs_.size() ||
+      outputs_[out_port].element == nullptr) {
+    return 1;  // Unconnected output: drop.
+  }
+  PortRef& ref = outputs_[out_port];
+  return ref.element->Push(ref.port, t, cb);
+}
+
+TuplePtr Element::PullIn(int in_port, const Callback& cb) {
+  if (static_cast<size_t>(in_port) >= inputs_.size() || inputs_[in_port].element == nullptr) {
+    return nullptr;
+  }
+  PortRef& ref = inputs_[in_port];
+  return ref.element->Pull(ref.port, cb);
+}
+
+}  // namespace p2

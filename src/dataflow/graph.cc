@@ -1,0 +1,42 @@
+#include "src/dataflow/graph.h"
+
+namespace p2 {
+
+void Graph::Connect(Element* src, int out_port, Element* dst, int in_port) {
+  src->BindOutput(out_port, dst, in_port);
+  dst->BindInput(in_port, src, out_port);
+  edges_.push_back(Edge{src, out_port, dst, in_port});
+  ++num_edges_;
+}
+
+std::string Graph::Dump() const {
+  std::string out;
+  for (const auto& el : elements_) {
+    out += "element " + el->name() + "\n";
+  }
+  for (const Edge& e : edges_) {
+    out += e.src->name() + "." + std::to_string(e.src_port) + " -> " + e.dst->name() + "." +
+           std::to_string(e.dst_port) + "\n";
+  }
+  return out;
+}
+
+size_t Graph::ApproxBytes() const {
+  size_t bytes = sizeof(Graph);
+  for (const auto& el : elements_) {
+    bytes += sizeof(Element) + el->name().size() +
+             (el->num_inputs() + el->num_outputs()) * sizeof(Element::PortRef) + 64;
+  }
+  return bytes;
+}
+
+std::vector<std::string> Graph::ElementNames() const {
+  std::vector<std::string> names;
+  names.reserve(elements_.size());
+  for (const auto& el : elements_) {
+    names.push_back(el->name());
+  }
+  return names;
+}
+
+}  // namespace p2

@@ -1,0 +1,62 @@
+// Graph: owner of a dataflow element network.
+#ifndef P2_DATAFLOW_GRAPH_H_
+#define P2_DATAFLOW_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/element.h"
+
+namespace p2 {
+
+// Owns elements and records the edges between their ports. The planner
+// builds one Graph per P2 node.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // Takes ownership; returns a non-owning handle for wiring.
+  template <typename T, typename... Args>
+  T* Add(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    elements_.push_back(std::move(owned));
+    return raw;
+  }
+
+  // Connects src.out_port -> dst.in_port (both directions recorded so push
+  // and pull both traverse the edge).
+  void Connect(Element* src, int out_port, Element* dst, int in_port);
+
+  size_t num_elements() const { return elements_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  // Rough residency of the element network (E9 memory accounting).
+  size_t ApproxBytes() const;
+
+  // Element names, in creation order (for the spec_size experiment and
+  // debugging dumps).
+  std::vector<std::string> ElementNames() const;
+
+  // Human-readable dump of the element graph, one edge per line
+  // ("src.port -> dst.port") — the paper's §7 introspection support.
+  std::string Dump() const;
+
+ private:
+  struct Edge {
+    Element* src;
+    int src_port;
+    Element* dst;
+    int dst_port;
+  };
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::vector<Edge> edges_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace p2
+
+#endif  // P2_DATAFLOW_GRAPH_H_

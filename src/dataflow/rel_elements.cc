@@ -1,0 +1,351 @@
+#include "src/dataflow/rel_elements.h"
+
+#include "src/runtime/logging.h"
+#include "src/runtime/marshal.h"
+
+namespace p2 {
+
+// --- Aggregate arithmetic ---
+
+Value AggInit(AggKind kind, const Value& first) {
+  switch (kind) {
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return first;
+    case AggKind::kCount:
+      return Value::Int(1);
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      return first;
+  }
+  return first;
+}
+
+Value AggStep(AggKind kind, const Value& acc, const Value& next, int64_t count_so_far) {
+  (void)count_so_far;
+  switch (kind) {
+    case AggKind::kMin:
+      return Value::Compare(next, acc) < 0 ? next : acc;
+    case AggKind::kMax:
+      return Value::Compare(next, acc) > 0 ? next : acc;
+    case AggKind::kCount:
+      return Value::Add(acc, Value::Int(1));
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      return Value::Add(acc, next);
+  }
+  return acc;
+}
+
+Value AggFinal(AggKind kind, const Value& acc, int64_t count) {
+  if (kind == AggKind::kAvg && count > 0) {
+    return Value::Div(acc, Value::Int(count));
+  }
+  return acc;
+}
+
+// --- FilterElement ---
+
+int FilterElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  if (!vm_.EvalBool(program_, t.get())) {
+    return 1;
+  }
+  return PushOut(0, t, cb);
+}
+
+// --- ExtendElement ---
+
+int ExtendElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  Value v = vm_.Eval(program_, t.get());
+  std::vector<Value> fields = t->fields();
+  fields.push_back(std::move(v));
+  return PushOut(0, Tuple::Make(t->name(), std::move(fields)), cb);
+}
+
+// --- ProjectElement ---
+
+int ProjectElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  std::vector<Value> fields;
+  fields.reserve(field_programs_.size());
+  for (const PelProgram& p : field_programs_) {
+    fields.push_back(vm_.Eval(p, t.get()));
+  }
+  return PushOut(0, Tuple::Make(out_name_, std::move(fields)), cb);
+}
+
+// --- JoinElement ---
+
+JoinElement::JoinElement(std::string name, PelEnv env, Table* table, std::vector<JoinKey> keys,
+                         std::string out_name)
+    : Element(std::move(name)),
+      vm_(env),
+      table_(table),
+      keys_(std::move(keys)),
+      out_name_(std::move(out_name)) {
+  for (const JoinKey& k : keys_) {
+    key_cols_.push_back(k.table_col);
+  }
+  if (!key_cols_.empty()) {
+    table_->AddIndex(key_cols_);
+  }
+}
+
+int JoinElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  (void)cb;
+  std::vector<Value> key_vals;
+  key_vals.reserve(keys_.size());
+  for (const JoinKey& k : keys_) {
+    key_vals.push_back(vm_.Eval(k.expr, t.get()));
+  }
+  std::vector<TuplePtr> matches = key_cols_.empty()
+                                      ? table_->Scan()
+                                      : table_->LookupByCols(key_cols_, key_vals);
+  int signal = 1;
+  for (const TuplePtr& row : matches) {
+    std::vector<Value> fields = t->fields();
+    fields.insert(fields.end(), row->fields().begin(), row->fields().end());
+    signal &= PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+  }
+  return signal;
+}
+
+// --- AntiJoinElement ---
+
+AntiJoinElement::AntiJoinElement(std::string name, PelEnv env, Table* table,
+                                 std::vector<JoinKey> keys)
+    : Element(std::move(name)), vm_(env), table_(table), keys_(std::move(keys)) {
+  for (const JoinKey& k : keys_) {
+    key_cols_.push_back(k.table_col);
+  }
+  if (!key_cols_.empty()) {
+    table_->AddIndex(key_cols_);
+  }
+}
+
+int AntiJoinElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  std::vector<Value> key_vals;
+  key_vals.reserve(keys_.size());
+  for (const JoinKey& k : keys_) {
+    key_vals.push_back(vm_.Eval(k.expr, t.get()));
+  }
+  bool any = key_cols_.empty() ? table_->size() > 0
+                               : !table_->LookupByCols(key_cols_, key_vals).empty();
+  if (any) {
+    return 1;
+  }
+  return PushOut(0, t, cb);
+}
+
+// --- InsertElement / DeleteElement ---
+
+int InsertElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  (void)cb;
+  table_->Insert(t);
+  // Delta propagation happens through the table's listeners (so that every
+  // writer of the table feeds the same delta stream); nothing to push here.
+  return 1;
+}
+
+int DeleteElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  (void)cb;
+  table_->DeleteMatching(*t);
+  return 1;
+}
+
+// --- DedupElement ---
+
+int DedupElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  ByteWriter w;
+  MarshalTuple(*t, &w);
+  std::string key(reinterpret_cast<const char*>(w.buffer().data()), w.size());
+  if (seen_.count(key) > 0) {
+    return 1;
+  }
+  if (seen_.size() >= max_entries_) {
+    // Ring eviction of the oldest remembered signatures.
+    seen_.erase(order_[next_evict_]);
+    order_[next_evict_] = key;
+    next_evict_ = (next_evict_ + 1) % max_entries_;
+  } else {
+    order_.push_back(key);
+  }
+  seen_.insert(std::move(key));
+  return PushOut(0, t, cb);
+}
+
+// --- AggWrapElement ---
+
+AggWrapElement::AggWrapElement(std::string name, PelEnv env, AggKind kind, size_t agg_position,
+                               std::string out_name, bool emit_empty,
+                               std::vector<PelProgram> empty_field_programs)
+    : Element(std::move(name)),
+      vm_(env),
+      kind_(kind),
+      agg_position_(agg_position),
+      out_name_(std::move(out_name)),
+      emit_empty_(emit_empty),
+      empty_field_programs_(std::move(empty_field_programs)) {}
+
+void AggWrapElement::Begin(const TuplePtr& event) {
+  current_event_ = event;
+  best_ = nullptr;
+  acc_ = Value::Null();
+  count_ = 0;
+}
+
+int AggWrapElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  (void)cb;
+  P2_CHECK(agg_position_ < t->size());
+  const Value& input = t->field(agg_position_);
+  if (best_ == nullptr) {
+    best_ = t;
+    acc_ = AggInit(kind_, input);
+    count_ = 1;
+    return 1;
+  }
+  switch (kind_) {
+    case AggKind::kMin:
+      if (Value::Compare(input, best_->field(agg_position_)) < 0) {
+        best_ = t;
+      }
+      break;
+    case AggKind::kMax:
+      if (Value::Compare(input, best_->field(agg_position_)) > 0) {
+        best_ = t;
+      }
+      break;
+    case AggKind::kCount:
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      acc_ = AggStep(kind_, acc_, input, count_);
+      break;
+  }
+  ++count_;
+  return 1;
+}
+
+void AggWrapElement::Flush() {
+  if (best_ == nullptr) {
+    if (emit_empty_ && !empty_field_programs_.empty() && current_event_ != nullptr) {
+      std::vector<Value> fields;
+      fields.reserve(empty_field_programs_.size() + 1);
+      for (size_t i = 0; i < empty_field_programs_.size() + 1; ++i) {
+        if (i == agg_position_) {
+          fields.push_back(Value::Int(0));
+        } else {
+          size_t pi = i < agg_position_ ? i : i - 1;
+          fields.push_back(vm_.Eval(empty_field_programs_[pi], current_event_.get()));
+        }
+      }
+      PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+    }
+    current_event_ = nullptr;
+    return;
+  }
+  std::vector<Value> fields = best_->fields();
+  if (kind_ == AggKind::kCount || kind_ == AggKind::kSum || kind_ == AggKind::kAvg) {
+    fields[agg_position_] = AggFinal(kind_, acc_, count_);
+  }
+  PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+  best_ = nullptr;
+  current_event_ = nullptr;
+}
+
+// --- RuleDriver ---
+
+int RuleDriver::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  (void)cb;
+  if (t->size() < min_arity_) {
+    ++malformed_;
+    return 1;
+  }
+  ++fires_;
+  if (agg_ != nullptr) {
+    agg_->Begin(t);
+    PushOut(0, t);
+    agg_->Flush();
+    return 1;
+  }
+  return PushOut(0, t);
+}
+
+// --- TableAggWatcher ---
+
+TableAggWatcher::TableAggWatcher(std::string name, Table* table, std::vector<size_t> group_cols,
+                                 AggKind kind, size_t agg_col, std::string out_name)
+    : Element(std::move(name)),
+      table_(table),
+      group_cols_(std::move(group_cols)),
+      kind_(kind),
+      agg_col_(agg_col),
+      out_name_(std::move(out_name)) {}
+
+void TableAggWatcher::Attach() {
+  table_->AddDeltaListener([this](const TuplePtr&) { Recompute(); });
+  table_->AddRemoveListener([this](const TuplePtr&) { Recompute(); });
+}
+
+void TableAggWatcher::Recompute() {
+  if (recomputing_) {
+    return;
+  }
+  recomputing_ = true;
+  struct WatchAcc {
+    Value value;
+    int64_t count = 0;
+  };
+  std::unordered_map<std::vector<Value>, WatchAcc, ValueVecHash, ValueVecEq> fresh;
+  for (const TuplePtr& row : table_->Scan()) {
+    std::vector<Value> key = row->KeyOf(group_cols_);
+    Value input = agg_col_ < row->size() ? row->field(agg_col_) : Value::Null();
+    auto it = fresh.find(key);
+    if (it == fresh.end()) {
+      WatchAcc a;
+      a.value = AggInit(kind_, input);
+      a.count = 1;
+      fresh.emplace(std::move(key), std::move(a));
+    } else {
+      it->second.value = AggStep(kind_, it->second.value, input, it->second.count);
+      it->second.count += 1;
+    }
+  }
+  // Groups that vanished entirely (all rows gone): for counts, report 0 so
+  // downstream thresholds reset; extremal aggregates have no meaningful
+  // "empty" output — just forget them so a future row re-emits.
+  for (auto it = last_.begin(); it != last_.end();) {
+    if (fresh.count(it->first) > 0) {
+      ++it;
+      continue;
+    }
+    if (kind_ == AggKind::kCount) {
+      std::vector<Value> fields = it->first;
+      fields.push_back(Value::Int(0));
+      PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+    }
+    it = last_.erase(it);
+  }
+  for (auto& [key, acc] : fresh) {
+    Value final_v = AggFinal(kind_, acc.value, acc.count);
+    auto prev = last_.find(key);
+    if (prev != last_.end() && prev->second == final_v) {
+      continue;
+    }
+    last_[key] = final_v;
+    std::vector<Value> fields = key;
+    fields.push_back(final_v);
+    PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+  }
+  recomputing_ = false;
+}
+
+}  // namespace p2

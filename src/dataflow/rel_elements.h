@@ -1,0 +1,233 @@
+// Relational dataflow elements (§3.4): selections, projections, stream ×
+// table equijoins, aggregation, table insert/delete bridges, and duplicate
+// elimination. These are the operators the planner assembles rule chains
+// from; most are parameterized by PEL programs.
+#ifndef P2_DATAFLOW_REL_ELEMENTS_H_
+#define P2_DATAFLOW_REL_ELEMENTS_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/dataflow/element.h"
+#include "src/pel/vm.h"
+#include "src/table/table.h"
+
+namespace p2 {
+
+// Drops tuples for which the PEL predicate evaluates false.
+class FilterElement : public Element {
+ public:
+  FilterElement(std::string name, PelEnv env, PelProgram program)
+      : Element(std::move(name)), vm_(env), program_(std::move(program)) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+ private:
+  PelVm vm_;
+  PelProgram program_;
+};
+
+// Appends the PEL program's result as a new trailing field (implements
+// OverLog assignments, e.g. "D := S - N - 1").
+class ExtendElement : public Element {
+ public:
+  ExtendElement(std::string name, PelEnv env, PelProgram program)
+      : Element(std::move(name)), vm_(env), program_(std::move(program)) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+ private:
+  PelVm vm_;
+  PelProgram program_;
+};
+
+// Builds the output tuple from one PEL program per field.
+class ProjectElement : public Element {
+ public:
+  ProjectElement(std::string name, PelEnv env, std::string out_name,
+                 std::vector<PelProgram> field_programs)
+      : Element(std::move(name)),
+        vm_(env),
+        out_name_(std::move(out_name)),
+        field_programs_(std::move(field_programs)) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+ private:
+  PelVm vm_;
+  std::string out_name_;
+  std::vector<PelProgram> field_programs_;
+};
+
+// One equality constraint of a join: table column `table_col` must equal
+// the value computed from the incoming tuple by `expr`.
+struct JoinKey {
+  size_t table_col;
+  PelProgram expr;
+};
+
+// Stream × table equijoin (§2.5): for each tuple pushed in, finds all rows
+// of `table` matching the key constraints (via a secondary index installed
+// at plan time) and pushes one concatenated tuple (input fields then table
+// fields) per match.
+class JoinElement : public Element {
+ public:
+  JoinElement(std::string name, PelEnv env, Table* table, std::vector<JoinKey> keys,
+              std::string out_name);
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+ private:
+  PelVm vm_;
+  Table* table_;
+  std::vector<JoinKey> keys_;
+  std::vector<size_t> key_cols_;
+  std::string out_name_;
+};
+
+// Anti-join (OverLog "not"): passes the input through unchanged iff the
+// table holds NO matching row.
+class AntiJoinElement : public Element {
+ public:
+  AntiJoinElement(std::string name, PelEnv env, Table* table, std::vector<JoinKey> keys);
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+ private:
+  PelVm vm_;
+  Table* table_;
+  std::vector<JoinKey> keys_;
+  std::vector<size_t> key_cols_;
+};
+
+// Inserts pushed tuples into a table. When the table content changes, the
+// tuple continues downstream on port 0 as the table's delta stream.
+class InsertElement : public Element {
+ public:
+  InsertElement(std::string name, Table* table) : Element(std::move(name)), table_(table) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+ private:
+  Table* table_;
+};
+
+// Deletes the row whose primary key matches the pushed (derived) tuple.
+class DeleteElement : public Element {
+ public:
+  DeleteElement(std::string name, Table* table) : Element(std::move(name)), table_(table) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+ private:
+  Table* table_;
+};
+
+// Suppresses tuples identical to one seen recently (bounded memory).
+class DedupElement : public Element {
+ public:
+  DedupElement(std::string name, size_t max_entries = 4096)
+      : Element(std::move(name)), max_entries_(max_entries) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+ private:
+  size_t max_entries_;
+  std::unordered_set<std::string> seen_;
+  std::vector<std::string> order_;
+  size_t next_evict_ = 0;
+};
+
+enum class AggKind { kMin, kMax, kCount, kSum, kAvg };
+
+// Per-event aggregation ("AggWrap"). The rule driver brackets each event
+// with Begin/Flush; candidate pre-head tuples pushed in between are reduced
+// to a single output tuple. min/max have *selection* semantics: the output
+// carries the fields of the winning candidate (this is what makes OverLog
+// patterns like Narada's "pick the member with max<R>, R := f_rand()" and
+// Chord's "forward to the finger with min<D>" work). count/sum/avg
+// accumulate over all candidates, taking the non-aggregate fields from the
+// first one. With `emit_empty` set (used for count<*>), an event yielding
+// no candidates still emits one tuple with aggregate 0, its remaining
+// fields computed from the event itself.
+class AggWrapElement : public Element {
+ public:
+  AggWrapElement(std::string name, PelEnv env, AggKind kind, size_t agg_position,
+                 std::string out_name, bool emit_empty,
+                 std::vector<PelProgram> empty_field_programs);
+
+  void Begin(const TuplePtr& event);
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+  void Flush();
+
+ private:
+  PelVm vm_;
+  AggKind kind_;
+  size_t agg_position_;
+  std::string out_name_;
+  bool emit_empty_;
+  std::vector<PelProgram> empty_field_programs_;
+  TuplePtr current_event_;
+  TuplePtr best_;     // representative candidate (winner for min/max, first otherwise)
+  Value acc_;         // accumulator for count/sum/avg
+  int64_t count_ = 0;
+};
+
+// Chain entry point inserted by the planner at the head of every rule:
+// brackets aggregate rules with Begin/Flush, counts rule firings, and
+// drops events narrower than the rule's event predicate (wire data is
+// untrusted — a well-framed tuple with a known name but the wrong arity
+// must not reach field-indexing elements).
+class RuleDriver : public Element {
+ public:
+  RuleDriver(std::string name, AggWrapElement* agg /* nullable */)
+      : Element(std::move(name)), agg_(agg) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+  // The planner wires the aggregate bracket after the chain is built.
+  void set_agg(AggWrapElement* agg) { agg_ = agg; }
+  void set_min_arity(size_t n) { min_arity_ = n; }
+
+  uint64_t fires() const { return fires_; }
+  uint64_t malformed() const { return malformed_; }
+
+ private:
+  AggWrapElement* agg_;
+  size_t min_arity_ = 0;
+  uint64_t fires_ = 0;
+  uint64_t malformed_ = 0;
+};
+
+// Maintains an aggregate over a whole table (§3.4 "aggregation elements
+// that maintain an up-to-date aggregate on a table and emit it whenever it
+// changes"). Groups by `group_cols` of the table's rows; on every table
+// delta, recomputes and emits tuples (group fields..., aggregate) under
+// `out_name` for groups whose aggregate changed.
+class TableAggWatcher : public Element {
+ public:
+  TableAggWatcher(std::string name, Table* table, std::vector<size_t> group_cols,
+                  AggKind kind, size_t agg_col, std::string out_name);
+
+  // Registers the table listeners (inserts AND removals — aggregates must
+  // shrink when rows are deleted, evicted or expire). Call once after
+  // wiring.
+  void Attach();
+
+ private:
+  void Recompute();
+
+  Table* table_;
+  std::vector<size_t> group_cols_;
+  AggKind kind_;
+  size_t agg_col_;
+  std::string out_name_;
+  bool recomputing_ = false;  // Scan() can purge rows and re-enter via the
+                              // removal listener
+  std::unordered_map<std::vector<Value>, Value, ValueVecHash, ValueVecEq> last_;
+};
+
+// Accumulates one aggregation step.
+Value AggStep(AggKind kind, const Value& acc, const Value& next, int64_t count_so_far);
+// Finalizes (only kAvg differs from the accumulator).
+Value AggFinal(AggKind kind, const Value& acc, int64_t count);
+// Initial accumulator for the first row.
+Value AggInit(AggKind kind, const Value& first);
+
+}  // namespace p2
+
+#endif  // P2_DATAFLOW_REL_ELEMENTS_H_

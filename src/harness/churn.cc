@@ -1,0 +1,21 @@
+#include "src/harness/churn.h"
+
+namespace p2 {
+
+void ChurnDriver::Start() {
+  for (size_t i = 0; i < testbed_->num_slots(); ++i) {
+    ScheduleDeath(i);
+  }
+}
+
+void ChurnDriver::ScheduleDeath(size_t slot) {
+  double lifetime = rng_.NextExponential(config_.session_mean_s);
+  testbed_->loop()->ScheduleAfter(lifetime, [this, slot]() {
+    if (testbed_->ReplaceNode(slot)) {
+      ++deaths_;
+    }
+    ScheduleDeath(slot);
+  });
+}
+
+}  // namespace p2

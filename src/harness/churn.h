@@ -1,0 +1,41 @@
+// Churn driver (§5.2), following the Bamboo methodology the paper cites:
+// node session times are exponentially distributed around a configured
+// mean; when a session ends the node is destroyed and immediately replaced
+// by a fresh node joining through a random live landmark, keeping the
+// population constant.
+#ifndef P2_HARNESS_CHURN_H_
+#define P2_HARNESS_CHURN_H_
+
+#include "src/harness/workload.h"
+
+namespace p2 {
+
+struct ChurnConfig {
+  double session_mean_s = 3840;  // 64 minutes
+  uint64_t seed = 7;
+};
+
+class ChurnDriver {
+ public:
+  ChurnDriver(ChordTestbed* testbed, ChurnConfig config)
+      : testbed_(testbed), config_(config), rng_(config.seed) {}
+
+  // Schedules an exponential death time for every current slot. Replacement
+  // nodes get their own death scheduled automatically, so churn continues
+  // until the testbed stops running.
+  void Start();
+
+  uint64_t deaths() const { return deaths_; }
+
+ private:
+  void ScheduleDeath(size_t slot);
+
+  ChordTestbed* testbed_;
+  ChurnConfig config_;
+  Rng rng_;
+  uint64_t deaths_ = 0;
+};
+
+}  // namespace p2
+
+#endif  // P2_HARNESS_CHURN_H_

@@ -1,0 +1,114 @@
+#include "src/harness/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2 {
+
+void Cdf::Sort() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::Mean() const {
+  if (values_.empty()) {
+    return 0;
+  }
+  double s = 0;
+  for (double v : values_) {
+    s += v;
+  }
+  return s / static_cast<double>(values_.size());
+}
+
+double Cdf::Quantile(double q) const {
+  if (values_.empty()) {
+    return 0;
+  }
+  Sort();
+  double pos = q * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1 - frac) + values_[hi] * frac;
+}
+
+double Cdf::FractionBelow(double x) const {
+  if (values_.empty()) {
+    return 0;
+  }
+  Sort();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::Points(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || points == 0) {
+    return out;
+  }
+  Sort();
+  for (size_t i = 0; i < points; ++i) {
+    double q = static_cast<double>(i) / static_cast<double>(points - 1 == 0 ? 1 : points - 1);
+    out.emplace_back(Quantile(q), q);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {}
+
+void Histogram::Add(double v) {
+  double pos = (v - lo_) / width_;
+  size_t b;
+  if (pos < 0) {
+    b = 0;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    b = counts_.size() - 1;
+  } else {
+    b = static_cast<size_t>(pos);
+  }
+  counts_[b] += 1;
+  total_ += 1;
+  sum_ += v;
+}
+
+std::vector<std::pair<double, double>> Histogram::Frequencies() const {
+  std::vector<std::pair<double, double>> out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double freq = total_ == 0 ? 0
+                              : static_cast<double>(counts_[i]) / static_cast<double>(total_);
+    out.emplace_back(lo_ + width_ * static_cast<double>(i), freq);
+  }
+  return out;
+}
+
+double RateSampler::Sample(double now_s, double cumulative_bytes) {
+  if (!primed_) {
+    primed_ = true;
+    last_t_ = now_s;
+    last_v_ = cumulative_bytes;
+    return 0;
+  }
+  double dt = now_s - last_t_;
+  double dv = cumulative_bytes - last_v_;
+  last_t_ = now_s;
+  last_v_ = cumulative_bytes;
+  return dt <= 0 ? 0 : dv / dt;
+}
+
+std::string FormatRow(const std::vector<std::string>& cells, size_t width) {
+  std::string out;
+  for (const std::string& c : cells) {
+    std::string cell = c;
+    if (cell.size() < width) {
+      cell.append(width - cell.size(), ' ');
+    }
+    out += cell;
+  }
+  return out;
+}
+
+}  // namespace p2

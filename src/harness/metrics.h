@@ -1,0 +1,68 @@
+// Measurement utilities for the evaluation harness: empirical CDFs,
+// bucketed histograms, and windowed bandwidth sampling.
+#ifndef P2_HARNESS_METRICS_H_
+#define P2_HARNESS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2 {
+
+// Collects samples and answers distribution queries (Figures 3(iii),
+// 4(ii), 4(iii) are CDFs of this kind).
+class Cdf {
+ public:
+  void Add(double v) { values_.push_back(v); }
+  size_t count() const { return values_.size(); }
+  double Mean() const;
+  // q in [0,1]; empty CDF returns 0.
+  double Quantile(double q) const;
+  // Fraction of samples <= x.
+  double FractionBelow(double x) const;
+  // `points` evenly spaced (value, cumulative fraction) pairs for printing.
+  std::vector<std::pair<double, double>> Points(size_t points) const;
+
+ private:
+  void Sort() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-width bucket histogram (Figure 3(i) hop-count frequencies).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+  void Add(double v);
+  size_t total() const { return total_; }
+  double Mean() const { return total_ == 0 ? 0 : sum_ / static_cast<double>(total_); }
+  // (bucket lower edge, frequency) pairs; frequencies sum to 1.
+  std::vector<std::pair<double, double>> Frequencies() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  double sum_ = 0;
+};
+
+// Differencing sampler for cumulative byte counters: feed absolute totals,
+// get per-window rates.
+class RateSampler {
+ public:
+  // Returns bytes/second since the previous sample (0 on the first call).
+  double Sample(double now_s, double cumulative_bytes);
+
+ private:
+  bool primed_ = false;
+  double last_t_ = 0;
+  double last_v_ = 0;
+};
+
+// Renders a fixed-width ASCII table row (benchmark output helper).
+std::string FormatRow(const std::vector<std::string>& cells, size_t width = 14);
+
+}  // namespace p2
+
+#endif  // P2_HARNESS_METRICS_H_

@@ -1,0 +1,338 @@
+#include "src/harness/workload.h"
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+ChordTestbed::ChordTestbed(TestbedConfig config)
+    : config_(config),
+      network_(&loop_, Topology(config.topology), config.seed ^ 0x5EED),
+      rng_(config.seed) {}
+
+ChordTestbed::~ChordTestbed() {
+  // Nodes reference transports; destroy nodes first, slot by slot.
+  for (Slot& s : slots_) {
+    s.p2.reset();
+    s.baseline.reset();
+    s.transport.reset();
+  }
+}
+
+std::string ChordTestbed::NextAddr() { return "n" + std::to_string(addr_counter_++); }
+
+void ChordTestbed::MakeNode(size_t slot, const std::string& landmark) {
+  Slot& s = slots_[slot];
+  s.addr = NextAddr();
+  s.id = Uint160::HashOf(s.addr);
+  s.transport = network_.MakeTransport(s.addr, s.topo_index);
+  if (config_.use_baseline) {
+    s.baseline = std::make_unique<BaselineChordNode>(&loop_, s.transport.get(),
+                                                     rng_.NextU64(), config_.baseline,
+                                                     landmark);
+  } else {
+    P2NodeConfig nc;
+    nc.addr = s.addr;
+    nc.executor = &loop_;
+    nc.transport = s.transport.get();
+    nc.seed = rng_.NextU64();
+    s.p2 = std::make_unique<ChordNode>(nc, config_.chord, landmark);
+  }
+  s.alive = true;
+  ++live_count_;
+  std::string self = s.addr;
+  auto provider = [this, self]() { return RandomBootstrap(self); };
+  if (config_.use_baseline) {
+    s.baseline->SetLandmarkProvider(provider);
+  } else {
+    s.p2->SetLandmarkProvider(provider);
+  }
+  HookMeasurement(slot);
+}
+
+std::string ChordTestbed::RandomBootstrap(const std::string& exclude) {
+  std::vector<size_t> joined;
+  std::vector<size_t> live;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.alive || s.addr == exclude) {
+      continue;
+    }
+    live.push_back(i);
+    bool has_succ = config_.use_baseline ? !s.baseline->Successors().empty()
+                                         : !s.p2->Successors().empty();
+    if (has_succ) {
+      joined.push_back(i);
+    }
+  }
+  const std::vector<size_t>& pool = joined.empty() ? live : joined;
+  if (pool.empty()) {
+    return "";
+  }
+  return slots_[pool[rng_.NextBelow(pool.size())]].addr;
+}
+
+void ChordTestbed::HookMeasurement(size_t slot) {
+  Slot& s = slots_[slot];
+  auto on_result = [this](const Uint160& key, const std::string& addr, const Uint160& ev) {
+    OnLookupResult(key, addr, ev);
+  };
+  if (config_.use_baseline) {
+    s.baseline->OnLookupResult([on_result](const BaselineChordNode::LookupResult& r) {
+      on_result(r.key, r.successor_addr, r.event_id);
+    });
+    s.baseline->OnLookupSeen(
+        [this](const Uint160& event) { hop_counts_[event.Low64()] += 1; });
+  } else {
+    s.p2->OnLookupResult([on_result](const ChordNode::LookupResult& r) {
+      on_result(r.key, r.successor_addr, r.event_id);
+    });
+    s.p2->node()->Subscribe("lookup", [this](const TuplePtr& t) {
+      if (t->size() >= 4 && t->field(3).type() == ValueType::kId) {
+        hop_counts_[t->field(3).AsId().Low64()] += 1;
+      }
+    });
+  }
+}
+
+void ChordTestbed::BuildAndSettle(double settle_deadline_s) {
+  slots_.resize(config_.num_nodes);
+  for (size_t i = 0; i < config_.num_nodes; ++i) {
+    slots_[i].topo_index = i;
+  }
+  // The first node forms the ring; the rest join through it, staggered.
+  MakeNode(0, "");
+  if (config_.use_baseline) {
+    slots_[0].baseline->Start();
+  } else {
+    slots_[0].p2->Start();
+  }
+  const std::string landmark = slots_[0].addr;
+  for (size_t i = 1; i < config_.num_nodes; ++i) {
+    double at = config_.join_stagger_s * static_cast<double>(i);
+    loop_.ScheduleAfter(at, [this, i, landmark]() {
+      MakeNode(i, landmark);
+      if (config_.use_baseline) {
+        slots_[i].baseline->Start();
+      } else {
+        slots_[i].p2->Start();
+      }
+    });
+  }
+  RunFor(settle_deadline_s);
+}
+
+void ChordTestbed::RunFor(double seconds) { loop_.RunUntil(loop_.Now() + seconds); }
+
+void ChordTestbed::IssueRandomLookup() {
+  // Pick a random live node.
+  std::vector<size_t> live;
+  live.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].alive) {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) {
+    return;
+  }
+  size_t slot = live[rng_.NextBelow(live.size())];
+  Uint160 key = rng_.NextId();
+  Uint160 event;
+  if (config_.use_baseline) {
+    event = slots_[slot].baseline->Lookup(key);
+  } else {
+    event = slots_[slot].p2->Lookup(key);
+  }
+  LookupRecord rec;
+  rec.key = key;
+  rec.event = event;
+  rec.origin = slots_[slot].addr;
+  rec.issued_at = loop_.Now();
+  pending_[event.Low64()] = lookups_.size();
+  lookups_.push_back(rec);
+  if (config_.lookup_retry_s > 0 && config_.lookup_max_retries > 0) {
+    ScheduleLookupRetry(lookups_.size() - 1);
+  }
+}
+
+void ChordTestbed::ScheduleLookupRetry(size_t record_index) {
+  loop_.ScheduleAfter(config_.lookup_retry_s, [this, record_index]() {
+    LookupRecord& rec = lookups_[record_index];
+    if (rec.completed || rec.retries >= config_.lookup_max_retries) {
+      return;
+    }
+    // Re-issue from the original node if it is still alive (a dead issuer
+    // could never receive the answer anyway).
+    for (Slot& s : slots_) {
+      if (!s.alive || s.addr != rec.origin) {
+        continue;
+      }
+      ++rec.retries;
+      if (config_.use_baseline) {
+        s.baseline->RetryLookup(rec.key, rec.event);
+      } else {
+        s.p2->node()->Inject(Tuple::Make(
+            "lookup", {Value::Addr(s.addr), Value::Id(rec.key), Value::Addr(s.addr),
+                       Value::Id(rec.event)}));
+      }
+      ScheduleLookupRetry(record_index);
+      return;
+    }
+  });
+}
+
+void ChordTestbed::OnLookupResult(const Uint160& key, const std::string& result_addr,
+                                  const Uint160& event) {
+  auto it = pending_.find(event.Low64());
+  if (it == pending_.end()) {
+    return;  // finger-fix or join lookup, not workload
+  }
+  LookupRecord& rec = lookups_[it->second];
+  pending_.erase(it);
+  if (rec.completed) {
+    return;
+  }
+  rec.completed = true;
+  rec.latency_s = loop_.Now() - rec.issued_at;
+  rec.result_addr = result_addr;
+  auto hops = hop_counts_.find(event.Low64());
+  // The first arrival is the injection at the requester itself.
+  rec.hops = hops == hop_counts_.end() ? 0 : std::max(0, hops->second - 1);
+  rec.consistent = result_addr == GroundTruthSuccessor(key);
+  (void)key;
+}
+
+std::string ChordTestbed::GroundTruthSuccessor(const Uint160& key) const {
+  const Slot* best = nullptr;
+  Uint160 best_dist;
+  for (const Slot& s : slots_) {
+    if (!s.alive) {
+      continue;
+    }
+    Uint160 dist = s.id - key;  // clockwise distance; 0 when id == key
+    if (best == nullptr || dist < best_dist) {
+      best = &s;
+      best_dist = dist;
+    }
+  }
+  return best == nullptr ? "" : best->addr;
+}
+
+double ChordTestbed::RingConsistencyFraction() const {
+  size_t ok = 0;
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (!s.alive) {
+      continue;
+    }
+    ++n;
+    std::optional<std::pair<Uint160, std::string>> best =
+        config_.use_baseline ? s.baseline->BestSuccessor() : s.p2->BestSuccessor();
+    if (!best.has_value()) {
+      continue;
+    }
+    if (best->second == GroundTruthSuccessor(s.id + Uint160(1))) {
+      ++ok;
+    }
+  }
+  return n == 0 ? 0 : static_cast<double>(ok) / static_cast<double>(n);
+}
+
+double ChordTestbed::JoinedFraction() const {
+  size_t joined = 0;
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (!s.alive) {
+      continue;
+    }
+    ++n;
+    bool has = config_.use_baseline ? !s.baseline->Successors().empty()
+                                    : !s.p2->Successors().empty();
+    if (has) {
+      ++joined;
+    }
+  }
+  return n == 0 ? 0 : static_cast<double>(joined) / static_cast<double>(n);
+}
+
+uint64_t ChordTestbed::TotalMaintBytesOut() const {
+  uint64_t total = dead_maint_bytes_;
+  for (const Slot& s : slots_) {
+    if (s.alive) {
+      total += s.transport->stats().maint_bytes_out;
+    }
+  }
+  return total;
+}
+
+uint64_t ChordTestbed::TotalLookupBytesOut() const {
+  uint64_t total = dead_lookup_bytes_;
+  for (const Slot& s : slots_) {
+    if (s.alive) {
+      total += s.transport->stats().lookup_bytes_out;
+    }
+  }
+  return total;
+}
+
+double ChordTestbed::MeanNodeMemoryBytes() const {
+  if (config_.use_baseline) {
+    return 0;
+  }
+  double total = 0;
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.alive && s.p2 != nullptr) {
+      total += static_cast<double>(s.p2->node()->ApproxMemoryBytes());
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : total / static_cast<double>(n);
+}
+
+double ChordTestbed::MeanFingerRows() const {
+  if (config_.use_baseline) {
+    return 0;
+  }
+  double total = 0;
+  size_t live = 0;
+  for (const Slot& s : slots_) {
+    if (s.alive && s.p2 != nullptr) {
+      total += static_cast<double>(s.p2->Fingers().size());
+      ++live;
+    }
+  }
+  return live == 0 ? 0 : total / static_cast<double>(live);
+}
+
+bool ChordTestbed::ReplaceNode(size_t slot) {
+  if (live_count_ <= 1 || slot >= slots_.size() || !slots_[slot].alive) {
+    return false;
+  }
+  Slot& s = slots_[slot];
+  // Account the dead node's traffic so cumulative totals stay monotone.
+  dead_maint_bytes_ += s.transport->stats().maint_bytes_out;
+  dead_lookup_bytes_ += s.transport->stats().lookup_bytes_out;
+  s.p2.reset();
+  s.baseline.reset();
+  s.transport.reset();
+  s.alive = false;
+  --live_count_;
+  // Pick a random live landmark for the replacement.
+  std::vector<size_t> live;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].alive) {
+      live.push_back(i);
+    }
+  }
+  const std::string landmark = slots_[live[rng_.NextBelow(live.size())]].addr;
+  MakeNode(slot, landmark);
+  if (config_.use_baseline) {
+    s.baseline->Start();
+  } else {
+    s.p2->Start();
+  }
+  return true;
+}
+
+}  // namespace p2

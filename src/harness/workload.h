@@ -1,0 +1,135 @@
+// ChordTestbed: the simulated Emulab deployment (§5).
+//
+// Builds N Chord participants (declarative P2 Chord or the hand-coded
+// baseline) on the transit-stub topology, staggers their joins, issues
+// uniform lookup workloads, and measures what the paper's evaluation
+// measures: hop counts, lookup latency, lookup consistency against a live
+// ground truth, and per-node maintenance bandwidth.
+#ifndef P2_HARNESS_WORKLOAD_H_
+#define P2_HARNESS_WORKLOAD_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseline/chord_baseline.h"
+#include "src/overlays/chord.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+
+struct TestbedConfig {
+  size_t num_nodes = 100;
+  uint64_t seed = 42;
+  bool use_baseline = false;  // false: P2 OverLog Chord; true: hand-coded
+  ChordConfig chord;
+  BaselineChordConfig baseline;
+  TopologyConfig topology;
+  double join_stagger_s = 0.25;  // delay between consecutive joins
+  double lookup_timeout_s = 20.0;
+  // Workload-level lookup retries (standard DHT-evaluation methodology:
+  // re-issue unanswered lookups until the timeout). 0 disables.
+  double lookup_retry_s = 4.0;
+  int lookup_max_retries = 4;
+};
+
+class ChordTestbed {
+ public:
+  struct LookupRecord {
+    Uint160 key;
+    Uint160 event;
+    std::string origin;  // issuing node's address
+    double issued_at = 0;
+    bool completed = false;
+    double latency_s = 0;
+    int hops = 0;
+    int retries = 0;
+    bool consistent = false;
+    std::string result_addr;
+  };
+
+  explicit ChordTestbed(TestbedConfig config);
+  ~ChordTestbed();
+
+  // Creates all nodes with staggered joins, then runs the simulation until
+  // `settle_deadline_s` of virtual time has elapsed.
+  void BuildAndSettle(double settle_deadline_s);
+
+  void RunFor(double seconds);
+  SimEventLoop* loop() { return &loop_; }
+  double Now() const { return loop_.Now(); }
+
+  // Issues one lookup for a uniformly random key from a random live node.
+  void IssueRandomLookup();
+  const std::vector<LookupRecord>& lookups() const { return lookups_; }
+  // Drops lookup history (e.g. after warm-up).
+  void ClearLookups() { lookups_.clear(); }
+
+  // The live node whose identifier is the clockwise successor of `key`
+  // (ground truth for consistency checking).
+  std::string GroundTruthSuccessor(const Uint160& key) const;
+
+  // Fraction of live nodes whose best successor matches ground truth.
+  double RingConsistencyFraction() const;
+  // Fraction of live nodes with at least one successor (joined).
+  double JoinedFraction() const;
+
+  size_t num_live() const { return live_count_; }
+  // Sum of maintenance / lookup bytes sent by live nodes.
+  uint64_t TotalMaintBytesOut() const;
+  uint64_t TotalLookupBytesOut() const;
+  // Mean approximate working set of live P2 nodes (bytes); 0 for baseline.
+  double MeanNodeMemoryBytes() const;
+  // Mean number of resolved finger-table rows per live P2 node (0 for the
+  // baseline flavor; used by the finger-fixing ablation).
+  double MeanFingerRows() const;
+
+  // --- Churn support ---
+  // Kills the node in `slot` (transport unregistered; peers see silence)
+  // and immediately replaces it with a fresh node that joins through a
+  // random live landmark. Returns false if the slot was the only live node.
+  bool ReplaceNode(size_t slot);
+  size_t num_slots() const { return slots_.size(); }
+  uint64_t KilledBytesMaint() const { return dead_maint_bytes_; }
+
+ private:
+  struct Slot {
+    std::string addr;
+    Uint160 id;
+    size_t topo_index = 0;
+    std::unique_ptr<SimTransport> transport;
+    std::unique_ptr<ChordNode> p2;
+    std::unique_ptr<BaselineChordNode> baseline;
+    bool alive = false;
+  };
+
+  void MakeNode(size_t slot, const std::string& landmark);
+  void HookMeasurement(size_t slot);
+  void ScheduleLookupRetry(size_t record_index);
+  // A random live, preferably already-joined node other than `exclude`
+  // (bootstrap re-resolution for join retries).
+  std::string RandomBootstrap(const std::string& exclude);
+  void OnLookupResult(const Uint160& key, const std::string& result_addr,
+                      const Uint160& event);
+  std::string NextAddr();
+
+  TestbedConfig config_;
+  SimEventLoop loop_;
+  SimNetwork network_;
+  Rng rng_;
+  std::vector<Slot> slots_;
+  size_t live_count_ = 0;
+  uint64_t addr_counter_ = 0;
+  uint64_t dead_maint_bytes_ = 0;
+  uint64_t dead_lookup_bytes_ = 0;
+
+  std::vector<LookupRecord> lookups_;
+  std::unordered_map<uint64_t, size_t> pending_;  // event id low64 -> index
+  std::unordered_map<uint64_t, int> hop_counts_;  // event id low64 -> arrivals
+};
+
+}  // namespace p2
+
+#endif  // P2_HARNESS_WORKLOAD_H_

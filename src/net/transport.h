@@ -1,0 +1,54 @@
+// Datagram transport abstraction.
+//
+// A P2 node's network stack bottoms out in a Transport: an unreliable,
+// unordered datagram channel addressed by string addresses. Two
+// implementations exist: SimTransport (virtual-time simulator, used by the
+// benchmarks) and UdpTransport (real sockets, used by the multi-process
+// examples).
+#ifndef P2_NET_TRANSPORT_H_
+#define P2_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace p2 {
+
+// Cumulative traffic counters for one endpoint, split by traffic class.
+// The paper's evaluation separates "lookup" traffic (lookup/lookupResults
+// tuples) from "maintenance" traffic (everything else).
+struct TrafficStats {
+  uint64_t bytes_out = 0;
+  uint64_t msgs_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t msgs_in = 0;
+  uint64_t maint_bytes_out = 0;
+  uint64_t lookup_bytes_out = 0;
+};
+
+class Transport {
+ public:
+  using ReceiveFn =
+      std::function<void(const std::string& from, const std::vector<uint8_t>& bytes)>;
+
+  virtual ~Transport() = default;
+
+  virtual const std::string& local_addr() const = 0;
+
+  // Sends a datagram. `is_lookup_traffic` classifies the message for the
+  // evaluation's bandwidth accounting. Delivery is best-effort.
+  virtual void SendTo(const std::string& to, std::vector<uint8_t> bytes,
+                      bool is_lookup_traffic) = 0;
+
+  virtual void SetReceiver(ReceiveFn fn) = 0;
+
+  virtual const TrafficStats& stats() const = 0;
+};
+
+// Estimated per-datagram UDP/IP header overhead counted toward bandwidth.
+inline constexpr size_t kUdpIpHeaderBytes = 28;
+
+}  // namespace p2
+
+#endif  // P2_NET_TRANSPORT_H_

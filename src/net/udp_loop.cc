@@ -1,0 +1,192 @@
+#include "src/net/udp_loop.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+double MonotonicSeconds() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+// Parses "a.b.c.d:port" into a sockaddr. Returns false on malformed input.
+bool ParseAddr(const std::string& addr, sockaddr_in* out) {
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  std::string host = addr.substr(0, colon);
+  int port = std::atoi(addr.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return false;
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+UdpLoop::UdpLoop() : t0_(MonotonicSeconds()) {}
+
+UdpLoop::~UdpLoop() = default;
+
+double UdpLoop::Now() const { return MonotonicSeconds() - t0_; }
+
+TimerId UdpLoop::ScheduleAfter(double delay, Task task) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  TimerId id = ++next_id_;
+  timers_.push(TimerEntry{Now() + delay, next_seq_++, id, std::move(task)});
+  return id;
+}
+
+void UdpLoop::Cancel(TimerId id) {
+  if (id != kInvalidTimer) {
+    cancelled_.insert(id);
+  }
+}
+
+std::unique_ptr<UdpTransport> UdpLoop::MakeTransport(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return nullptr;
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  socklen_t len = sizeof(sa);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "127.0.0.1:%u", static_cast<unsigned>(ntohs(sa.sin_port)));
+  auto t = std::unique_ptr<UdpTransport>(new UdpTransport(this, fd, buf));
+  RegisterFd(fd, t.get());
+  return t;
+}
+
+void UdpLoop::RegisterFd(int fd, UdpTransport* t) { fds_[fd] = t; }
+void UdpLoop::UnregisterFd(int fd) { fds_.erase(fd); }
+
+void UdpLoop::RunDueTimers() {
+  double now = Now();
+  while (!timers_.empty() && timers_.top().at <= now) {
+    TimerEntry e = std::move(const_cast<TimerEntry&>(timers_.top()));
+    timers_.pop();
+    if (cancelled_.erase(e.id) > 0) {
+      continue;
+    }
+    e.task();
+    now = Now();
+  }
+}
+
+void UdpLoop::PollOnce(double max_wait_s) {
+  double wait = max_wait_s;
+  if (!timers_.empty()) {
+    double until = timers_.top().at - Now();
+    if (until < wait) {
+      wait = until;
+    }
+  }
+  if (wait < 0) {
+    wait = 0;
+  }
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const auto& [fd, t] : fds_) {
+    (void)t;
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  int n = ::poll(pfds.data(), pfds.size(), static_cast<int>(wait * 1000));
+  if (n > 0) {
+    for (const pollfd& p : pfds) {
+      if ((p.revents & POLLIN) != 0) {
+        auto it = fds_.find(p.fd);
+        if (it != fds_.end()) {
+          it->second->OnReadable();
+        }
+      }
+    }
+  }
+  RunDueTimers();
+}
+
+void UdpLoop::RunFor(double seconds) {
+  stopping_ = false;
+  double deadline = Now() + seconds;
+  while (!stopping_ && Now() < deadline) {
+    PollOnce(std::min(0.05, deadline - Now()));
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  loop_->UnregisterFd(fd_);
+  ::close(fd_);
+}
+
+void UdpTransport::SendTo(const std::string& to, std::vector<uint8_t> bytes,
+                          bool is_lookup_traffic) {
+  sockaddr_in sa;
+  if (!ParseAddr(to, &sa)) {
+    P2_LOG(LogLevel::kWarn, "udp: bad destination address '%s'", to.c_str());
+    return;
+  }
+  size_t wire_bytes = bytes.size() + kUdpIpHeaderBytes;
+  stats_.bytes_out += wire_bytes;
+  stats_.msgs_out += 1;
+  if (is_lookup_traffic) {
+    stats_.lookup_bytes_out += wire_bytes;
+  } else {
+    stats_.maint_bytes_out += wire_bytes;
+  }
+  ::sendto(fd_, bytes.data(), bytes.size(), 0, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+}
+
+void UdpTransport::OnReadable() {
+  for (;;) {
+    uint8_t buf[65536];
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      return;
+    }
+    stats_.bytes_in += static_cast<uint64_t>(n) + kUdpIpHeaderBytes;
+    stats_.msgs_in += 1;
+    if (receiver_) {
+      char host[64];
+      inet_ntop(AF_INET, &from.sin_addr, host, sizeof(host));
+      char addr[96];
+      std::snprintf(addr, sizeof(addr), "%s:%u", host,
+                    static_cast<unsigned>(ntohs(from.sin_port)));
+      receiver_(addr, std::vector<uint8_t>(buf, buf + n));
+    }
+  }
+}
+
+}  // namespace p2

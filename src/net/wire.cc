@@ -1,0 +1,35 @@
+#include "src/net/wire.h"
+
+#include "src/net/transport.h"
+#include "src/runtime/marshal.h"
+
+namespace p2 {
+
+std::vector<uint8_t> FrameTuple(const Tuple& t) {
+  ByteWriter w;
+  w.PutU8(0xD2);  // magic
+  w.PutU8(0x01);  // version
+  MarshalTuple(t, &w);
+  return w.Take();
+}
+
+std::optional<TuplePtr> UnframeTuple(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint8_t magic;
+  uint8_t version;
+  if (!r.GetU8(&magic) || !r.GetU8(&version) || magic != 0xD2 || version != 0x01) {
+    return std::nullopt;
+  }
+  return UnmarshalTuple(&r);
+}
+
+size_t WireSizeOf(const Tuple& t) {
+  return FrameTuple(t).size() + kUdpIpHeaderBytes;
+}
+
+bool IsLookupTraffic(const std::string& tuple_name) {
+  return tuple_name == "lookup" || tuple_name == "lookupResults" ||
+         tuple_name == "blookup" || tuple_name == "blookupRes";
+}
+
+}  // namespace p2

@@ -1,0 +1,34 @@
+// Wire format helpers for P2 datagrams.
+//
+// Each datagram carries exactly one tuple, framed with a magic/version
+// prefix so malformed or foreign packets are rejected cheaply. The traffic
+// classifier below implements the evaluation's split between lookup traffic
+// and maintenance traffic (§5.1).
+#ifndef P2_NET_WIRE_H_
+#define P2_NET_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/tuple.h"
+
+namespace p2 {
+
+// Serializes `t` into a framed datagram payload.
+std::vector<uint8_t> FrameTuple(const Tuple& t);
+
+// Parses a framed datagram; nullopt on bad magic/truncation (untrusted).
+std::optional<TuplePtr> UnframeTuple(const std::vector<uint8_t>& bytes);
+
+// The wire size a tuple would occupy, including the UDP/IP header estimate
+// (used by benchmarks without actually sending).
+size_t WireSizeOf(const Tuple& t);
+
+// True for tuples belonging to the DHT lookup request/response plane; all
+// other tuple names count as overlay maintenance traffic.
+bool IsLookupTraffic(const std::string& tuple_name);
+
+}  // namespace p2
+
+#endif  // P2_NET_WIRE_H_

@@ -1,0 +1,301 @@
+#include "src/overlays/chord.h"
+
+#include <cstring>
+
+#include "src/overlog/parser.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+// Renders a double without trailing zeros ("10", "0.5").
+std::string Num(double v) {
+  if (v == static_cast<int64_t>(v)) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void ReplaceAll(std::string* text, const std::string& from, const std::string& to) {
+  size_t pos = 0;
+  while ((pos = text->find(from, pos)) != std::string::npos) {
+    text->replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
+// The full Chord specification (Appendix B of the paper), with three
+// mechanical repairs documented in DESIGN.md / EXPERIMENTS.md:
+//  * the OCR-garbled "K:=1I << I + N" is written as K := N + (1 << I);
+//  * the appendix reuses rule id SB7 twice; the notify pair is SB8/SB9;
+//  * the predecessor-timeout rule (appendix CM9) joins pendingPing on the
+//    *current* ping event id, which can never match — here it matches any
+//    older outstanding ping (E1 != E) and is ordered before the rule that
+//    refreshes pendingPing.
+constexpr char kChordProgram[] = R"OLG(
+/* ---- Base tables ---- */
+materialize(node, infinity, 1, keys(1)).
+materialize(finger, %FLIFE%, %FNUM%, keys(2)).
+materialize(bestSucc, infinity, 1, keys(1)).
+materialize(succDist, %SLIFE%, 100, keys(2)).
+materialize(succ, %SLIFE%, 100, keys(2)).
+materialize(pred, infinity, 1, keys(1)).
+materialize(succCount, infinity, 1, keys(1)).
+materialize(join, 10, 5, keys(1)).
+materialize(landmark, infinity, 1, keys(1)).
+materialize(fFix, infinity, 160, keys(2)).
+materialize(nextFingerFix, infinity, 1, keys(1)).
+materialize(pingNode, %PINGLIFE%, 100, keys(2)).
+materialize(pendingPing, %PINGLIFE%, 100, keys(2)).
+
+/* ---- Lookups ---- */
+L1 lookupResults@R(R,K,S,SI,E) :- node@NI(NI,N), lookup@NI(NI,K,R,E),
+   bestSucc@NI(NI,S,SI), K in (N,S].
+L2 bestLookupDist@NI(NI,K,R,E,min<D>) :- node@NI(NI,N), lookup@NI(NI,K,R,E),
+   finger@NI(NI,I,B,BI), D := K - B - 1, B in (N,K).
+L3 lookup@BI(min<BI>,K,R,E) :- node@NI(NI,N), bestLookupDist@NI(NI,K,R,E,D),
+   finger@NI(NI,I,B,BI), D == K - B - 1, B in (N,K).
+
+/* ---- Neighbor (successor) selection ---- */
+N1 succEvent@NI(NI,S,SI) :- succ@NI(NI,S,SI).
+N2 succDist@NI(NI,S,D) :- node@NI(NI,N), succEvent@NI(NI,S,SI), D := S - N - 1.
+N3 bestSuccDist@NI(NI,min<D>) :- succDist@NI(NI,S,D).
+N4 bestSucc@NI(NI,S,SI) :- succ@NI(NI,S,SI), bestSuccDist@NI(NI,D), node@NI(NI,N),
+   D == S - N - 1.
+N5 finger@NI(NI,0,S,SI) :- bestSucc@NI(NI,S,SI).
+
+/* ---- Successor eviction ---- */
+S1 succCount@NI(NI,count<*>) :- succ@NI(NI,S,SI).
+S2 evictSucc@NI(NI) :- succCount@NI(NI,C), C > %MAXSUCC%.
+S3 maxSuccDist@NI(NI,max<D>) :- succ@NI(NI,S,SI), node@NI(NI,N), evictSucc@NI(NI),
+   D := S - N - 1.
+S4 delete succ@NI(NI,S,SI) :- node@NI(NI,N), succ@NI(NI,S,SI), maxSuccDist@NI(NI,D),
+   D == S - N - 1.
+
+/* ---- Finger fixing ---- */
+F0 nextFingerFix@NI(NI, 0).
+F1 fFix@NI(NI,E,I) :- periodic@NI(NI,E,%TFIX%), nextFingerFix@NI(NI,I).
+F2 fFixEvent@NI(NI,E,I) :- fFix@NI(NI,E,I).
+F3 lookup@NI(NI,K,NI,E) :- fFixEvent@NI(NI,E,I), node@NI(NI,N), K := N + (1 << I).
+%FINGER_RULES%
+
+/* ---- Joins / churn handling ---- */
+C1 joinEvent@NI(NI,E) :- join@NI(NI,E).
+C2 joinReq@LI(LI,N,NI,E) :- joinEvent@NI(NI,E), node@NI(NI,N), landmark@NI(NI,LI),
+   LI != "-".
+C3 succ@NI(NI,N,NI) :- landmark@NI(NI,LI), joinEvent@NI(NI,E), node@NI(NI,N),
+   LI == "-".
+C4 lookup@LI(LI,N,NI,E) :- joinReq@LI(LI,N,NI,E).
+C5 succ@NI(NI,S,SI) :- join@NI(NI,E), lookupResults@NI(NI,K,S,SI,E).
+
+/* ---- Stabilization ---- */
+SB0 pred@NI(NI,"-","-").
+SB1 stabilize@NI(NI,E) :- periodic@NI(NI,E,%TSTAB%).
+SB2 stabilizeRequest@SI(SI,NI) :- stabilize@NI(NI,E), bestSucc@NI(NI,S,SI).
+SB3 sendPredecessor@PI1(PI1,P,PI) :- stabilizeRequest@NI(NI,PI1), pred@NI(NI,P,PI),
+   PI != "-".
+SB4 succ@NI(NI,P,PI) :- node@NI(NI,N), sendPredecessor@NI(NI,P,PI),
+   bestSucc@NI(NI,S,SI), P in (N,S).
+SB5 sendSuccessors@SI(SI,NI) :- stabilize@NI(NI,E), succ@NI(NI,S,SI).
+SB6 returnSuccessor@PI(PI,S,SI) :- sendSuccessors@NI(NI,PI), succ@NI(NI,S,SI).
+SB7 succ@NI(NI,S,SI) :- returnSuccessor@NI(NI,S,SI).
+SB8 notifyPredecessor@SI(SI,N,NI) :- stabilize@NI(NI,E), node@NI(NI,N),
+   succ@NI(NI,S,SI).
+SB9 pred@NI(NI,P,PI) :- node@NI(NI,N), notifyPredecessor@NI(NI,P,PI),
+   pred@NI(NI,P1,PI1), ((PI1 == "-") || (P in (P1,N))).
+
+/* ---- Connectivity monitoring ---- */
+CM0 pingEvent@NI(NI,E) :- periodic@NI(NI,E,%TPING%).
+CM1 predTimeout@NI(NI,PI) :- pingEvent@NI(NI,E), pendingPing@NI(NI,PI,E1),
+    pred@NI(NI,P,PI), E1 != E.
+CM2 pred@NI(NI,"-","-") :- predTimeout@NI(NI,PI).
+CM3 pendingPing@NI(NI,PI,E) :- pingEvent@NI(NI,E), pingNode@NI(NI,PI).
+CM4 pingReq@PI(PI,NI,E) :- pendingPing@NI(NI,PI,E).
+CM5 delete pendingPing@NI(NI,PI,E) :- pingResp@NI(NI,PI,E).
+CM6 pingResp@RI(RI,NI,E) :- pingReq@NI(NI,RI,E).
+CM7 pingNode@NI(NI,SI) :- succ@NI(NI,S,SI), SI != NI.
+CM8 pingNode@NI(NI,PI) :- pred@NI(NI,P,PI), PI != NI, PI != "-".
+CM9 succ@NI(NI,S,SI) :- succ@NI(NI,S,SI), pingResp@NI(NI,SI,E).
+CM10 pred@NI(NI,P,PI) :- pred@NI(NI,P,PI), pingResp@NI(NI,PI,E).
+)OLG";
+
+// Appendix-B optimized finger fixing: each lookup result eagerly fills
+// every later finger it covers, and nextFingerFix jumps past them.
+constexpr char kEagerFingerRules[] = R"OLG(
+F4 eagerFinger@NI(NI,I,B,BI) :- fFix@NI(NI,E,I), lookupResults@NI(NI,K,B,BI,E).
+F5 finger@NI(NI,I,B,BI) :- eagerFinger@NI(NI,I,B,BI).
+F6 eagerFinger@NI(NI,I,B,BI) :- node@NI(NI,N), eagerFinger@NI(NI,I1,B,BI),
+   I := I1 + 1, K := N + (1 << I), K in (N,B), BI != NI.
+F7 delete fFix@NI(NI,E,I1) :- eagerFinger@NI(NI,I,B,BI), fFix@NI(NI,E,I1),
+   I > 0, I1 == I - 1.
+F8 nextFingerFix@NI(NI,0) :- eagerFinger@NI(NI,I,B,BI),
+   ((I == %LASTFINGER%) || (BI == NI)).
+F9 nextFingerFix@NI(NI,I) :- node@NI(NI,N), eagerFinger@NI(NI,I1,B,BI),
+   I := I1 + 1, K := N + (1 << I), K in (B,N), NI != BI.
+)OLG";
+
+// Naive §4-style finger fixing: exactly one finger per fix period,
+// advancing round-robin (the ablation baseline).
+constexpr char kNaiveFingerRules[] = R"OLG(
+F4 finger@NI(NI,I,B,BI) :- fFix@NI(NI,E,I), lookupResults@NI(NI,K,B,BI,E).
+F5 nextFingerFix@NI(NI,I) :- fFix@NI(NI,E,I1), lookupResults@NI(NI,K,B,BI,E),
+   I := (I1 + 1) % %FNUM%.
+F6 delete fFix@NI(NI,E,I) :- fFix@NI(NI,E,I), lookupResults@NI(NI,K,B,BI,E).
+)OLG";
+
+}  // namespace
+
+std::string ChordProgramText(const ChordConfig& config) {
+  std::string text = kChordProgram;
+  size_t marker = text.find("%FINGER_RULES%");
+  text.replace(marker, std::strlen("%FINGER_RULES%"),
+               config.eager_fingers ? kEagerFingerRules : kNaiveFingerRules);
+  ReplaceAll(&text, "%TFIX%", Num(config.finger_fix_period_s));
+  ReplaceAll(&text, "%TSTAB%", Num(config.stabilize_period_s));
+  ReplaceAll(&text, "%TPING%", Num(config.ping_period_s));
+  ReplaceAll(&text, "%SLIFE%", Num(config.succ_lifetime_s));
+  ReplaceAll(&text, "%FLIFE%", Num(config.finger_lifetime_s));
+  ReplaceAll(&text, "%FNUM%", std::to_string(config.num_fingers));
+  ReplaceAll(&text, "%LASTFINGER%", std::to_string(config.num_fingers - 1));
+  ReplaceAll(&text, "%MAXSUCC%", std::to_string(config.max_successors));
+  ReplaceAll(&text, "%PINGLIFE%", Num(config.ping_period_s * 2));
+  return text;
+}
+
+size_t ChordRuleCount(const ChordConfig& config) {
+  ProgramAst program;
+  std::string err;
+  if (!ParseOverLog(ChordProgramText(config), &program, &err)) {
+    P2_FATAL("chord program does not parse: %s", err.c_str());
+  }
+  size_t rules = 0;
+  for (const RuleAst& r : program.rules) {
+    if (!r.IsFact()) {
+      ++rules;
+    }
+  }
+  return rules;
+}
+
+ChordNode::ChordNode(P2NodeConfig node_config, const ChordConfig& chord_config,
+                     std::string landmark_addr, std::string extra_program)
+    : node_(std::move(node_config)), id_(Uint160::HashOf(node_.addr())) {
+  std::string err;
+  if (!node_.Install(ChordProgramText(chord_config) + "\n" + extra_program, &err)) {
+    P2_FATAL("chord install failed: %s", err.c_str());
+  }
+  // Per-node base facts, injected through the table API because OverLog
+  // literals cannot express address constants.
+  node_.GetTable("node")->Insert(
+      Tuple::Make("node", {Value::Addr(node_.addr()), Value::Id(id_)}));
+  Value landmark = landmark_addr.empty() || landmark_addr == "-"
+                       ? Value::Str("-")
+                       : Value::Addr(landmark_addr);
+  node_.GetTable("landmark")->Insert(
+      Tuple::Make("landmark", {Value::Addr(node_.addr()), landmark}));
+  node_.Subscribe("lookupResults", [this](const TuplePtr& t) {
+    if (t->size() < 5 || t->field(2).type() != ValueType::kId ||
+        t->field(3).type() != ValueType::kAddr || t->field(1).type() != ValueType::kId ||
+        t->field(4).type() != ValueType::kId) {
+      return;
+    }
+    LookupResult r{t->field(1).AsId(), t->field(2).AsId(), t->field(3).AsAddr(),
+                   t->field(4).AsId()};
+    for (const LookupFn& fn : lookup_fns_) {
+      fn(r);
+    }
+  });
+}
+
+ChordNode::~ChordNode() { Stop(); }
+
+void ChordNode::Start() {
+  node_.Start();
+  InjectJoin();
+  ScheduleJoinRetry();
+}
+
+void ChordNode::Stop() {
+  if (retry_timer_ != kInvalidTimer) {
+    node_.executor()->Cancel(retry_timer_);
+    retry_timer_ = kInvalidTimer;
+  }
+  node_.Stop();
+}
+
+void ChordNode::InjectJoin() {
+  node_.Inject(
+      Tuple::Make("join", {Value::Addr(node_.addr()), Value::Id(node_.rng()->NextId())}));
+}
+
+void ChordNode::ScheduleJoinRetry() {
+  retry_timer_ = node_.executor()->ScheduleAfter(join_retry_s_, [this]() {
+    if (node_.GetTable("succ")->size() == 0) {
+      if (landmark_provider_) {
+        std::string fresh = landmark_provider_();
+        if (!fresh.empty() && fresh != node_.addr()) {
+          node_.GetTable("landmark")->Insert(Tuple::Make(
+              "landmark", {Value::Addr(node_.addr()), Value::Addr(fresh)}));
+        }
+      }
+      InjectJoin();
+    }
+    ScheduleJoinRetry();
+  });
+}
+
+Uint160 ChordNode::Lookup(const Uint160& key) {
+  Uint160 event = node_.rng()->NextId();
+  node_.Inject(Tuple::Make("lookup", {Value::Addr(node_.addr()), Value::Id(key),
+                                      Value::Addr(node_.addr()), Value::Id(event)}));
+  return event;
+}
+
+void ChordNode::OnLookupResult(LookupFn fn) { lookup_fns_.push_back(std::move(fn)); }
+
+std::optional<std::pair<Uint160, std::string>> ChordNode::BestSuccessor() {
+  Table* t = node_.GetTable("bestSucc");
+  for (const TuplePtr& row : t->Scan()) {
+    if (row->size() >= 3 && row->field(1).type() == ValueType::kId &&
+        row->field(2).type() == ValueType::kAddr) {
+      return std::make_pair(row->field(1).AsId(), row->field(2).AsAddr());
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<Uint160, std::string>> ChordNode::Successors() {
+  std::vector<std::pair<Uint160, std::string>> out;
+  for (const TuplePtr& row : node_.GetTable("succ")->Scan()) {
+    if (row->size() >= 3 && row->field(1).type() == ValueType::kId &&
+        row->field(2).type() == ValueType::kAddr) {
+      out.emplace_back(row->field(1).AsId(), row->field(2).AsAddr());
+    }
+  }
+  return out;
+}
+
+std::optional<std::pair<Uint160, std::string>> ChordNode::Predecessor() {
+  for (const TuplePtr& row : node_.GetTable("pred")->Scan()) {
+    if (row->size() >= 3 && row->field(1).type() == ValueType::kId &&
+        row->field(2).type() == ValueType::kAddr) {
+      return std::make_pair(row->field(1).AsId(), row->field(2).AsAddr());
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::tuple<int64_t, Uint160, std::string>> ChordNode::Fingers() {
+  std::vector<std::tuple<int64_t, Uint160, std::string>> out;
+  for (const TuplePtr& row : node_.GetTable("finger")->Scan()) {
+    if (row->size() >= 4 && row->field(1).type() == ValueType::kInt &&
+        row->field(2).type() == ValueType::kId && row->field(3).type() == ValueType::kAddr) {
+      out.emplace_back(row->field(1).AsInt(), row->field(2).AsId(), row->field(3).AsAddr());
+    }
+  }
+  return out;
+}
+
+}  // namespace p2

@@ -1,0 +1,82 @@
+#include "src/overlays/gossip.h"
+
+#include "src/overlog/parser.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+std::string Num(double v) {
+  if (v == static_cast<int64_t>(v)) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+constexpr char kGossipProgram[] = R"OLG(
+materialize(gmember, infinity, infinity, keys(2)).
+
+/* Pick a uniformly random member (argmax of an i.i.d. uniform draw). */
+G1 gossipEvent@X(X,E) :- periodic@X(X,E,%TGOSSIP%).
+G2 gossipTarget@X(X,Y,max<R>) :- gossipEvent@X(X,E), gmember@X(X,Y), Y != X,
+   R := f_rand().
+
+/* Push the full local view to the chosen target. */
+G3 gossipMsg@Y(Y,X,A) :- gossipTarget@X(X,Y,R), gmember@X(X,A).
+
+/* Receivers merge the payload and learn the sender. */
+G4 gmember@X(X,A) :- gossipMsg@X(X,Y,A).
+G5 gmember@X(X,Y) :- gossipMsg@X(X,Y,A).
+)OLG";
+
+}  // namespace
+
+std::string GossipProgramText(const GossipConfig& config) {
+  std::string text = kGossipProgram;
+  size_t pos = text.find("%TGOSSIP%");
+  text.replace(pos, 9, Num(config.gossip_period_s));
+  return text;
+}
+
+size_t GossipRuleCount(const GossipConfig& config) {
+  ProgramAst program;
+  std::string err;
+  if (!ParseOverLog(GossipProgramText(config), &program, &err)) {
+    P2_FATAL("gossip program does not parse: %s", err.c_str());
+  }
+  size_t rules = 0;
+  for (const RuleAst& r : program.rules) {
+    if (!r.IsFact()) {
+      ++rules;
+    }
+  }
+  return rules;
+}
+
+GossipNode::GossipNode(P2NodeConfig node_config, const GossipConfig& gossip_config,
+                       const std::vector<std::string>& seed_members)
+    : node_(std::move(node_config)) {
+  std::string err;
+  if (!node_.Install(GossipProgramText(gossip_config), &err)) {
+    P2_FATAL("gossip install failed: %s", err.c_str());
+  }
+  Value self = Value::Addr(node_.addr());
+  node_.GetTable("gmember")->Insert(Tuple::Make("gmember", {self, self}));
+  for (const std::string& m : seed_members) {
+    node_.GetTable("gmember")->Insert(Tuple::Make("gmember", {self, Value::Addr(m)}));
+  }
+}
+
+std::vector<std::string> GossipNode::Members() {
+  std::vector<std::string> out;
+  for (const TuplePtr& row : node_.GetTable("gmember")->Scan()) {
+    if (row->size() >= 2 && row->field(1).type() == ValueType::kAddr) {
+      out.push_back(row->field(1).AsAddr());
+    }
+  }
+  return out;
+}
+
+}  // namespace p2

@@ -1,0 +1,43 @@
+// Epidemic membership gossip over P2.
+//
+// One of the paper's "breadth" follow-ups (§7): a minimal anti-entropy
+// overlay in five OverLog rules. Every period, each node picks a uniformly
+// random known member (via the max<R>, R := f_rand() idiom) and pushes its
+// full membership view to it; receivers merge both the payload and the
+// sender. Membership converges to the transitive closure of the seed graph.
+#ifndef P2_OVERLAYS_GOSSIP_H_
+#define P2_OVERLAYS_GOSSIP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/p2/node.h"
+
+namespace p2 {
+
+struct GossipConfig {
+  double gossip_period_s = 2.0;
+};
+
+std::string GossipProgramText(const GossipConfig& config);
+size_t GossipRuleCount(const GossipConfig& config);
+
+class GossipNode {
+ public:
+  GossipNode(P2NodeConfig node_config, const GossipConfig& gossip_config,
+             const std::vector<std::string>& seed_members);
+
+  void Start() { node_.Start(); }
+  void Stop() { node_.Stop(); }
+
+  std::vector<std::string> Members();
+  const std::string& addr() const { return node_.addr(); }
+  P2Node* node() { return &node_; }
+
+ private:
+  P2Node node_;
+};
+
+}  // namespace p2
+
+#endif  // P2_OVERLAYS_GOSSIP_H_

@@ -1,0 +1,163 @@
+#include "src/overlays/narada.h"
+
+#include "src/overlog/parser.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+std::string Num(double v) {
+  if (v == static_cast<int64_t>(v)) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void ReplaceAll(std::string* text, const std::string& from, const std::string& to) {
+  size_t pos = 0;
+  while ((pos = text->find(from, pos)) != std::string::npos) {
+    text->replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
+// Appendix A, with one structural repair documented in DESIGN.md: the
+// appendix's R5 applies its "X != Address" selection *after* the count
+// aggregation, so a refresh about the local node itself would still emit a
+// count-0 group and re-store the local entry (possibly marking the node
+// dead from stale data). R5a filters self-refreshes before aggregating.
+constexpr char kNaradaProgram[] = R"OLG(
+/* ---- Base tables ---- */
+materialize(member, %MLIFE%, infinity, keys(2)).
+materialize(sequence, infinity, 1, keys(1)).
+materialize(neighbor, %NLIFE%, infinity, keys(2)).
+materialize(env, infinity, infinity, keys(2,3)).
+materialize(latency, 120, infinity, keys(2)).
+
+/* ---- Setup: bootstrap neighbors from the environment table, and the
+        initial sequence number ---- */
+E0 neighbor@X(X,Y) :- periodic@X(X,E,0,1), env@X(X,H,Y), H == "neighbor".
+S0 sequence@X(X,Sequence) :- periodic@X(X,E,0,1), Sequence := 0.
+
+/* ---- Membership refresh (epidemic propagation) ---- */
+R1 refreshEvent@X(X) :- periodic@X(X,E,%TREFRESH%).
+R2 refreshSequence@X(X,NewSequence) :- refreshEvent@X(X), sequence@X(X,Sequence),
+   NewSequence := Sequence + 1.
+R3 sequence@X(X,NewSequence) :- refreshSequence@X(X,NewSequence).
+R4 refresh@Y(Y,X,NewSequence,Address,ASequence,ALive) :-
+   refreshSequence@X(X,NewSequence), member@X(X,Address,ASequence,Time,ALive),
+   neighbor@X(X,Y).
+R5a refreshMsg@X(X,Y,YSeq,Address,ASeq,ALive) :- refresh@X(X,Y,YSeq,Address,ASeq,ALive),
+    X != Address.
+R5 membersFound@X(X,Address,ASeq,ALive,count<*>) :-
+   refreshMsg@X(X,Y,YSeq,Address,ASeq,ALive), member@X(X,Address,MySeq,MyTime,MyLive).
+R6 member@X(X,Address,ASequence,T,ALive) :- membersFound@X(X,Address,ASequence,ALive,C),
+   C == 0, T := f_now().
+R7 member@X(X,Address,ASequence,T,ALive) :- membersFound@X(X,Address,ASequence,ALive,C),
+   C > 0, member@X(X,Address,MySequence,MyT,MyLive), MySequence < ASequence,
+   T := f_now().
+R8 member@X(X,Y,YSeq,T,YLive) :- refresh@X(X,Y,YSeq,A,AS,AL), T := f_now(), YLive := 1.
+
+/* ---- Mutual neighbor links ---- */
+N1 neighbor@X(X,Y) :- refresh@X(X,Y,YS,A,AS,L).
+
+/* ---- Neighbor liveness ---- */
+L1 neighborProbe@X(X) :- periodic@X(X,E,%TPROBE%).
+L2 deadNeighbor@X(X,Y) :- neighborProbe@X(X), T := f_now(), neighbor@X(X,Y),
+   member@X(X,Y,YS,YT,L), T - YT > %TDEAD%.
+L3 delete neighbor@X(X,Y) :- deadNeighbor@X(X,Y).
+L4 member@X(X,Neighbor,DeadSequence,T,Live) :- deadNeighbor@X(X,Neighbor),
+   member@X(X,Neighbor,S,T1,L), Live := 0, DeadSequence := S + 1, T := f_now().
+
+/* ---- Latency measurement (§2.3 P0-P3): ping a random member ---- */
+P0 pingEvent@X(X,Y,E,max<R>) :- periodic@X(X,E,%TLAT%), member@X(X,Y,S,T,L),
+   Y != X, R := f_rand().
+P1 latPing@Y(Y,X,E,T) :- pingEvent@X(X,Y,E,R), T := f_now().
+P2 latPong@X(X,Y,E,T) :- latPing@Y(Y,X,E,T).
+P3 latency@X(X,Y,LAT) :- latPong@X(X,Y,E,T1), LAT := f_now() - T1.
+)OLG";
+
+}  // namespace
+
+std::string NaradaProgramText(const NaradaConfig& config) {
+  std::string text = kNaradaProgram;
+  ReplaceAll(&text, "%TREFRESH%", Num(config.refresh_period_s));
+  ReplaceAll(&text, "%TPROBE%", Num(config.probe_period_s));
+  ReplaceAll(&text, "%TDEAD%", Num(config.dead_after_s));
+  ReplaceAll(&text, "%TLAT%", Num(config.latency_probe_period_s));
+  ReplaceAll(&text, "%MLIFE%", Num(config.member_lifetime_s));
+  ReplaceAll(&text, "%NLIFE%", Num(config.neighbor_lifetime_s));
+  return text;
+}
+
+size_t NaradaRuleCount(const NaradaConfig& config) {
+  ProgramAst program;
+  std::string err;
+  if (!ParseOverLog(NaradaProgramText(config), &program, &err)) {
+    P2_FATAL("narada program does not parse: %s", err.c_str());
+  }
+  size_t rules = 0;
+  for (const RuleAst& r : program.rules) {
+    if (!r.IsFact()) {
+      ++rules;
+    }
+  }
+  return rules;
+}
+
+NaradaNode::NaradaNode(P2NodeConfig node_config, const NaradaConfig& narada_config,
+                       const std::vector<std::string>& initial_neighbors)
+    : node_(std::move(node_config)) {
+  std::string err;
+  if (!node_.Install(NaradaProgramText(narada_config), &err)) {
+    P2_FATAL("narada install failed: %s", err.c_str());
+  }
+  Value self = Value::Addr(node_.addr());
+  for (const std::string& n : initial_neighbors) {
+    node_.GetTable("env")->Insert(
+        Tuple::Make("env", {self, Value::Str("neighbor"), Value::Addr(n)}));
+  }
+  // Seed the membership with the local node so refreshes advertise it.
+  node_.GetTable("member")->Insert(Tuple::Make(
+      "member", {self, self, Value::Int(0), Value::Double(0.0), Value::Int(1)}));
+}
+
+std::vector<NaradaMember> NaradaNode::Members() {
+  std::vector<NaradaMember> out;
+  for (const TuplePtr& row : node_.GetTable("member")->Scan()) {
+    if (row->size() < 5 || row->field(1).type() != ValueType::kAddr) {
+      continue;
+    }
+    NaradaMember m;
+    m.addr = row->field(1).AsAddr();
+    m.sequence = row->field(2).AsInt();
+    m.inserted_at = row->field(3).AsDouble();
+    m.live = row->field(4).AsInt() != 0;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<std::string> NaradaNode::Neighbors() {
+  std::vector<std::string> out;
+  for (const TuplePtr& row : node_.GetTable("neighbor")->Scan()) {
+    if (row->size() >= 2 && row->field(1).type() == ValueType::kAddr) {
+      out.push_back(row->field(1).AsAddr());
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> NaradaNode::Latencies() {
+  std::vector<std::pair<std::string, double>> out;
+  for (const TuplePtr& row : node_.GetTable("latency")->Scan()) {
+    if (row->size() >= 3 && row->field(1).type() == ValueType::kAddr) {
+      out.emplace_back(row->field(1).AsAddr(), row->field(2).AsDouble());
+    }
+  }
+  return out;
+}
+
+}  // namespace p2

@@ -1,0 +1,60 @@
+// Narada-style mesh over P2 (§2.3, Appendix A).
+//
+// Implements the mesh-maintenance half of Narada: epidemic membership
+// refresh with monotone sequence numbers, mutual neighbor links, neighbor
+// liveness probing with declared-dead propagation, and the §2.3 latency
+// measurement rules (random member pinging). The delivery-tree half of
+// Narada (DVMRP-style multicast) is out of scope for the paper as well.
+#ifndef P2_OVERLAYS_NARADA_H_
+#define P2_OVERLAYS_NARADA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/p2/node.h"
+
+namespace p2 {
+
+struct NaradaConfig {
+  double refresh_period_s = 3.0;   // membership gossip period
+  double probe_period_s = 1.0;     // neighbor liveness check period
+  double dead_after_s = 20.0;      // silence threshold before declaring dead
+  double latency_probe_period_s = 2.0;
+  double member_lifetime_s = 120.0;
+  double neighbor_lifetime_s = 120.0;
+};
+
+// Renders the Narada mesh OverLog program.
+std::string NaradaProgramText(const NaradaConfig& config);
+size_t NaradaRuleCount(const NaradaConfig& config);
+
+struct NaradaMember {
+  std::string addr;
+  int64_t sequence = 0;
+  double inserted_at = 0;
+  bool live = false;
+};
+
+class NaradaNode {
+ public:
+  NaradaNode(P2NodeConfig node_config, const NaradaConfig& narada_config,
+             const std::vector<std::string>& initial_neighbors);
+
+  void Start() { node_.Start(); }
+  void Stop() { node_.Stop(); }
+
+  std::vector<NaradaMember> Members();
+  std::vector<std::string> Neighbors();
+  // Measured round-trip latencies: (member addr, seconds).
+  std::vector<std::pair<std::string, double>> Latencies();
+
+  const std::string& addr() const { return node_.addr(); }
+  P2Node* node() { return &node_; }
+
+ private:
+  P2Node node_;
+};
+
+}  // namespace p2
+
+#endif  // P2_OVERLAYS_NARADA_H_

@@ -1,0 +1,123 @@
+#include "src/overlays/pathvector.h"
+
+#include "src/overlog/parser.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+std::string Num(double v) {
+  if (v == static_cast<int64_t>(v)) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void ReplaceAll(std::string* text, const std::string& from, const std::string& to) {
+  size_t pos = 0;
+  while ((pos = text->find(from, pos)) != std::string::npos) {
+    text->replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
+constexpr char kPathVectorProgram[] = R"OLG(
+materialize(plink, infinity, 64, keys(2)).
+materialize(route, %RLIFE%, 1024, keys(2,3)).
+materialize(bestRouteCost, infinity, 256, keys(2)).
+materialize(bestRoute, %RLIFE%, 256, keys(2)).
+
+/* Advertisement clock. */
+PV1 advEvent@X(X,E) :- periodic@X(X,E,%TADV%).
+
+/* Direct links are routes (re-derived every period to refresh TTL). */
+PV2 route@X(X,Y,Y,C) :- advEvent@X(X,E), plink@X(X,Y,C).
+
+/* Path-vector exchange: push my best routes to every neighbor, cost
+   offset by the link; the neighbor keeps them as candidates via PV4. */
+PV3 adv@Y(Y,X,D,C) :- advEvent@X(X,E), plink@X(X,Y,C1), bestRoute@X(X,D,N,C0),
+    C := C0 + C1, C < %MAXCOST%, D != Y.
+PV4 route@X(X,D,NH,C) :- adv@X(X,NH,D,C), D != X.
+
+/* Min-cost selection: a table aggregate maintains the per-destination
+   minimum cost, and every route refresh re-derives the winning
+   (destination, next hop) pair — so bestRoute stays alive exactly as long
+   as a route at the minimum cost keeps being advertised, and ages out with
+   it (soft state all the way down). */
+PV5 bestRouteCost@X(X,D,min<C>) :- route@X(X,D,NH,C).
+PV6 bestRoute@X(X,D,NH,C) :- route@X(X,D,NH,C), bestRouteCost@X(X,D,C).
+)OLG";
+
+}  // namespace
+
+std::string PathVectorProgramText(const PathVectorConfig& config) {
+  std::string text = kPathVectorProgram;
+  ReplaceAll(&text, "%TADV%", Num(config.advertise_period_s));
+  ReplaceAll(&text, "%RLIFE%", Num(config.route_lifetime_s));
+  ReplaceAll(&text, "%MAXCOST%", std::to_string(config.max_cost));
+  return text;
+}
+
+size_t PathVectorRuleCount(const PathVectorConfig& config) {
+  ProgramAst program;
+  std::string err;
+  if (!ParseOverLog(PathVectorProgramText(config), &program, &err)) {
+    P2_FATAL("path-vector program does not parse: %s", err.c_str());
+  }
+  size_t rules = 0;
+  for (const RuleAst& r : program.rules) {
+    if (!r.IsFact()) {
+      ++rules;
+    }
+  }
+  return rules;
+}
+
+PathVectorNode::PathVectorNode(P2NodeConfig node_config, const PathVectorConfig& config,
+                               const std::vector<std::pair<std::string, int64_t>>& links)
+    : node_(std::move(node_config)) {
+  std::string err;
+  if (!node_.Install(PathVectorProgramText(config), &err)) {
+    P2_FATAL("path-vector install failed: %s", err.c_str());
+  }
+  for (const auto& [to, cost] : links) {
+    AddLink(to, cost);
+  }
+}
+
+void PathVectorNode::AddLink(const std::string& to, int64_t cost) {
+  node_.GetTable("plink")->Insert(Tuple::Make(
+      "plink", {Value::Addr(node_.addr()), Value::Addr(to), Value::Int(cost)}));
+}
+
+void PathVectorNode::RemoveLink(const std::string& to) {
+  node_.GetTable("plink")->DeleteByKey({Value::Addr(to)});
+}
+
+std::vector<RouteEntry> PathVectorNode::BestRoutes() {
+  std::vector<RouteEntry> out;
+  for (const TuplePtr& row : node_.GetTable("bestRoute")->Scan()) {
+    if (row->size() >= 4 && row->field(1).type() == ValueType::kAddr &&
+        row->field(2).type() == ValueType::kAddr) {
+      out.push_back(RouteEntry{row->field(1).AsAddr(), row->field(2).AsAddr(),
+                               row->field(3).AsInt()});
+    }
+  }
+  return out;
+}
+
+std::vector<RouteEntry> PathVectorNode::Routes() {
+  std::vector<RouteEntry> out;
+  for (const TuplePtr& row : node_.GetTable("route")->Scan()) {
+    if (row->size() >= 4 && row->field(1).type() == ValueType::kAddr &&
+        row->field(2).type() == ValueType::kAddr) {
+      out.push_back(RouteEntry{row->field(1).AsAddr(), row->field(2).AsAddr(),
+                               row->field(3).AsInt()});
+    }
+  }
+  return out;
+}
+
+}  // namespace p2

@@ -1,0 +1,62 @@
+// Path-vector routing over P2 — one of the paper's §7 "breadth" items
+// ("link-state- and path-vector-based overlays").
+//
+// Every node holds a `plink(X, Y, C)` table of directed links with costs.
+// Periodically it advertises its best routes to each neighbor, offset by
+// the link cost; receivers keep the advertisements as candidate routes
+// (soft state, so withdrawn paths age out) and a table aggregate derives
+// the minimum-cost route per destination. The overlay converges to
+// all-pairs shortest paths, RIP-style, with a hop-cost horizon against
+// count-to-infinity.
+#ifndef P2_OVERLAYS_PATHVECTOR_H_
+#define P2_OVERLAYS_PATHVECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/p2/node.h"
+
+namespace p2 {
+
+struct PathVectorConfig {
+  double advertise_period_s = 2.0;
+  double route_lifetime_s = 7.0;  // > 2 advertise periods
+  int64_t max_cost = 64;          // advertisement horizon
+};
+
+std::string PathVectorProgramText(const PathVectorConfig& config);
+size_t PathVectorRuleCount(const PathVectorConfig& config);
+
+struct RouteEntry {
+  std::string dst;
+  std::string next_hop;
+  int64_t cost = 0;
+};
+
+class PathVectorNode {
+ public:
+  PathVectorNode(P2NodeConfig node_config, const PathVectorConfig& config,
+                 const std::vector<std::pair<std::string, int64_t>>& links);
+
+  void Start() { node_.Start(); }
+  void Stop() { node_.Stop(); }
+
+  // Adds / removes a directed link at runtime.
+  void AddLink(const std::string& to, int64_t cost);
+  void RemoveLink(const std::string& to);
+
+  // Current best route per destination.
+  std::vector<RouteEntry> BestRoutes();
+  // All candidate routes (per destination and next hop).
+  std::vector<RouteEntry> Routes();
+
+  const std::string& addr() const { return node_.addr(); }
+  P2Node* node() { return &node_; }
+
+ private:
+  P2Node node_;
+};
+
+}  // namespace p2
+
+#endif  // P2_OVERLAYS_PATHVECTOR_H_

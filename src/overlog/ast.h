@@ -1,0 +1,109 @@
+// OverLog abstract syntax (§2.2, §2.3).
+//
+// An OverLog program is a list of statements:
+//   materialize(name, lifetime, size, keys(k1, k2, ...)).
+//   watch(name).
+//   RuleId head :- body.          (rule; RuleId optional)
+//   delete head :- body.          (deletion rule)
+//   head.                         (fact)
+// A head/body predicate is name@LocVar(arg, arg, ...). Body terms are
+// predicates (possibly negated with "not"), assignments (Var := expr) and
+// filter expressions (comparisons, ranges, boolean combinations).
+#ifndef P2_OVERLOG_AST_H_
+#define P2_OVERLOG_AST_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/runtime/value.h"
+
+namespace p2 {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind {
+  kVar,     // variable reference (upper-case); "_" is the don't-care variable
+  kConst,   // literal Value
+  kBinary,  // op: + - * / % << == != < <= > >= && ||
+  kUnary,   // op: - !
+  kCall,    // built-in function call f_xxx(args)
+  kRange,   // value in (lo, hi) with open/closed endpoints
+  kAgg,     // aggregate in a rule head: min<V>, max<V>, count<*>, sum<V>, avg<V>
+};
+
+struct Expr {
+  ExprKind kind;
+  // kVar / kCall / kBinary / kUnary / kAgg discriminator payloads:
+  std::string name;  // variable name, function name, operator, or agg kind
+  Value value;       // kConst
+  std::vector<ExprPtr> args;  // operands / call args; kRange: [value, lo, hi]
+  bool lo_open = true;        // kRange endpoint openness
+  bool hi_open = true;
+  std::string agg_var;  // kAgg: inner variable name, or "*" for count<*>
+
+  static ExprPtr Var(std::string n);
+  static ExprPtr Const(Value v);
+  static ExprPtr Binary(std::string op, ExprPtr l, ExprPtr r);
+  static ExprPtr Unary(std::string op, ExprPtr e);
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args);
+  static ExprPtr Range(ExprPtr v, ExprPtr lo, ExprPtr hi, bool lo_open, bool hi_open);
+  static ExprPtr Agg(std::string kind, std::string var);
+};
+
+struct PredicateAst {
+  std::string name;
+  std::string locspec;  // variable after '@'; empty if unspecified
+  std::vector<ExprPtr> args;
+  bool negated = false;
+};
+
+struct AssignAst {
+  std::string var;
+  ExprPtr expr;
+};
+
+// A body term is a predicate, an assignment, or a filter expression.
+using BodyTerm = std::variant<PredicateAst, AssignAst, ExprPtr>;
+
+struct RuleAst {
+  std::string id;  // may be empty
+  PredicateAst head;
+  bool delete_head = false;
+  std::vector<BodyTerm> body;  // empty => fact
+  bool IsFact() const { return body.empty(); }
+};
+
+struct MaterializeAst {
+  std::string name;
+  double lifetime_s = std::numeric_limits<double>::infinity();
+  size_t max_size = std::numeric_limits<size_t>::max();
+  std::vector<size_t> key_positions;  // 0-based (parser converts from 1-based)
+};
+
+struct ProgramAst {
+  std::vector<MaterializeAst> materializations;
+  std::vector<RuleAst> rules;
+  std::vector<std::string> watches;
+
+  bool IsMaterialized(const std::string& name) const {
+    for (const MaterializeAst& m : materializations) {
+      if (m.name == name) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Pretty-printers (used by error messages and the spec_size bench).
+std::string ExprToString(const Expr& e);
+std::string PredicateToString(const PredicateAst& p);
+std::string RuleToString(const RuleAst& r);
+
+}  // namespace p2
+
+#endif  // P2_OVERLOG_AST_H_

@@ -1,0 +1,128 @@
+#include "src/overlog/compile_expr.h"
+
+#include "src/pel/builtins.h"
+
+namespace p2 {
+
+bool CompileExpr(const Expr& e, const VarEnv& env, PelProgram* prog, std::string* err) {
+  switch (e.kind) {
+    case ExprKind::kVar: {
+      if (e.name == "_") {
+        *err = "don't-care variable used in an expression";
+        return false;
+      }
+      auto it = env.find(e.name);
+      if (it == env.end()) {
+        *err = "unbound variable '" + e.name + "'";
+        return false;
+      }
+      prog->Emit(PelOp::kPushField, static_cast<uint32_t>(it->second));
+      return true;
+    }
+    case ExprKind::kConst:
+      prog->Emit(PelOp::kPushConst, prog->AddConst(e.value));
+      return true;
+    case ExprKind::kBinary: {
+      if (!CompileExpr(*e.args[0], env, prog, err) ||
+          !CompileExpr(*e.args[1], env, prog, err)) {
+        return false;
+      }
+      static const std::unordered_map<std::string, PelOp> kOps = {
+          {"+", PelOp::kAdd}, {"-", PelOp::kSub}, {"*", PelOp::kMul},
+          {"/", PelOp::kDiv}, {"%", PelOp::kMod}, {"<<", PelOp::kShl},
+          {"==", PelOp::kEq}, {"!=", PelOp::kNe}, {"<", PelOp::kLt},
+          {"<=", PelOp::kLe}, {">", PelOp::kGt},  {">=", PelOp::kGe},
+          {"&&", PelOp::kAnd}, {"||", PelOp::kOr},
+      };
+      auto it = kOps.find(e.name);
+      if (it == kOps.end()) {
+        *err = "unknown operator '" + e.name + "'";
+        return false;
+      }
+      prog->Emit(it->second);
+      return true;
+    }
+    case ExprKind::kUnary: {
+      if (!CompileExpr(*e.args[0], env, prog, err)) {
+        return false;
+      }
+      if (e.name == "-") {
+        prog->Emit(PelOp::kNeg);
+      } else if (e.name == "!") {
+        prog->Emit(PelOp::kNot);
+      } else {
+        *err = "unknown unary operator '" + e.name + "'";
+        return false;
+      }
+      return true;
+    }
+    case ExprKind::kCall: {
+      const PelBuiltin* b = FindPelBuiltin(e.name);
+      if (b == nullptr) {
+        *err = "unknown builtin '" + e.name + "'";
+        return false;
+      }
+      if (static_cast<int>(e.args.size()) != b->arity) {
+        *err = "builtin '" + e.name + "' expects " + std::to_string(b->arity) + " args";
+        return false;
+      }
+      for (const ExprPtr& a : e.args) {
+        if (!CompileExpr(*a, env, prog, err)) {
+          return false;
+        }
+      }
+      prog->Emit(b->op);
+      return true;
+    }
+    case ExprKind::kRange: {
+      for (int i = 0; i < 3; ++i) {
+        if (!CompileExpr(*e.args[i], env, prog, err)) {
+          return false;
+        }
+      }
+      PelOp op = e.lo_open ? (e.hi_open ? PelOp::kInOO : PelOp::kInOC)
+                           : (e.hi_open ? PelOp::kInCO : PelOp::kInCC);
+      prog->Emit(op);
+      return true;
+    }
+    case ExprKind::kAgg:
+      *err = "aggregate expression outside rule head";
+      return false;
+  }
+  *err = "unhandled expression kind";
+  return false;
+}
+
+void CollectVars(const Expr& e, std::vector<std::string>* out) {
+  switch (e.kind) {
+    case ExprKind::kVar:
+      if (e.name != "_") {
+        out->push_back(e.name);
+      }
+      return;
+    case ExprKind::kAgg:
+      if (e.agg_var != "*") {
+        out->push_back(e.agg_var);
+      }
+      return;
+    case ExprKind::kConst:
+      return;
+    default:
+      for (const ExprPtr& a : e.args) {
+        CollectVars(*a, out);
+      }
+  }
+}
+
+bool ExprBound(const Expr& e, const VarEnv& env) {
+  std::vector<std::string> vars;
+  CollectVars(e, &vars);
+  for (const std::string& v : vars) {
+    if (env.find(v) == env.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace p2

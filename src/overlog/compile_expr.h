@@ -1,0 +1,32 @@
+// Expression compiler: OverLog expression ASTs -> PEL byte code.
+#ifndef P2_OVERLOG_COMPILE_EXPR_H_
+#define P2_OVERLOG_COMPILE_EXPR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/overlog/ast.h"
+#include "src/pel/program.h"
+
+namespace p2 {
+
+// Maps rule variables to field positions in the current intermediate tuple
+// (the concatenation of the event's fields and all joined table rows).
+using VarEnv = std::unordered_map<std::string, size_t>;
+
+// Appends code evaluating `e` to `prog`. Fails (with message) on unbound
+// variables, unknown builtins, arity mismatches, or aggregates (which are
+// handled by the planner, not the expression compiler).
+bool CompileExpr(const Expr& e, const VarEnv& env, PelProgram* prog, std::string* err);
+
+// Collects variable names referenced by `e` (in first-appearance order,
+// with duplicates).
+void CollectVars(const Expr& e, std::vector<std::string>* out);
+
+// True if every variable in `e` is bound in `env`.
+bool ExprBound(const Expr& e, const VarEnv& env);
+
+}  // namespace p2
+
+#endif  // P2_OVERLOG_COMPILE_EXPR_H_

@@ -1,0 +1,147 @@
+#include "src/overlog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace p2 {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool LexOverLog(const std::string& src, std::vector<Token>* out, std::string* err) {
+  size_t i = 0;
+  int line = 1;
+  auto fail = [&](const std::string& msg) {
+    *err = "lex error at line " + std::to_string(line) + ": " + msg;
+    return false;
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: /* ... */, // ..., and # ...
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i + 1 >= src.size()) {
+        return fail("unterminated comment");
+      }
+      i += 2;
+      continue;
+    }
+    if ((c == '/' && i + 1 < src.size() && src[i + 1] == '/') || c == '#') {
+      while (i < src.size() && src[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      std::string s;
+      ++i;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          ++i;
+        }
+        if (src[i] == '\n') {
+          ++line;
+        }
+        s.push_back(src[i]);
+        ++i;
+      }
+      if (i >= src.size()) {
+        return fail("unterminated string");
+      }
+      ++i;
+      out->push_back(Token{TokKind::kString, s, 0, false, line});
+      continue;
+    }
+    // Hex identifier literal (0x...).
+    if (c == '0' && i + 1 < src.size() && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+      size_t start = i;
+      i += 2;
+      while (i < src.size() && std::isxdigit(static_cast<unsigned char>(src[i]))) {
+        ++i;
+      }
+      out->push_back(Token{TokKind::kHexId, src.substr(start, i - start), 0, false, line});
+      continue;
+    }
+    // Number (integer or double).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        ++i;
+      }
+      // A '.' is part of the number only if followed by a digit ('.' also
+      // terminates statements).
+      if (i + 1 < src.size() && src[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+          ++i;
+        }
+      }
+      std::string text = src.substr(start, i - start);
+      Token t{TokKind::kNumber, text, std::strtod(text.c_str(), nullptr), !is_double, line};
+      out->push_back(t);
+      continue;
+    }
+    // Identifier / variable.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < src.size() && IsIdentChar(src[i])) {
+        ++i;
+      }
+      std::string text = src.substr(start, i - start);
+      TokKind kind = (std::isupper(static_cast<unsigned char>(text[0])) || text[0] == '_')
+                         ? TokKind::kVariable
+                         : TokKind::kIdent;
+      out->push_back(Token{kind, text, 0, false, line});
+      continue;
+    }
+    // Multi-char symbols (longest match first).
+    static const char* kTwoChar[] = {":-", ":=", "==", "!=", "<=", ">=", "<<", "&&", "||"};
+    bool matched = false;
+    for (const char* sym : kTwoChar) {
+      if (src.compare(i, 2, sym) == 0) {
+        out->push_back(Token{TokKind::kSymbol, sym, 0, false, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    static const std::string kOneChar = "()[]{},.@<>+-*/%!=";
+    if (kOneChar.find(c) != std::string::npos) {
+      out->push_back(Token{TokKind::kSymbol, std::string(1, c), 0, false, line});
+      ++i;
+      continue;
+    }
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+  out->push_back(Token{TokKind::kEnd, "", 0, false, line});
+  return true;
+}
+
+}  // namespace p2

@@ -1,0 +1,33 @@
+// OverLog lexer: hand-written replacement for the paper's flex scanner.
+#ifndef P2_OVERLOG_LEXER_H_
+#define P2_OVERLOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace p2 {
+
+enum class TokKind {
+  kIdent,     // lower-case identifier (predicate / function / keyword)
+  kVariable,  // upper-case identifier or "_"
+  kNumber,    // integer or double literal
+  kHexId,     // 0x... 160-bit identifier literal
+  kString,    // "..." literal
+  kSymbol,    // punctuation / operator, text in `text`
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  double number = 0.0;
+  bool is_integer = false;
+  int line = 0;
+};
+
+// Tokenizes `src`. On lexical error, returns false and sets *err.
+bool LexOverLog(const std::string& src, std::vector<Token>* out, std::string* err);
+
+}  // namespace p2
+
+#endif  // P2_OVERLOG_LEXER_H_

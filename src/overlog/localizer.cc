@@ -1,0 +1,185 @@
+#include "src/overlog/localizer.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/overlog/compile_expr.h"
+
+namespace p2 {
+namespace {
+
+// Variables bound by a positive predicate occurrence.
+void PredBoundVars(const PredicateAst& p, std::unordered_set<std::string>* out) {
+  for (const ExprPtr& a : p.args) {
+    if (a->kind == ExprKind::kVar && a->name != "_") {
+      out->insert(a->name);
+    }
+  }
+}
+
+void TermVars(const BodyTerm& t, std::vector<std::string>* out) {
+  if (std::holds_alternative<PredicateAst>(t)) {
+    for (const ExprPtr& a : std::get<PredicateAst>(t).args) {
+      CollectVars(*a, out);
+    }
+  } else if (std::holds_alternative<AssignAst>(t)) {
+    CollectVars(*std::get<AssignAst>(t).expr, out);
+  } else {
+    CollectVars(*std::get<ExprPtr>(t), out);
+  }
+}
+
+}  // namespace
+
+bool LocalizeProgram(ProgramAst* program, std::string* err) {
+  std::vector<RuleAst> rewritten;
+  int tmp_counter = 0;
+  for (RuleAst& rule : program->rules) {
+    if (rule.IsFact()) {
+      rewritten.push_back(std::move(rule));
+      continue;
+    }
+    // Collect the distinct body location variables.
+    std::vector<std::string> locs;
+    for (const BodyTerm& t : rule.body) {
+      if (!std::holds_alternative<PredicateAst>(t)) {
+        continue;
+      }
+      const PredicateAst& p = std::get<PredicateAst>(t);
+      if (p.locspec.empty()) {
+        continue;  // Unannotated predicates are local to the rule's site.
+      }
+      if (std::find(locs.begin(), locs.end(), p.locspec) == locs.end()) {
+        locs.push_back(p.locspec);
+      }
+    }
+    if (locs.size() <= 1) {
+      rewritten.push_back(std::move(rule));
+      continue;
+    }
+    if (locs.size() > 2) {
+      *err = "rule " + rule.id + ": bodies spanning more than two locations are unsupported";
+      return false;
+    }
+    // Two locations: X carries the event, Y the rest. Identify X as the
+    // location of the first stream (non-materialized) predicate, falling
+    // back to the first predicate.
+    std::string x_loc;
+    for (const BodyTerm& t : rule.body) {
+      if (!std::holds_alternative<PredicateAst>(t)) {
+        continue;
+      }
+      const PredicateAst& p = std::get<PredicateAst>(t);
+      if (!p.negated && !program->IsMaterialized(p.name) && !p.locspec.empty()) {
+        x_loc = p.locspec;
+        break;
+      }
+    }
+    if (x_loc.empty()) {
+      x_loc = locs[0];
+    }
+    std::string y_loc = (locs[0] == x_loc) ? locs[1] : locs[0];
+
+    // Partition body terms. Predicates split by location. Filters stay on X
+    // when fully bound there (selection pushdown); assignments and
+    // remaining filters go to Y.
+    std::vector<BodyTerm> x_terms;
+    std::vector<BodyTerm> y_terms;
+    std::unordered_set<std::string> bound_x;
+    for (const BodyTerm& t : rule.body) {
+      if (std::holds_alternative<PredicateAst>(t)) {
+        const PredicateAst& p = std::get<PredicateAst>(t);
+        if (p.locspec == y_loc) {
+          y_terms.push_back(t);
+        } else {
+          x_terms.push_back(t);
+          if (!p.negated) {
+            PredBoundVars(p, &bound_x);
+          }
+        }
+      }
+    }
+    for (const BodyTerm& t : rule.body) {
+      if (std::holds_alternative<PredicateAst>(t)) {
+        continue;
+      }
+      std::vector<std::string> vars;
+      TermVars(t, &vars);
+      bool all_x = true;
+      for (const std::string& v : vars) {
+        if (bound_x.count(v) == 0) {
+          all_x = false;
+          break;
+        }
+      }
+      bool is_filter = std::holds_alternative<ExprPtr>(t);
+      if (is_filter && all_x) {
+        x_terms.push_back(t);
+      } else {
+        y_terms.push_back(t);
+      }
+    }
+
+    // Shipped variables: bound on X and needed by the Y side or the head.
+    std::vector<std::string> needed;
+    for (const BodyTerm& t : y_terms) {
+      TermVars(t, &needed);
+    }
+    for (const ExprPtr& a : rule.head.args) {
+      CollectVars(*a, &needed);
+    }
+    std::vector<std::string> shipped;
+    std::set<std::string> seen;
+    // The destination location variable rides first (it becomes the tuple's
+    // location specifier).
+    if (bound_x.count(y_loc) == 0) {
+      *err = "rule " + rule.id + ": destination location '" + y_loc +
+             "' is not bound on the event side";
+      return false;
+    }
+    shipped.push_back(y_loc);
+    seen.insert(y_loc);
+    for (const std::string& v : needed) {
+      if (bound_x.count(v) > 0 && seen.insert(v).second) {
+        shipped.push_back(v);
+      }
+    }
+
+    std::string tmp_name =
+        "loc$" + (rule.id.empty() ? std::to_string(tmp_counter) : rule.id) + "$ship";
+    ++tmp_counter;
+
+    // Rule 1 (at X): ship the needed bindings to Y.
+    RuleAst ship;
+    ship.id = rule.id + "@ship";
+    ship.head.name = tmp_name;
+    ship.head.locspec = y_loc;
+    for (const std::string& v : shipped) {
+      ship.head.args.push_back(Expr::Var(v));
+    }
+    ship.body = std::move(x_terms);
+    rewritten.push_back(std::move(ship));
+
+    // Rule 2 (at Y): receive and finish the rule.
+    RuleAst recv;
+    recv.id = rule.id + "@recv";
+    recv.head = rule.head;
+    recv.delete_head = rule.delete_head;
+    PredicateAst trigger;
+    trigger.name = tmp_name;
+    trigger.locspec = y_loc;
+    for (const std::string& v : shipped) {
+      trigger.args.push_back(Expr::Var(v));
+    }
+    recv.body.push_back(std::move(trigger));
+    for (BodyTerm& t : y_terms) {
+      recv.body.push_back(std::move(t));
+    }
+    rewritten.push_back(std::move(recv));
+  }
+  program->rules = std::move(rewritten);
+  return true;
+}
+
+}  // namespace p2

@@ -1,0 +1,34 @@
+// Localization rewrite (§3.5, §7).
+//
+// The paper's planner handles rules with collocated terms only; rules whose
+// bodies span two nodes (like the Narada rule R4 in §2.3) must be rewritten
+// into collocated rules connected by a shipped intermediate event. This
+// module performs that rewrite automatically:
+//
+//   head@Y(...) :- event@X(...), tX1@X(...), ..., tY1@Y(...), ...
+//
+// becomes
+//
+//   <tmp>@Y(Y, shipped vars...) :- event@X(...), tX1@X(...), ...
+//   head@Y(...)                 :- <tmp>@Y(Y, shipped vars...), tY1@Y(...), ...
+//
+// where the shipped variables are those bound on the X side and needed on
+// the Y side. Filters whose variables are bound on the X side stay there
+// (selection pushed before shipping); assignments move to the Y side.
+#ifndef P2_OVERLOG_LOCALIZER_H_
+#define P2_OVERLOG_LOCALIZER_H_
+
+#include <string>
+
+#include "src/overlog/ast.h"
+
+namespace p2 {
+
+// Rewrites every rule in `program` into collocated form. Returns false and
+// sets *err for bodies spanning more than two locations or patterns the
+// rewrite cannot express.
+bool LocalizeProgram(ProgramAst* program, std::string* err);
+
+}  // namespace p2
+
+#endif  // P2_OVERLOG_LOCALIZER_H_

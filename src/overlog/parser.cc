@@ -1,0 +1,672 @@
+#include "src/overlog/parser.h"
+
+#include <cmath>
+
+#include "src/overlog/lexer.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+// --- Expr constructors & printers (AST helpers) ---
+
+ExprPtr Expr::Var(std::string n) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kVar;
+  e->name = std::move(n);
+  return e;
+}
+
+ExprPtr Expr::Const(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->value = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Binary(std::string op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->name = std::move(op);
+  e->args = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Unary(std::string op, ExprPtr x) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->name = std::move(op);
+  e->args = {std::move(x)};
+  return e;
+}
+
+ExprPtr Expr::Call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCall;
+  e->name = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Range(ExprPtr v, ExprPtr lo, ExprPtr hi, bool lo_open, bool hi_open) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kRange;
+  e->args = {std::move(v), std::move(lo), std::move(hi)};
+  e->lo_open = lo_open;
+  e->hi_open = hi_open;
+  return e;
+}
+
+ExprPtr Expr::Agg(std::string kind, std::string var) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAgg;
+  e->name = std::move(kind);
+  e->agg_var = std::move(var);
+  return e;
+}
+
+std::string ExprToString(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kVar:
+      return e.name;
+    case ExprKind::kConst:
+      return e.value.ToString();
+    case ExprKind::kBinary:
+      return "(" + ExprToString(*e.args[0]) + " " + e.name + " " + ExprToString(*e.args[1]) +
+             ")";
+    case ExprKind::kUnary:
+      return e.name + ExprToString(*e.args[0]);
+    case ExprKind::kCall: {
+      std::string s = e.name + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) {
+          s += ", ";
+        }
+        s += ExprToString(*e.args[i]);
+      }
+      return s + ")";
+    }
+    case ExprKind::kRange:
+      return ExprToString(*e.args[0]) + " in " + (e.lo_open ? "(" : "[") +
+             ExprToString(*e.args[1]) + ", " + ExprToString(*e.args[2]) +
+             (e.hi_open ? ")" : "]");
+    case ExprKind::kAgg:
+      return e.name + "<" + e.agg_var + ">";
+  }
+  return "?";
+}
+
+std::string PredicateToString(const PredicateAst& p) {
+  std::string s = p.negated ? "not " : "";
+  s += p.name;
+  if (!p.locspec.empty()) {
+    s += "@" + p.locspec;
+  }
+  s += "(";
+  for (size_t i = 0; i < p.args.size(); ++i) {
+    if (i > 0) {
+      s += ", ";
+    }
+    s += ExprToString(*p.args[i]);
+  }
+  return s + ")";
+}
+
+std::string RuleToString(const RuleAst& r) {
+  std::string s = r.id.empty() ? "" : r.id + " ";
+  if (r.delete_head) {
+    s += "delete ";
+  }
+  s += PredicateToString(r.head);
+  if (!r.body.empty()) {
+    s += " :- ";
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      if (i > 0) {
+        s += ", ";
+      }
+      if (std::holds_alternative<PredicateAst>(r.body[i])) {
+        s += PredicateToString(std::get<PredicateAst>(r.body[i]));
+      } else if (std::holds_alternative<AssignAst>(r.body[i])) {
+        const AssignAst& a = std::get<AssignAst>(r.body[i]);
+        s += a.var + " := " + ExprToString(*a.expr);
+      } else {
+        s += ExprToString(*std::get<ExprPtr>(r.body[i]));
+      }
+    }
+  }
+  return s + ".";
+}
+
+// --- Parser ---
+
+namespace {
+
+bool IsAggName(const std::string& s) {
+  return s == "min" || s == "max" || s == "count" || s == "sum" || s == "avg";
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, ProgramAst* out) : toks_(std::move(toks)), out_(out) {}
+
+  bool Run(std::string* err) {
+    while (!At(TokKind::kEnd)) {
+      if (!Statement()) {
+        *err = err_;
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek(size_t n = 1) const {
+    size_t i = pos_ + n;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool At(TokKind k) const { return Cur().kind == k; }
+  bool AtSym(const char* s) const {
+    return Cur().kind == TokKind::kSymbol && Cur().text == s;
+  }
+  bool AtIdent(const char* s) const {
+    return Cur().kind == TokKind::kIdent && Cur().text == s;
+  }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) {
+      ++pos_;
+    }
+  }
+  bool Fail(const std::string& msg) {
+    err_ = "parse error at line " + std::to_string(Cur().line) + " near '" + Cur().text +
+           "': " + msg;
+    return false;
+  }
+  bool ExpectSym(const char* s) {
+    if (!AtSym(s)) {
+      return Fail(std::string("expected '") + s + "'");
+    }
+    Advance();
+    return true;
+  }
+
+  bool Statement() {
+    if (AtIdent("materialize")) {
+      return Materialize();
+    }
+    if (AtIdent("watch")) {
+      return Watch();
+    }
+    return RuleStatement();
+  }
+
+  bool Materialize() {
+    Advance();  // materialize
+    MaterializeAst m;
+    if (!ExpectSym("(")) {
+      return false;
+    }
+    if (!At(TokKind::kIdent)) {
+      return Fail("expected table name");
+    }
+    m.name = Cur().text;
+    Advance();
+    if (!ExpectSym(",")) {
+      return false;
+    }
+    double life = 0;
+    if (!LifeOrSize(&life)) {
+      return false;
+    }
+    m.lifetime_s = life;
+    if (!ExpectSym(",")) {
+      return false;
+    }
+    double size = 0;
+    if (!LifeOrSize(&size)) {
+      return false;
+    }
+    m.max_size = std::isfinite(size) ? static_cast<size_t>(size)
+                                     : std::numeric_limits<size_t>::max();
+    if (!ExpectSym(",")) {
+      return false;
+    }
+    if (!AtIdent("keys")) {
+      return Fail("expected keys(...)");
+    }
+    Advance();
+    if (!ExpectSym("(")) {
+      return false;
+    }
+    for (;;) {
+      if (!At(TokKind::kNumber)) {
+        return Fail("expected key position");
+      }
+      int pos = static_cast<int>(Cur().number);
+      if (pos < 1) {
+        return Fail("key positions are 1-based");
+      }
+      m.key_positions.push_back(static_cast<size_t>(pos - 1));
+      Advance();
+      if (AtSym(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (!ExpectSym(")") || !ExpectSym(")") || !ExpectSym(".")) {
+      return false;
+    }
+    out_->materializations.push_back(std::move(m));
+    return true;
+  }
+
+  bool LifeOrSize(double* out) {
+    if (AtIdent("infinity")) {
+      *out = std::numeric_limits<double>::infinity();
+      Advance();
+      return true;
+    }
+    if (At(TokKind::kNumber)) {
+      *out = Cur().number;
+      Advance();
+      return true;
+    }
+    return Fail("expected number or 'infinity'");
+  }
+
+  bool Watch() {
+    Advance();
+    if (!ExpectSym("(")) {
+      return false;
+    }
+    if (!At(TokKind::kIdent)) {
+      return Fail("expected tuple name in watch()");
+    }
+    out_->watches.push_back(Cur().text);
+    Advance();
+    return ExpectSym(")") && ExpectSym(".");
+  }
+
+  bool RuleStatement() {
+    RuleAst rule;
+    // Optional rule identifier: any ident/variable token directly followed
+    // by another identifier (the head name) or the 'delete' keyword.
+    if ((At(TokKind::kIdent) || At(TokKind::kVariable)) && Cur().text != "delete" &&
+        (Peek().kind == TokKind::kIdent)) {
+      rule.id = Cur().text;
+      Advance();
+    }
+    if (AtIdent("delete")) {
+      rule.delete_head = true;
+      Advance();
+    }
+    if (!ParsePredicate(&rule.head, /*allow_agg=*/true)) {
+      return false;
+    }
+    if (AtSym(":-")) {
+      Advance();
+      for (;;) {
+        BodyTerm term;
+        if (!ParseBodyTerm(&term)) {
+          return false;
+        }
+        rule.body.push_back(std::move(term));
+        if (AtSym(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!ExpectSym(".")) {
+      return false;
+    }
+    out_->rules.push_back(std::move(rule));
+    return true;
+  }
+
+  bool ParsePredicate(PredicateAst* p, bool allow_agg) {
+    if (!At(TokKind::kIdent)) {
+      return Fail("expected predicate name");
+    }
+    p->name = Cur().text;
+    Advance();
+    if (AtSym("@")) {
+      Advance();
+      if (!At(TokKind::kVariable)) {
+        return Fail("expected location variable after '@'");
+      }
+      p->locspec = Cur().text;
+      Advance();
+    }
+    if (!ExpectSym("(")) {
+      return false;
+    }
+    if (!AtSym(")")) {
+      for (;;) {
+        ExprPtr arg;
+        if (allow_agg && At(TokKind::kIdent) && IsAggName(Cur().text) &&
+            Peek().kind == TokKind::kSymbol && Peek().text == "<") {
+          std::string agg = Cur().text;
+          Advance();  // agg name
+          Advance();  // '<'
+          std::string var;
+          if (At(TokKind::kVariable)) {
+            var = Cur().text;
+            Advance();
+          } else if (AtSym("*")) {
+            var = "*";
+            Advance();
+          } else {
+            return Fail("expected variable or * in aggregate");
+          }
+          if (!ExpectSym(">")) {
+            return false;
+          }
+          arg = Expr::Agg(agg, var);
+        } else if (!ParseExpr(&arg)) {
+          return false;
+        }
+        p->args.push_back(std::move(arg));
+        if (AtSym(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return ExpectSym(")");
+  }
+
+  bool ParseBodyTerm(BodyTerm* out) {
+    if (AtIdent("not")) {
+      Advance();
+      PredicateAst p;
+      if (!ParsePredicate(&p, /*allow_agg=*/false)) {
+        return false;
+      }
+      p.negated = true;
+      *out = std::move(p);
+      return true;
+    }
+    // Predicate: lower-case name (not a builtin f_*) followed by '(' or '@'.
+    if (At(TokKind::kIdent) && Cur().text.rfind("f_", 0) != 0 &&
+        Peek().kind == TokKind::kSymbol && (Peek().text == "(" || Peek().text == "@")) {
+      PredicateAst p;
+      if (!ParsePredicate(&p, /*allow_agg=*/false)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    // Assignment: Var := expr.
+    if (At(TokKind::kVariable) && Peek().kind == TokKind::kSymbol && Peek().text == ":=") {
+      AssignAst a;
+      a.var = Cur().text;
+      Advance();
+      Advance();  // :=
+      if (!ParseExpr(&a.expr)) {
+        return false;
+      }
+      *out = std::move(a);
+      return true;
+    }
+    // Otherwise: a filter expression.
+    ExprPtr e;
+    if (!ParseExpr(&e)) {
+      return false;
+    }
+    *out = std::move(e);
+    return true;
+  }
+
+  // Expression precedence (loosest to tightest):
+  //   ||  <  &&  <  comparisons and 'in'  <  <<  <  + -  <  * / %  <  unary
+  bool ParseExpr(ExprPtr* out) { return ParseOr(out); }
+
+  bool ParseOr(ExprPtr* out) {
+    if (!ParseAnd(out)) {
+      return false;
+    }
+    while (AtSym("||")) {
+      Advance();
+      ExprPtr rhs;
+      if (!ParseAnd(&rhs)) {
+        return false;
+      }
+      *out = Expr::Binary("||", *out, rhs);
+    }
+    return true;
+  }
+
+  bool ParseAnd(ExprPtr* out) {
+    if (!ParseCompare(out)) {
+      return false;
+    }
+    while (AtSym("&&")) {
+      Advance();
+      ExprPtr rhs;
+      if (!ParseCompare(&rhs)) {
+        return false;
+      }
+      *out = Expr::Binary("&&", *out, rhs);
+    }
+    return true;
+  }
+
+  bool ParseCompare(ExprPtr* out) {
+    if (!ParseShift(out)) {
+      return false;
+    }
+    for (;;) {
+      if (AtIdent("in")) {
+        Advance();
+        bool lo_open;
+        if (AtSym("(")) {
+          lo_open = true;
+        } else if (AtSym("[")) {
+          lo_open = false;
+        } else {
+          return Fail("expected '(' or '[' after 'in'");
+        }
+        Advance();
+        ExprPtr lo;
+        ExprPtr hi;
+        if (!ParseShift(&lo) || !ExpectSym(",") || !ParseShift(&hi)) {
+          return false;
+        }
+        bool hi_open;
+        if (AtSym(")")) {
+          hi_open = true;
+        } else if (AtSym("]")) {
+          hi_open = false;
+        } else {
+          return Fail("expected ')' or ']' closing range");
+        }
+        Advance();
+        *out = Expr::Range(*out, lo, hi, lo_open, hi_open);
+        continue;
+      }
+      static const char* kCmp[] = {"==", "!=", "<=", ">=", "<", ">"};
+      bool found = false;
+      for (const char* op : kCmp) {
+        if (AtSym(op)) {
+          Advance();
+          ExprPtr rhs;
+          if (!ParseShift(&rhs)) {
+            return false;
+          }
+          *out = Expr::Binary(op, *out, rhs);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return true;
+      }
+    }
+  }
+
+  bool ParseShift(ExprPtr* out) {
+    if (!ParseAdd(out)) {
+      return false;
+    }
+    while (AtSym("<<")) {
+      Advance();
+      ExprPtr rhs;
+      if (!ParseAdd(&rhs)) {
+        return false;
+      }
+      *out = Expr::Binary("<<", *out, rhs);
+    }
+    return true;
+  }
+
+  bool ParseAdd(ExprPtr* out) {
+    if (!ParseMul(out)) {
+      return false;
+    }
+    while (AtSym("+") || AtSym("-")) {
+      std::string op = Cur().text;
+      Advance();
+      ExprPtr rhs;
+      if (!ParseMul(&rhs)) {
+        return false;
+      }
+      *out = Expr::Binary(op, *out, rhs);
+    }
+    return true;
+  }
+
+  bool ParseMul(ExprPtr* out) {
+    if (!ParseUnary(out)) {
+      return false;
+    }
+    while (AtSym("*") || AtSym("/") || AtSym("%")) {
+      std::string op = Cur().text;
+      Advance();
+      ExprPtr rhs;
+      if (!ParseUnary(&rhs)) {
+        return false;
+      }
+      *out = Expr::Binary(op, *out, rhs);
+    }
+    return true;
+  }
+
+  bool ParseUnary(ExprPtr* out) {
+    if (AtSym("-")) {
+      Advance();
+      ExprPtr x;
+      if (!ParseUnary(&x)) {
+        return false;
+      }
+      *out = Expr::Unary("-", x);
+      return true;
+    }
+    if (AtSym("!")) {
+      Advance();
+      ExprPtr x;
+      if (!ParseUnary(&x)) {
+        return false;
+      }
+      *out = Expr::Unary("!", x);
+      return true;
+    }
+    return ParsePrimary(out);
+  }
+
+  bool ParsePrimary(ExprPtr* out) {
+    if (At(TokKind::kNumber)) {
+      *out = Expr::Const(Cur().is_integer ? Value::Int(static_cast<int64_t>(Cur().number))
+                                          : Value::Double(Cur().number));
+      Advance();
+      return true;
+    }
+    if (At(TokKind::kHexId)) {
+      Uint160 id;
+      if (!Uint160::FromHex(Cur().text, &id)) {
+        return Fail("bad hex literal");
+      }
+      *out = Expr::Const(Value::Id(id));
+      Advance();
+      return true;
+    }
+    if (At(TokKind::kString)) {
+      *out = Expr::Const(Value::Str(Cur().text));
+      Advance();
+      return true;
+    }
+    if (At(TokKind::kVariable)) {
+      *out = Expr::Var(Cur().text);
+      Advance();
+      return true;
+    }
+    if (AtIdent("true") || AtIdent("false")) {
+      *out = Expr::Const(Value::Bool(Cur().text == "true"));
+      Advance();
+      return true;
+    }
+    if (At(TokKind::kIdent)) {
+      // Built-in call, optionally location-annotated: f_now@Y().
+      std::string fn = Cur().text;
+      Advance();
+      if (AtSym("@")) {
+        Advance();
+        if (!At(TokKind::kVariable)) {
+          return Fail("expected variable after '@'");
+        }
+        Advance();  // Location on builtins is evaluated locally post-rewrite.
+      }
+      if (!ExpectSym("(")) {
+        return false;
+      }
+      std::vector<ExprPtr> args;
+      if (!AtSym(")")) {
+        for (;;) {
+          ExprPtr a;
+          if (!ParseExpr(&a)) {
+            return false;
+          }
+          args.push_back(std::move(a));
+          if (AtSym(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      if (!ExpectSym(")")) {
+        return false;
+      }
+      *out = Expr::Call(fn, std::move(args));
+      return true;
+    }
+    if (AtSym("(")) {
+      Advance();
+      if (!ParseExpr(out)) {
+        return false;
+      }
+      return ExpectSym(")");
+    }
+    return Fail("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  ProgramAst* out_;
+  size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool ParseOverLog(const std::string& src, ProgramAst* out, std::string* err) {
+  std::vector<Token> toks;
+  if (!LexOverLog(src, &toks, err)) {
+    return false;
+  }
+  Parser p(std::move(toks), out);
+  return p.Run(err);
+}
+
+}  // namespace p2

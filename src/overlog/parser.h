@@ -1,0 +1,17 @@
+// OverLog recursive-descent parser.
+#ifndef P2_OVERLOG_PARSER_H_
+#define P2_OVERLOG_PARSER_H_
+
+#include <string>
+
+#include "src/overlog/ast.h"
+
+namespace p2 {
+
+// Parses an OverLog program. Returns false and sets *err (with a line
+// number) on syntax errors.
+bool ParseOverLog(const std::string& src, ProgramAst* out, std::string* err);
+
+}  // namespace p2
+
+#endif  // P2_OVERLOG_PARSER_H_

@@ -1,0 +1,641 @@
+#include "src/overlog/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/dataflow/basic_elements.h"
+#include "src/dataflow/rel_elements.h"
+#include "src/overlog/compile_expr.h"
+#include "src/p2/node.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+struct AggInfo {
+  bool present = false;
+  size_t head_position = 0;
+  AggKind kind = AggKind::kMin;
+  std::string var;  // "*" for count<*>
+};
+
+bool AggKindFromName(const std::string& name, AggKind* out) {
+  if (name == "min") {
+    *out = AggKind::kMin;
+  } else if (name == "max") {
+    *out = AggKind::kMax;
+  } else if (name == "count") {
+    *out = AggKind::kCount;
+  } else if (name == "sum") {
+    *out = AggKind::kSum;
+  } else if (name == "avg") {
+    *out = AggKind::kAvg;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// Plans all the rules of one program into a node (friend of P2Node).
+// Method-per-concern; the heavy lifting is PlanRule.
+class PlanBuilder {
+ public:
+  PlanBuilder(const ProgramAst& program, P2Node* node)
+      : program_(program), node_(node), graph_(node->graph_) {}
+
+  bool Run(std::string* err) {
+    if (!CreateTables(err)) {
+      return false;
+    }
+    for (const RuleAst& rule : program_.rules) {
+      if (rule.IsFact()) {
+        if (!InstallFact(rule, err)) {
+          return false;
+        }
+        continue;
+      }
+      if (!PlanRule(rule, err)) {
+        return false;
+      }
+    }
+    for (const std::string& w : program_.watches) {
+      node_->Subscribe(w, [w](const TuplePtr& t) {
+        P2_LOG(LogLevel::kInfo, "watch %s: %s", w.c_str(), t->ToString().c_str());
+      });
+    }
+    return true;
+  }
+
+ private:
+  PelEnv MakePelEnv() {
+    return PelEnv{node_->executor_, &node_->rng_, &node_->addr_};
+  }
+
+  std::string Gensym(const std::string& base) {
+    return base + "#" + std::to_string(gensym_++);
+  }
+
+  // Infers each relation's arity from its (consistent) use across rule
+  // heads and bodies, Datalog-style. Returns 0 for relations never used.
+  bool InferArity(const std::string& name, size_t* arity, std::string* err) {
+    *arity = 0;
+    auto consider = [&](const PredicateAst& p) {
+      if (p.name != name) {
+        return true;
+      }
+      if (*arity == 0) {
+        *arity = p.args.size();
+      } else if (*arity != p.args.size()) {
+        *err = "relation '" + name + "' used with inconsistent arity";
+        return false;
+      }
+      return true;
+    };
+    for (const RuleAst& rule : program_.rules) {
+      if (!consider(rule.head)) {
+        return false;
+      }
+      for (const BodyTerm& term : rule.body) {
+        if (std::holds_alternative<PredicateAst>(term) &&
+            !consider(std::get<PredicateAst>(term))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool CreateTables(std::string* err) {
+    for (const MaterializeAst& m : program_.materializations) {
+      if (node_->tables_.count(m.name) > 0) {
+        *err = "table '" + m.name + "' declared twice";
+        return false;
+      }
+      TableSpec spec;
+      spec.name = m.name;
+      spec.lifetime_s = m.lifetime_s;
+      spec.max_size = m.max_size;
+      spec.key_positions = m.key_positions;
+      if (!InferArity(m.name, &spec.arity, err)) {
+        return false;
+      }
+      auto table = std::make_unique<Table>(spec, node_->executor_);
+      Table* raw = table.get();
+      node_->tables_.emplace(m.name, std::move(table));
+      // Tuples named after a table that arrive as events (from the network
+      // or local loop-back) are stored: demux route -> insert element.
+      auto* ins = graph_.Add<InsertElement>(Gensym("insert:" + m.name), raw);
+      graph_.Connect(node_->demux_, node_->demux_->PortFor(m.name), ins, 0);
+    }
+    return true;
+  }
+
+  bool InstallFact(const RuleAst& rule, std::string* err) {
+    Table* table = FindTable(rule.head.name);
+    if (table == nullptr) {
+      *err = "fact for non-materialized relation '" + rule.head.name + "'";
+      return false;
+    }
+    std::vector<Value> fields;
+    for (const ExprPtr& a : rule.head.args) {
+      if (a->kind == ExprKind::kConst) {
+        fields.push_back(a->value);
+      } else if (a->kind == ExprKind::kVar && a->name == rule.head.locspec) {
+        fields.push_back(Value::Addr(node_->addr_));
+      } else {
+        *err = "fact argument must be a constant or the location variable: " +
+               RuleToString(rule);
+        return false;
+      }
+    }
+    table->Insert(Tuple::Make(rule.head.name, std::move(fields)));
+    return true;
+  }
+
+  Table* FindTable(const std::string& name) {
+    auto it = node_->tables_.find(name);
+    return it == node_->tables_.end() ? nullptr : it->second.get();
+  }
+
+  // --- Rule planning ---
+
+  struct Chain {
+    RuleDriver* driver = nullptr;
+    Element* tail = nullptr;
+  };
+
+  void Append(Chain* chain, Element* el) {
+    graph_.Connect(chain->tail, 0, el, 0);
+    chain->tail = el;
+  }
+
+  // Compiles `expr` against `env` into a standalone program.
+  bool Compile(const Expr& expr, const VarEnv& env, PelProgram* prog, std::string* err) {
+    return CompileExpr(expr, env, prog, err);
+  }
+
+  // Emits an equality filter: field `pos` == expr(env).
+  bool AppendEqFilter(Chain* chain, size_t pos, const Expr& expr, const VarEnv& env,
+                      std::string* err) {
+    PelProgram prog;
+    prog.Emit(PelOp::kPushField, static_cast<uint32_t>(pos));
+    if (!Compile(expr, env, &prog, err)) {
+      return false;
+    }
+    prog.Emit(PelOp::kEq);
+    Append(chain, graph_.Add<FilterElement>(Gensym("eqfilter"), MakePelEnv(), std::move(prog)));
+    return true;
+  }
+
+  // Binds the fields of an event predicate occupying positions
+  // [0, arity) and appends equality filters for constants / repeated vars.
+  bool BindEvent(const PredicateAst& pred, Chain* chain, VarEnv* env, std::string* err,
+                 bool skip_constant_checks) {
+    for (size_t i = 0; i < pred.args.size(); ++i) {
+      const Expr& a = *pred.args[i];
+      if (a.kind == ExprKind::kVar) {
+        if (a.name == "_") {
+          continue;
+        }
+        auto it = env->find(a.name);
+        if (it == env->end()) {
+          (*env)[a.name] = i;
+        } else if (!AppendEqFilter(chain, i, a, *env, err)) {
+          return false;
+        }
+      } else if (a.kind == ExprKind::kConst) {
+        if (skip_constant_checks) {
+          continue;  // periodic: generated fields match by construction
+        }
+        if (!AppendEqFilter(chain, i, a, *env, err)) {
+          return false;
+        }
+      } else {
+        *err = "unsupported event argument: " + ExprToString(a);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Appends a join (or anti-join) against a table predicate. `width` is the
+  // current intermediate tuple width and is updated.
+  bool AppendTableTerm(const PredicateAst& pred, Chain* chain, VarEnv* env, size_t* width,
+                       std::string* err) {
+    Table* table = FindTable(pred.name);
+    if (table == nullptr) {
+      *err = "predicate '" + pred.name + "' joins a non-materialized relation";
+      return false;
+    }
+    std::vector<JoinKey> keys;
+    struct Pending {
+      std::string var;
+      size_t col;
+    };
+    std::vector<Pending> new_binds;
+    std::vector<std::pair<size_t, size_t>> dup_checks;  // (col, earlier col)
+    VarEnv local_new;  // vars first bound within this predicate
+    for (size_t c = 0; c < pred.args.size(); ++c) {
+      const Expr& a = *pred.args[c];
+      if (a.kind == ExprKind::kVar) {
+        if (a.name == "_") {
+          continue;
+        }
+        if (env->count(a.name) > 0) {
+          PelProgram prog;
+          prog.Emit(PelOp::kPushField, static_cast<uint32_t>((*env)[a.name]));
+          keys.push_back(JoinKey{c, std::move(prog)});
+        } else if (local_new.count(a.name) > 0) {
+          dup_checks.emplace_back(c, local_new[a.name]);
+        } else {
+          local_new[a.name] = c;
+          new_binds.push_back(Pending{a.name, c});
+        }
+      } else {
+        // Constant or bound expression: equality key.
+        PelProgram prog;
+        if (!Compile(a, *env, &prog, err)) {
+          return false;
+        }
+        keys.push_back(JoinKey{c, std::move(prog)});
+      }
+    }
+    if (pred.negated) {
+      if (!new_binds.empty()) {
+        *err = "negated predicate '" + pred.name + "' binds new variables";
+        return false;
+      }
+      Append(chain, graph_.Add<AntiJoinElement>(Gensym("antijoin:" + pred.name), MakePelEnv(),
+                                                table, std::move(keys)));
+      return true;  // width unchanged
+    }
+    Append(chain, graph_.Add<JoinElement>(Gensym("join:" + pred.name), MakePelEnv(), table,
+                                          std::move(keys), "j"));
+    size_t base = *width;
+    for (const Pending& nb : new_binds) {
+      (*env)[nb.var] = base + nb.col;
+    }
+    *width = base + pred.args.size();
+    // Repeated fresh variables inside the same predicate: post-join check.
+    for (const auto& [col, first_col] : dup_checks) {
+      PelProgram prog;
+      prog.Emit(PelOp::kPushField, static_cast<uint32_t>(base + col));
+      prog.Emit(PelOp::kPushField, static_cast<uint32_t>(base + first_col));
+      prog.Emit(PelOp::kEq);
+      Append(chain,
+             graph_.Add<FilterElement>(Gensym("dupfilter"), MakePelEnv(), std::move(prog)));
+    }
+    return true;
+  }
+
+  bool AppendAssign(const AssignAst& assign, Chain* chain, VarEnv* env, size_t* width,
+                    std::string* err) {
+    if (env->count(assign.var) > 0) {
+      *err = "assignment to already-bound variable '" + assign.var + "'";
+      return false;
+    }
+    PelProgram prog;
+    if (!Compile(*assign.expr, *env, &prog, err)) {
+      return false;
+    }
+    Append(chain, graph_.Add<ExtendElement>(Gensym("assign:" + assign.var), MakePelEnv(),
+                                            std::move(prog)));
+    (*env)[assign.var] = *width;
+    *width += 1;
+    return true;
+  }
+
+  bool AppendFilter(const ExprPtr& e, Chain* chain, const VarEnv& env, std::string* err) {
+    PelProgram prog;
+    if (!Compile(*e, env, &prog, err)) {
+      return false;
+    }
+    Append(chain, graph_.Add<FilterElement>(Gensym("filter"), MakePelEnv(), std::move(prog)));
+    return true;
+  }
+
+  bool FindAgg(const PredicateAst& head, AggInfo* info, std::string* err) {
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      if (head.args[i]->kind != ExprKind::kAgg) {
+        continue;
+      }
+      if (info->present) {
+        *err = "multiple aggregates in one head";
+        return false;
+      }
+      info->present = true;
+      info->head_position = i;
+      info->var = head.args[i]->agg_var;
+      if (!AggKindFromName(head.args[i]->name, &info->kind)) {
+        *err = "unknown aggregate '" + head.args[i]->name + "'";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Attempts to plan a rule whose body is a single materialized predicate
+  // and whose head aggregates over the whole table (the paper's
+  // "aggregate element over a table", e.g. Chord N3 / S1). Returns true if
+  // the pattern matched (with *planned set), false on hard error.
+  bool TryTableAggWatcher(const RuleAst& rule, const AggInfo& agg, bool* planned,
+                          std::string* err) {
+    *planned = false;
+    if (rule.body.size() != 1 || !std::holds_alternative<PredicateAst>(rule.body[0])) {
+      return true;
+    }
+    const PredicateAst& pred = std::get<PredicateAst>(rule.body[0]);
+    if (pred.negated || pred.name == "periodic") {
+      return true;
+    }
+    Table* table = FindTable(pred.name);
+    if (table == nullptr) {
+      return true;  // stream-triggered: regular path
+    }
+    if (agg.head_position != rule.head.args.size() - 1) {
+      *err = "table aggregate must be the last head field: " + RuleToString(rule);
+      return false;
+    }
+    // Map head group variables and the aggregate variable to table columns.
+    VarEnv cols;
+    for (size_t c = 0; c < pred.args.size(); ++c) {
+      const Expr& a = *pred.args[c];
+      if (a.kind == ExprKind::kVar && a.name != "_" && cols.count(a.name) == 0) {
+        cols[a.name] = c;
+      }
+    }
+    std::vector<size_t> group_cols;
+    for (size_t i = 0; i + 1 < rule.head.args.size(); ++i) {
+      const Expr& h = *rule.head.args[i];
+      if (h.kind != ExprKind::kVar || cols.count(h.name) == 0) {
+        *err = "table-aggregate head field must be a body variable: " + RuleToString(rule);
+        return false;
+      }
+      group_cols.push_back(cols[h.name]);
+    }
+    size_t agg_col = 0;
+    if (agg.var != "*") {
+      if (cols.count(agg.var) == 0) {
+        *err = "aggregate variable '" + agg.var + "' not bound by body";
+        return false;
+      }
+      agg_col = cols[agg.var];
+    }
+    auto* watcher = graph_.Add<TableAggWatcher>(Gensym("tableagg:" + rule.head.name), table,
+                                                std::move(group_cols), agg.kind, agg_col,
+                                                rule.head.name);
+    graph_.Connect(watcher, 0, node_->route_out_, 0);
+    watcher->Attach();
+    *planned = true;
+    return true;
+  }
+
+  bool PlanRule(const RuleAst& rule, std::string* err) {
+    AggInfo agg;
+    if (!FindAgg(rule.head, &agg, err)) {
+      return false;
+    }
+    if (agg.present) {
+      bool planned = false;
+      if (!TryTableAggWatcher(rule, agg, &planned, err)) {
+        return false;
+      }
+      if (planned) {
+        return true;
+      }
+    }
+
+    // 1. Choose the event predicate: `periodic` wins; else the unique
+    // stream predicate; else the first table predicate (delta-triggered).
+    int event_idx = -1;
+    int first_table_idx = -1;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (!std::holds_alternative<PredicateAst>(rule.body[i])) {
+        continue;
+      }
+      const PredicateAst& p = std::get<PredicateAst>(rule.body[i]);
+      if (p.negated) {
+        continue;
+      }
+      if (p.name == "periodic") {
+        event_idx = static_cast<int>(i);
+        break;
+      }
+      if (FindTable(p.name) == nullptr) {
+        if (event_idx >= 0) {
+          *err = "rule " + rule.id + ": more than one stream predicate in body";
+          return false;
+        }
+        event_idx = static_cast<int>(i);
+      } else if (first_table_idx < 0) {
+        first_table_idx = static_cast<int>(i);
+      }
+    }
+    bool delta_event = false;
+    if (event_idx < 0) {
+      if (first_table_idx < 0) {
+        *err = "rule " + rule.id + ": no event predicate in body";
+        return false;
+      }
+      event_idx = first_table_idx;
+      delta_event = true;
+    }
+    const PredicateAst& event = std::get<PredicateAst>(rule.body[event_idx]);
+    bool is_periodic = event.name == "periodic";
+
+    // 2. Create the rule driver and bind the event.
+    std::string rule_label = rule.id.empty() ? Gensym("rule") : rule.id;
+    auto* driver = graph_.Add<RuleDriver>("rule:" + rule_label, nullptr);
+    driver->set_min_arity(event.args.size());
+    node_->rule_drivers_.emplace_back(rule_label, driver);
+    Chain chain{driver, driver};
+    VarEnv env;
+    size_t width = event.args.size();
+    if (!BindEvent(event, &chain, &env, err, /*skip_constant_checks=*/is_periodic)) {
+      return false;
+    }
+
+    // 3. Remaining body terms, in dependency order (first processable term
+    // wins, preserving source order otherwise).
+    std::vector<const BodyTerm*> remaining;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (static_cast<int>(i) != event_idx) {
+        remaining.push_back(&rule.body[i]);
+      }
+    }
+    while (!remaining.empty()) {
+      bool progressed = false;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        const BodyTerm& term = *remaining[i];
+        bool processable = false;
+        if (std::holds_alternative<PredicateAst>(term)) {
+          const PredicateAst& p = std::get<PredicateAst>(term);
+          if (p.negated) {
+            processable = true;
+            for (const ExprPtr& a : p.args) {
+              if (a->kind == ExprKind::kVar && a->name != "_" && env.count(a->name) == 0) {
+                processable = false;
+                break;
+              }
+            }
+          } else {
+            processable = true;
+          }
+        } else if (std::holds_alternative<AssignAst>(term)) {
+          processable = ExprBound(*std::get<AssignAst>(term).expr, env);
+        } else {
+          processable = ExprBound(*std::get<ExprPtr>(term), env);
+        }
+        if (!processable) {
+          continue;
+        }
+        if (std::holds_alternative<PredicateAst>(term)) {
+          if (!AppendTableTerm(std::get<PredicateAst>(term), &chain, &env, &width, err)) {
+            return false;
+          }
+        } else if (std::holds_alternative<AssignAst>(term)) {
+          if (!AppendAssign(std::get<AssignAst>(term), &chain, &env, &width, err)) {
+            return false;
+          }
+        } else {
+          if (!AppendFilter(std::get<ExprPtr>(term), &chain, env, err)) {
+            return false;
+          }
+        }
+        remaining.erase(remaining.begin() + i);
+        progressed = true;
+        break;
+      }
+      if (!progressed) {
+        *err = "rule " + rule.id + ": cannot order body terms (unbound variables)";
+        return false;
+      }
+    }
+
+    // 4. Head projection (+ aggregation).
+    std::vector<PelProgram> head_programs;
+    for (const ExprPtr& a : rule.head.args) {
+      PelProgram prog;
+      if (a->kind == ExprKind::kAgg) {
+        if (a->agg_var == "*") {
+          prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Int(1)));
+        } else {
+          auto it = env.find(a->agg_var);
+          if (it == env.end()) {
+            *err = "aggregate variable '" + a->agg_var + "' unbound in rule " + rule.id;
+            return false;
+          }
+          prog.Emit(PelOp::kPushField, static_cast<uint32_t>(it->second));
+        }
+      } else if (!Compile(*a, env, &prog, err)) {
+        *err = "rule " + rule.id + ": " + *err;
+        return false;
+      }
+      head_programs.push_back(std::move(prog));
+    }
+    Append(&chain, graph_.Add<ProjectElement>(Gensym("project:" + rule.head.name), MakePelEnv(),
+                                              rule.head.name, std::move(head_programs)));
+
+    AggWrapElement* aggwrap = nullptr;
+    if (agg.present) {
+      // Empty-group emission (count<*> over zero matches) requires every
+      // group field to be computable from the event alone.
+      VarEnv event_env;
+      for (size_t i = 0; i < event.args.size(); ++i) {
+        const Expr& a = *event.args[i];
+        if (a.kind == ExprKind::kVar && a.name != "_" && event_env.count(a.name) == 0) {
+          event_env[a.name] = i;
+        }
+      }
+      bool emit_empty = agg.kind == AggKind::kCount;
+      std::vector<PelProgram> empty_programs;
+      if (emit_empty) {
+        for (size_t i = 0; i < rule.head.args.size(); ++i) {
+          if (i == agg.head_position) {
+            continue;
+          }
+          PelProgram prog;
+          std::string dummy;
+          if (!Compile(*rule.head.args[i], event_env, &prog, &dummy)) {
+            emit_empty = false;
+            empty_programs.clear();
+            break;
+          }
+          empty_programs.push_back(std::move(prog));
+        }
+      }
+      aggwrap = graph_.Add<AggWrapElement>(Gensym("aggwrap:" + rule.head.name), MakePelEnv(),
+                                           agg.kind, agg.head_position, rule.head.name,
+                                           emit_empty, std::move(empty_programs));
+      Append(&chain, aggwrap);
+      driver->set_agg(aggwrap);
+    }
+
+    // 5. Head routing.
+    if (rule.delete_head) {
+      Table* table = FindTable(rule.head.name);
+      if (table == nullptr) {
+        *err = "delete head on non-materialized relation '" + rule.head.name + "'";
+        return false;
+      }
+      Append(&chain, graph_.Add<DeleteElement>(Gensym("delete:" + rule.head.name), table));
+    } else {
+      graph_.Connect(chain.tail, 0, node_->route_out_, 0);
+    }
+
+    // 6. Event source wiring.
+    if (is_periodic) {
+      double period = 0;
+      uint64_t count = 0;
+      if (event.args.size() < 3 || event.args[2]->kind != ExprKind::kConst) {
+        *err = "rule " + rule.id + ": periodic() needs a literal period";
+        return false;
+      }
+      period = event.args[2]->value.AsDouble();
+      if (event.args.size() >= 4) {
+        if (event.args[3]->kind != ExprKind::kConst) {
+          *err = "rule " + rule.id + ": periodic() repeat count must be literal";
+          return false;
+        }
+        count = static_cast<uint64_t>(event.args[3]->value.AsInt());
+      }
+      std::vector<Value> extras;
+      for (size_t i = 2; i < event.args.size(); ++i) {
+        extras.push_back(event.args[i]->value);
+      }
+      auto* src = graph_.Add<PeriodicSource>(Gensym("periodic"), node_->executor_,
+                                             &node_->rng_, node_->addr_, period, count,
+                                             /*initial_delay=*/0.0, std::move(extras));
+      graph_.Connect(src, 0, driver, 0);
+      node_->periodics_.push_back(src);
+    } else if (delta_event) {
+      Table* table = FindTable(event.name);
+      P2_CHECK(table != nullptr);
+      table->AddDeltaListener([driver](const TuplePtr& t) { driver->Push(0, t, nullptr); });
+    } else {
+      // Stream event: demux -> (shared per-name dup) -> driver.
+      DupElement*& dup = node_->event_dups_[event.name];
+      if (dup == nullptr) {
+        dup = graph_.Add<DupElement>(Gensym("dup:" + event.name));
+        graph_.Connect(node_->demux_, node_->demux_->PortFor(event.name), dup, 0);
+      }
+      graph_.Connect(dup, static_cast<int>(dup->num_outputs()), driver, 0);
+    }
+    return true;
+  }
+
+  const ProgramAst& program_;
+  P2Node* node_;
+  Graph& graph_;
+  int gensym_ = 0;
+};
+
+bool Planner::Install(const ProgramAst& program, P2Node* node, std::string* err) {
+  PlanBuilder builder(program, node);
+  return builder.Run(err);
+}
+
+}  // namespace p2

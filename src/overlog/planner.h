@@ -1,0 +1,31 @@
+// The P2 planner (§3.5): translates a parsed, localized OverLog program
+// into tables, indices and a dataflow element graph inside a P2Node.
+//
+// Per rule, the planner emits: a RuleDriver fed by the rule's event source
+// (periodic timer, stream demux port, or table delta), a sequence of
+// equijoin / anti-join / filter / extend elements following the body terms
+// in dependency order, a projection constructing the head tuple, optional
+// per-event aggregation (AggWrap), and finally either a table delete, or
+// the node's output router which sends remote tuples over the network and
+// loops local ones back into the input queue.
+#ifndef P2_OVERLOG_PLANNER_H_
+#define P2_OVERLOG_PLANNER_H_
+
+#include <string>
+
+#include "src/overlog/ast.h"
+
+namespace p2 {
+
+class P2Node;
+
+class Planner {
+ public:
+  // Installs `program` into `node`. On failure returns false with a
+  // diagnostic in *err; the node is then in an unusable state.
+  static bool Install(const ProgramAst& program, P2Node* node, std::string* err);
+};
+
+}  // namespace p2
+
+#endif  // P2_OVERLOG_PLANNER_H_

@@ -1,0 +1,175 @@
+#include "src/p2/node.h"
+
+#include "src/net/wire.h"
+#include "src/overlog/localizer.h"
+#include "src/overlog/parser.h"
+#include "src/overlog/planner.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+// Terminal element of every rule chain: routes head tuples by location
+// specifier — remote tuples are marshaled and sent, local stream tuples
+// loop back into the input queue, local table tuples are inserted.
+class P2Node::RouteOutElement : public Element {
+ public:
+  explicit RouteOutElement(P2Node* node) : Element("route_out"), node_(node) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override {
+    (void)port;
+    (void)cb;
+    node_->RouteTuple(t);
+    return 1;
+  }
+
+ private:
+  P2Node* node_;
+};
+
+P2Node::P2Node(P2NodeConfig config)
+    : addr_(config.addr.empty() && config.transport != nullptr
+                ? config.transport->local_addr()
+                : config.addr),
+      executor_(config.executor),
+      transport_(config.transport),
+      rng_(config.seed) {
+  P2_CHECK(executor_ != nullptr);
+  P2_CHECK(transport_ != nullptr);
+  input_queue_ = graph_.Add<QueueElement>("input_queue", config.input_queue_capacity);
+  driver_ = graph_.Add<TimedPullPush>("driver", executor_, 0.0);
+  demux_ = graph_.Add<DemuxByName>("demux");
+  route_out_ = graph_.Add<RouteOutElement>(this);
+  graph_.Connect(input_queue_, 0, driver_, 0);
+  graph_.Connect(driver_, 0, demux_, 0);
+  transport_->SetReceiver(
+      [this](const std::string& from, const std::vector<uint8_t>& bytes) {
+        OnPacket(from, bytes);
+      });
+}
+
+P2Node::~P2Node() {
+  Stop();
+  // Detach from the transport: packets in flight to this address must not
+  // reach a destroyed node (churn destroys nodes while datagrams fly).
+  transport_->SetReceiver(nullptr);
+}
+
+bool P2Node::Install(const std::string& overlog_text, std::string* err) {
+  P2_CHECK(!installed_);
+  ProgramAst program;
+  if (!ParseOverLog(overlog_text, &program, err)) {
+    return false;
+  }
+  if (!LocalizeProgram(&program, err)) {
+    return false;
+  }
+  if (!Planner::Install(program, this, err)) {
+    return false;
+  }
+  installed_ = true;
+  return true;
+}
+
+void P2Node::Start() {
+  P2_CHECK(installed_);
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  driver_->Start();
+  for (PeriodicSource* src : periodics_) {
+    src->Start();
+  }
+}
+
+void P2Node::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  for (PeriodicSource* src : periodics_) {
+    src->Stop();
+  }
+}
+
+void P2Node::Inject(const TuplePtr& t) {
+  // Injected tuples obey their location specifier like any rule head: a
+  // tuple addressed elsewhere is shipped, a local one enters the queue (or
+  // its table). Applications therefore address tuples the same way rules
+  // do.
+  RouteTuple(t);
+}
+
+void P2Node::Subscribe(const std::string& name, TupleFn fn) {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    it->second->AddDeltaListener(std::move(fn));
+    return;
+  }
+  watchers_[name].push_back(std::move(fn));
+}
+
+Table* P2Node::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::unordered_map<std::string, uint64_t> P2Node::RuleFireCounts() const {
+  std::unordered_map<std::string, uint64_t> out;
+  for (const auto& [id, driver] : rule_drivers_) {
+    out[id] += driver->fires();
+  }
+  return out;
+}
+
+size_t P2Node::ApproxMemoryBytes() const {
+  size_t bytes = graph_.ApproxBytes();
+  for (const auto& [name, table] : tables_) {
+    (void)name;
+    bytes += table->ApproxBytes();
+  }
+  return bytes;
+}
+
+void P2Node::DeliverLocal(const TuplePtr& t) {
+  auto w = watchers_.find(t->name());
+  if (w != watchers_.end()) {
+    for (const TupleFn& fn : w->second) {
+      fn(t);
+    }
+  }
+  input_queue_->Push(0, t, nullptr);
+}
+
+void P2Node::RouteTuple(const TuplePtr& t) {
+  if (t->size() == 0 || t->field(0).type() != ValueType::kAddr) {
+    P2_LOG(LogLevel::kWarn, "%s: head tuple without address locspec: %s", addr_.c_str(),
+           t->ToString().c_str());
+    return;
+  }
+  const std::string& dest = t->field(0).AsAddr();
+  if (dest == addr_) {
+    ++stats_.local_loopbacks;
+    auto it = tables_.find(t->name());
+    if (it != tables_.end()) {
+      it->second->Insert(t);  // Synchronous store + delta propagation.
+    } else {
+      DeliverLocal(t);
+    }
+    return;
+  }
+  ++stats_.tuples_sent;
+  transport_->SendTo(dest, FrameTuple(*t), IsLookupTraffic(t->name()));
+}
+
+void P2Node::OnPacket(const std::string& from, const std::vector<uint8_t>& bytes) {
+  (void)from;
+  std::optional<TuplePtr> t = UnframeTuple(bytes);
+  if (!t.has_value()) {
+    ++stats_.bad_packets;
+    return;
+  }
+  ++stats_.tuples_from_net;
+  DeliverLocal(*t);
+}
+
+}  // namespace p2

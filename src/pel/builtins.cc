@@ -1,0 +1,21 @@
+#include "src/pel/builtins.h"
+
+#include <unordered_map>
+
+namespace p2 {
+
+const PelBuiltin* FindPelBuiltin(const std::string& name) {
+  static const auto* kTable = new std::unordered_map<std::string, PelBuiltin>{
+      {"f_now", {PelOp::kNow, 0}},
+      {"f_rand", {PelOp::kRand, 0}},
+      {"f_randInt", {PelOp::kRandInt, 0}},
+      {"f_coinFlip", {PelOp::kCoinFlip, 1}},
+      {"f_sha1", {PelOp::kHash, 1}},
+      {"f_hash", {PelOp::kHash, 1}},
+      {"f_localAddr", {PelOp::kLocalAddr, 0}},
+  };
+  auto it = kTable->find(name);
+  return it == kTable->end() ? nullptr : &it->second;
+}
+
+}  // namespace p2

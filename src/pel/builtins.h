@@ -1,0 +1,25 @@
+// Built-in OverLog function registry.
+//
+// OverLog rule bodies may call built-in functions (names beginning with
+// "f_"); the planner compiles each call to the matching PEL opcode.
+#ifndef P2_PEL_BUILTINS_H_
+#define P2_PEL_BUILTINS_H_
+
+#include <string>
+
+#include "src/pel/program.h"
+
+namespace p2 {
+
+struct PelBuiltin {
+  PelOp op;
+  int arity;
+};
+
+// Returns the builtin descriptor for `name` ("f_now", "f_rand",
+// "f_coinFlip", "f_sha1", "f_randInt", "f_localAddr"), or nullptr.
+const PelBuiltin* FindPelBuiltin(const std::string& name);
+
+}  // namespace p2
+
+#endif  // P2_PEL_BUILTINS_H_

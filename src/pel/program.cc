@@ -1,0 +1,97 @@
+#include "src/pel/program.h"
+
+namespace p2 {
+namespace {
+
+const char* OpName(PelOp op) {
+  switch (op) {
+    case PelOp::kPushConst:
+      return "push_const";
+    case PelOp::kPushField:
+      return "push_field";
+    case PelOp::kAdd:
+      return "add";
+    case PelOp::kSub:
+      return "sub";
+    case PelOp::kMul:
+      return "mul";
+    case PelOp::kDiv:
+      return "div";
+    case PelOp::kMod:
+      return "mod";
+    case PelOp::kShl:
+      return "shl";
+    case PelOp::kEq:
+      return "eq";
+    case PelOp::kNe:
+      return "ne";
+    case PelOp::kLt:
+      return "lt";
+    case PelOp::kLe:
+      return "le";
+    case PelOp::kGt:
+      return "gt";
+    case PelOp::kGe:
+      return "ge";
+    case PelOp::kAnd:
+      return "and";
+    case PelOp::kOr:
+      return "or";
+    case PelOp::kNot:
+      return "not";
+    case PelOp::kNeg:
+      return "neg";
+    case PelOp::kInOO:
+      return "in_oo";
+    case PelOp::kInOC:
+      return "in_oc";
+    case PelOp::kInCO:
+      return "in_co";
+    case PelOp::kInCC:
+      return "in_cc";
+    case PelOp::kNow:
+      return "now";
+    case PelOp::kRand:
+      return "rand";
+    case PelOp::kRandInt:
+      return "rand_int";
+    case PelOp::kCoinFlip:
+      return "coin_flip";
+    case PelOp::kHash:
+      return "hash";
+    case PelOp::kLocalAddr:
+      return "local_addr";
+  }
+  return "?";
+}
+
+bool HasArg(PelOp op) { return op == PelOp::kPushConst || op == PelOp::kPushField; }
+
+}  // namespace
+
+uint32_t PelProgram::AddConst(const Value& v) {
+  for (uint32_t i = 0; i < consts_.size(); ++i) {
+    if (consts_[i] == v && consts_[i].type() == v.type()) {
+      return i;
+    }
+  }
+  consts_.push_back(v);
+  return static_cast<uint32_t>(consts_.size() - 1);
+}
+
+std::string PelProgram::Disassemble() const {
+  std::string out;
+  for (const PelInstr& ins : code_) {
+    out += OpName(ins.op);
+    if (HasArg(ins.op)) {
+      out += " " + std::to_string(ins.arg);
+      if (ins.op == PelOp::kPushConst && ins.arg < consts_.size()) {
+        out += " (" + consts_[ins.arg].ToString() + ")";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace p2

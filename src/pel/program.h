@@ -1,0 +1,82 @@
+// PEL — the P2 Expression Language (§3.1).
+//
+// PEL is a small stack-based postfix byte-code language for manipulating
+// Values and Tuples. It is not written by humans: the OverLog planner
+// compiles rule expressions (selections, assignments, projections, range
+// tests) into PEL programs, which parameterize generic dataflow elements
+// (filter, project, aggwrap). A simple virtual machine (vm.h) executes the
+// byte code.
+#ifndef P2_PEL_PROGRAM_H_
+#define P2_PEL_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/value.h"
+
+namespace p2 {
+
+enum class PelOp : uint8_t {
+  kPushConst,  // arg: constant pool index
+  kPushField,  // arg: input tuple field index
+  // Binary arithmetic (pops b, then a; pushes a OP b).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kShl,
+  // Comparisons (same pop order; push bool).
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Boolean logic.
+  kAnd,
+  kOr,
+  kNot,
+  // Unary minus.
+  kNeg,
+  // Ring-interval membership: pops hi, lo, x; pushes bool.
+  kInOO,
+  kInOC,
+  kInCO,
+  kInCC,
+  // Builtins.
+  kNow,        // pushes current time (double seconds)
+  kRand,       // pushes uniform double in [0,1)
+  kRandInt,    // pushes uniform int64 in [0, 2^62)
+  kCoinFlip,   // pops p; pushes Bernoulli(p) bool
+  kHash,       // pops v; pushes 160-bit Id hash of v's marshaled bytes
+  kLocalAddr,  // pushes the executing node's address
+};
+
+struct PelInstr {
+  PelOp op;
+  uint32_t arg = 0;
+};
+
+class PelProgram {
+ public:
+  // Adds a constant to the pool, returns its index (deduplicates).
+  uint32_t AddConst(const Value& v);
+  void Emit(PelOp op, uint32_t arg = 0) { code_.push_back(PelInstr{op, arg}); }
+
+  const std::vector<PelInstr>& code() const { return code_; }
+  const std::vector<Value>& consts() const { return consts_; }
+  bool empty() const { return code_.empty(); }
+
+  // Human-readable listing (for tests and the logging facility).
+  std::string Disassemble() const;
+
+ private:
+  std::vector<PelInstr> code_;
+  std::vector<Value> consts_;
+};
+
+}  // namespace p2
+
+#endif  // P2_PEL_PROGRAM_H_

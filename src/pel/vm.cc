@@ -1,0 +1,197 @@
+#include "src/pel/vm.h"
+
+#include "src/runtime/logging.h"
+#include "src/runtime/marshal.h"
+
+namespace p2 {
+
+Value PelVm::Eval(const PelProgram& prog, const Tuple* input) {
+  stack_.clear();
+  const std::vector<Value>& consts = prog.consts();
+  for (const PelInstr& ins : prog.code()) {
+    switch (ins.op) {
+      case PelOp::kPushConst:
+        stack_.push_back(consts[ins.arg]);
+        break;
+      case PelOp::kPushField:
+        P2_CHECK(input != nullptr);
+        P2_CHECK(ins.arg < input->size());
+        stack_.push_back(input->field(ins.arg));
+        break;
+      case PelOp::kAdd:
+      case PelOp::kSub:
+      case PelOp::kMul:
+      case PelOp::kDiv:
+      case PelOp::kMod:
+      case PelOp::kShl:
+      case PelOp::kEq:
+      case PelOp::kNe:
+      case PelOp::kLt:
+      case PelOp::kLe:
+      case PelOp::kGt:
+      case PelOp::kGe:
+      case PelOp::kAnd:
+      case PelOp::kOr: {
+        P2_CHECK(stack_.size() >= 2);
+        Value b = std::move(stack_.back());
+        stack_.pop_back();
+        Value a = std::move(stack_.back());
+        stack_.pop_back();
+        Value r;
+        switch (ins.op) {
+          case PelOp::kAdd:
+            r = Value::Add(a, b);
+            break;
+          case PelOp::kSub:
+            r = Value::Sub(a, b);
+            break;
+          case PelOp::kMul:
+            r = Value::Mul(a, b);
+            break;
+          case PelOp::kDiv:
+            r = Value::Div(a, b);
+            break;
+          case PelOp::kMod:
+            r = Value::Mod(a, b);
+            break;
+          case PelOp::kShl:
+            r = Value::Shl(a, b);
+            break;
+          case PelOp::kEq:
+            r = Value::Bool(a == b);
+            break;
+          case PelOp::kNe:
+            r = Value::Bool(a != b);
+            break;
+          case PelOp::kLt:
+            r = Value::Bool(Value::Compare(a, b) < 0);
+            break;
+          case PelOp::kLe:
+            r = Value::Bool(Value::Compare(a, b) <= 0);
+            break;
+          case PelOp::kGt:
+            r = Value::Bool(Value::Compare(a, b) > 0);
+            break;
+          case PelOp::kGe:
+            r = Value::Bool(Value::Compare(a, b) >= 0);
+            break;
+          case PelOp::kAnd:
+            r = Value::Bool(a.AsBool() && b.AsBool());
+            break;
+          case PelOp::kOr:
+            r = Value::Bool(a.AsBool() || b.AsBool());
+            break;
+          default:
+            P2_FATAL("unreachable");
+        }
+        stack_.push_back(std::move(r));
+        break;
+      }
+      case PelOp::kNot: {
+        P2_CHECK(!stack_.empty());
+        Value a = std::move(stack_.back());
+        stack_.pop_back();
+        stack_.push_back(Value::Bool(!a.AsBool()));
+        break;
+      }
+      case PelOp::kNeg: {
+        P2_CHECK(!stack_.empty());
+        Value a = std::move(stack_.back());
+        stack_.pop_back();
+        stack_.push_back(Value::Sub(Value::Int(0), a));
+        break;
+      }
+      case PelOp::kInOO:
+      case PelOp::kInOC:
+      case PelOp::kInCO:
+      case PelOp::kInCC: {
+        P2_CHECK(stack_.size() >= 3);
+        Value hi = std::move(stack_.back());
+        stack_.pop_back();
+        Value lo = std::move(stack_.back());
+        stack_.pop_back();
+        Value x = std::move(stack_.back());
+        stack_.pop_back();
+        // Ranges are ring-interval tests on Ids; integers coerce. Any other
+        // operand type (e.g. the "-" null-predecessor string reaching
+        // "P in (P1, N)" through a non-short-circuiting "||") yields false
+        // rather than aborting.
+        auto ring_ok = [](const Value& v) {
+          return v.type() == ValueType::kId || v.type() == ValueType::kInt ||
+                 v.type() == ValueType::kBool;
+        };
+        if (!ring_ok(x) || !ring_ok(lo) || !ring_ok(hi)) {
+          stack_.push_back(Value::Bool(false));
+          break;
+        }
+        Uint160 xi = x.type() == ValueType::kId ? x.AsId()
+                                                : Uint160(static_cast<uint64_t>(x.AsInt()));
+        Uint160 li = lo.type() == ValueType::kId ? lo.AsId()
+                                                 : Uint160(static_cast<uint64_t>(lo.AsInt()));
+        Uint160 hi2 = hi.type() == ValueType::kId ? hi.AsId()
+                                                  : Uint160(static_cast<uint64_t>(hi.AsInt()));
+        bool in = false;
+        switch (ins.op) {
+          case PelOp::kInOO:
+            in = xi.InOO(li, hi2);
+            break;
+          case PelOp::kInOC:
+            in = xi.InOC(li, hi2);
+            break;
+          case PelOp::kInCO:
+            in = xi.InCO(li, hi2);
+            break;
+          case PelOp::kInCC:
+            in = xi.InCC(li, hi2);
+            break;
+          default:
+            P2_FATAL("unreachable");
+        }
+        stack_.push_back(Value::Bool(in));
+        break;
+      }
+      case PelOp::kNow:
+        P2_CHECK(env_.executor != nullptr);
+        stack_.push_back(Value::Double(env_.executor->Now()));
+        break;
+      case PelOp::kRand:
+        P2_CHECK(env_.rng != nullptr);
+        stack_.push_back(Value::Double(env_.rng->NextDouble()));
+        break;
+      case PelOp::kRandInt:
+        P2_CHECK(env_.rng != nullptr);
+        stack_.push_back(Value::Int(static_cast<int64_t>(env_.rng->NextU64() >> 2)));
+        break;
+      case PelOp::kCoinFlip: {
+        P2_CHECK(env_.rng != nullptr);
+        P2_CHECK(!stack_.empty());
+        Value p = std::move(stack_.back());
+        stack_.pop_back();
+        stack_.push_back(Value::Bool(env_.rng->CoinFlip(p.AsDouble())));
+        break;
+      }
+      case PelOp::kHash: {
+        P2_CHECK(!stack_.empty());
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        ByteWriter w;
+        MarshalValue(v, &w);
+        stack_.push_back(Value::Id(Uint160::HashOf(
+            std::string_view(reinterpret_cast<const char*>(w.buffer().data()), w.size()))));
+        break;
+      }
+      case PelOp::kLocalAddr:
+        P2_CHECK(env_.local_addr != nullptr);
+        stack_.push_back(Value::Addr(*env_.local_addr));
+        break;
+    }
+  }
+  P2_CHECK(stack_.size() == 1);
+  return std::move(stack_.back());
+}
+
+bool PelVm::EvalBool(const PelProgram& prog, const Tuple* input) {
+  return Eval(prog, input).AsBool();
+}
+
+}  // namespace p2

@@ -1,0 +1,41 @@
+// The PEL virtual machine: a simple but fast stack interpreter.
+#ifndef P2_PEL_VM_H_
+#define P2_PEL_VM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pel/program.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/random.h"
+#include "src/runtime/tuple.h"
+
+namespace p2 {
+
+// Per-node execution environment visible to PEL programs.
+struct PelEnv {
+  Executor* executor = nullptr;       // for kNow
+  Rng* rng = nullptr;                 // for kRand / kCoinFlip
+  const std::string* local_addr = nullptr;  // for kLocalAddr
+};
+
+class PelVm {
+ public:
+  explicit PelVm(PelEnv env) : env_(env) {}
+
+  // Evaluates `prog` against `input` (may be null if the program reads no
+  // fields) and returns the single value left on the stack. Aborts on
+  // malformed programs (planner bug, not user input).
+  Value Eval(const PelProgram& prog, const Tuple* input);
+
+  // Evaluates a boolean-valued program; non-bool results coerce via AsBool.
+  bool EvalBool(const PelProgram& prog, const Tuple* input);
+
+ private:
+  PelEnv env_;
+  std::vector<Value> stack_;  // reused across calls to avoid reallocation
+};
+
+}  // namespace p2
+
+#endif  // P2_PEL_VM_H_

@@ -1,0 +1,40 @@
+// Executor: the event-loop abstraction every P2 component is written
+// against.
+//
+// P2 is single-threaded and event-driven with run-to-completion handlers
+// (the paper used libasync from the SFS toolkit). We abstract the loop so
+// the same node code runs both under the discrete-event simulator (virtual
+// time, sub-second wall time for 500-node experiments) and under a real
+// poll()-based UDP loop (wall-clock time, true multi-process deployment).
+#ifndef P2_RUNTIME_EXECUTOR_H_
+#define P2_RUNTIME_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace p2 {
+
+using Task = std::function<void()>;
+using TimerId = uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  // Current time in seconds (virtual or wall-clock depending on backend).
+  virtual double Now() const = 0;
+
+  // Runs `task` after `delay` seconds (>= 0). Returns a cancellable id.
+  virtual TimerId ScheduleAfter(double delay, Task task) = 0;
+
+  // Cancels a pending timer; no-op if already fired or invalid.
+  virtual void Cancel(TimerId id) = 0;
+
+  // Runs `task` as soon as the current handler completes (delay 0).
+  TimerId Defer(Task task) { return ScheduleAfter(0.0, std::move(task)); }
+};
+
+}  // namespace p2
+
+#endif  // P2_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,35 @@
+// Minimal logging / fatal-error support for the P2 runtime.
+#ifndef P2_RUNTIME_LOGGING_H_
+#define P2_RUNTIME_LOGGING_H_
+
+#include <cstdarg>
+
+namespace p2 {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped. Default: kWarn.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging to stderr with a level prefix.
+void LogF(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+// Prints the message and aborts. Used for programming errors (type
+// confusion, malformed plans) that indicate a bug, never for runtime input.
+[[noreturn]] void FatalF(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace p2
+
+#define P2_FATAL(...) ::p2::FatalF(__FILE__, __LINE__, __VA_ARGS__)
+#define P2_LOG(level, ...) ::p2::LogF(level, __VA_ARGS__)
+#define P2_CHECK(cond, ...)                \
+  do {                                     \
+    if (!(cond)) {                         \
+      ::p2::FatalF(__FILE__, __LINE__,     \
+                   "check failed: " #cond); \
+    }                                      \
+  } while (0)
+
+#endif  // P2_RUNTIME_LOGGING_H_

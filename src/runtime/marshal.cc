@@ -1,0 +1,256 @@
+#include "src/runtime/marshal.h"
+
+#include <cstring>
+
+namespace p2 {
+
+void ByteWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutBytes(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(s.data(), s.size());
+}
+
+bool ByteReader::GetU8(uint8_t* v) {
+  if (pos_ + 1 > size_) {
+    return false;
+  }
+  *v = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::GetU16(uint16_t* v) {
+  uint8_t a;
+  uint8_t b;
+  if (!GetU8(&a) || !GetU8(&b)) {
+    return false;
+  }
+  *v = static_cast<uint16_t>(a | (b << 8));
+  return true;
+}
+
+bool ByteReader::GetU32(uint32_t* v) {
+  if (pos_ + 4 > size_) {
+    return false;
+  }
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  *v = r;
+  return true;
+}
+
+bool ByteReader::GetU64(uint64_t* v) {
+  if (pos_ + 8 > size_) {
+    return false;
+  }
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  *v = r;
+  return true;
+}
+
+bool ByteReader::GetDouble(double* v) {
+  uint64_t bits;
+  if (!GetU64(&bits)) {
+    return false;
+  }
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool ByteReader::GetString(std::string* s) {
+  uint32_t n;
+  if (!GetU32(&n) || pos_ + n > size_) {
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+void MarshalValue(const Value& v, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      w->PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      w->PutU64(static_cast<uint64_t>(v.AsInt()));
+      break;
+    case ValueType::kDouble:
+      w->PutDouble(v.AsDouble());
+      break;
+    case ValueType::kStr:
+      w->PutString(v.AsStr());
+      break;
+    case ValueType::kId: {
+      const auto& limbs = v.AsId().limbs();
+      w->PutU64(limbs[0]);
+      w->PutU64(limbs[1]);
+      w->PutU32(static_cast<uint32_t>(limbs[2]));
+      break;
+    }
+    case ValueType::kAddr:
+      w->PutString(v.AsAddr());
+      break;
+    case ValueType::kList: {
+      const ValueList& items = v.AsList();
+      w->PutU32(static_cast<uint32_t>(items.size()));
+      for (const Value& item : items) {
+        MarshalValue(item, w);
+      }
+      break;
+    }
+  }
+}
+
+bool UnmarshalValue(ByteReader* r, Value* out) {
+  uint8_t tag;
+  if (!r->GetU8(&tag)) {
+    return false;
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kBool: {
+      uint8_t b;
+      if (!r->GetU8(&b)) {
+        return false;
+      }
+      *out = Value::Bool(b != 0);
+      return true;
+    }
+    case ValueType::kInt: {
+      uint64_t i;
+      if (!r->GetU64(&i)) {
+        return false;
+      }
+      *out = Value::Int(static_cast<int64_t>(i));
+      return true;
+    }
+    case ValueType::kDouble: {
+      double d;
+      if (!r->GetDouble(&d)) {
+        return false;
+      }
+      *out = Value::Double(d);
+      return true;
+    }
+    case ValueType::kStr: {
+      std::string s;
+      if (!r->GetString(&s)) {
+        return false;
+      }
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    case ValueType::kId: {
+      uint64_t low;
+      uint64_t mid;
+      uint32_t hi;
+      if (!r->GetU64(&low) || !r->GetU64(&mid) || !r->GetU32(&hi)) {
+        return false;
+      }
+      *out = Value::Id(Uint160(hi, mid, low));
+      return true;
+    }
+    case ValueType::kAddr: {
+      std::string s;
+      if (!r->GetString(&s)) {
+        return false;
+      }
+      *out = Value::Addr(std::move(s));
+      return true;
+    }
+    case ValueType::kList: {
+      uint32_t n;
+      if (!r->GetU32(&n) || n > 1u << 20) {
+        return false;
+      }
+      ValueList items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Value v;
+        if (!UnmarshalValue(r, &v)) {
+          return false;
+        }
+        items.push_back(std::move(v));
+      }
+      *out = Value::List(std::move(items));
+      return true;
+    }
+  }
+  return false;
+}
+
+void MarshalTuple(const Tuple& t, ByteWriter* w) {
+  w->PutString(t.name());
+  w->PutU16(static_cast<uint16_t>(t.size()));
+  for (const Value& v : t.fields()) {
+    MarshalValue(v, w);
+  }
+}
+
+std::optional<TuplePtr> UnmarshalTuple(ByteReader* r) {
+  std::string name;
+  uint16_t n;
+  if (!r->GetString(&name) || !r->GetU16(&n)) {
+    return std::nullopt;
+  }
+  std::vector<Value> fields;
+  fields.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Value v;
+    if (!UnmarshalValue(r, &v)) {
+      return std::nullopt;
+    }
+    fields.push_back(std::move(v));
+  }
+  return Tuple::Make(std::move(name), std::move(fields));
+}
+
+std::vector<uint8_t> MarshalTupleToBytes(const Tuple& t) {
+  ByteWriter w;
+  MarshalTuple(t, &w);
+  return w.Take();
+}
+
+std::optional<TuplePtr> UnmarshalTupleFromBytes(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  return UnmarshalTuple(&r);
+}
+
+}  // namespace p2

@@ -1,0 +1,74 @@
+// Byte-level (un)marshaling of Values and Tuples.
+//
+// P2's network stack serializes real bytes onto the wire; the evaluation's
+// bandwidth figures are byte counts of these marshaled buffers. Encoding:
+// little-endian fixed-width integers, length-prefixed strings, one type tag
+// byte per value.
+#ifndef P2_RUNTIME_MARSHAL_H_
+#define P2_RUNTIME_MARSHAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/tuple.h"
+#include "src/runtime/value.h"
+
+namespace p2 {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  void PutBytes(const void* data, size_t n);
+  void PutString(const std::string& s);  // u32 length prefix
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), size_(n) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf) : data_(buf.data()), size_(buf.size()) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU16(uint16_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetDouble(double* v);
+  bool GetString(std::string* s);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Value codec. Returns false from Unmarshal on malformed input (never
+// aborts: wire data is untrusted).
+void MarshalValue(const Value& v, ByteWriter* w);
+bool UnmarshalValue(ByteReader* r, Value* out);
+
+// Tuple codec: name + field count + fields.
+void MarshalTuple(const Tuple& t, ByteWriter* w);
+std::optional<TuplePtr> UnmarshalTuple(ByteReader* r);
+
+// Convenience round-trips used by the network stack.
+std::vector<uint8_t> MarshalTupleToBytes(const Tuple& t);
+std::optional<TuplePtr> UnmarshalTupleFromBytes(const std::vector<uint8_t>& bytes);
+
+}  // namespace p2
+
+#endif  // P2_RUNTIME_MARSHAL_H_

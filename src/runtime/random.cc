@@ -1,0 +1,67 @@
+#include "src/runtime/random.h"
+
+#include <cmath>
+
+namespace p2 {
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+double Rng::NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+bool Rng::CoinFlip(double p) { return NextDouble() < p; }
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u >= 1.0) {
+    u = 0.9999999999999999;
+  }
+  return -mean * std::log1p(-u);
+}
+
+Uint160 Rng::NextId() {
+  return Uint160(NextU64() & 0xFFFFFFFFull, NextU64(), NextU64());
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ull); }
+
+}  // namespace p2

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the system (finger-fix coin flips, workload
+// key choice, churn arrivals, topology assignment) draws from an explicit
+// Rng instance so whole experiments are reproducible from a single seed.
+#ifndef P2_RUNTIME_RANDOM_H_
+#define P2_RUNTIME_RANDOM_H_
+
+#include <cstdint>
+
+#include "src/runtime/uint160.h"
+
+namespace p2 {
+
+// xoshiro256** — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Bernoulli(p).
+  bool CoinFlip(double p);
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+  // Uniform 160-bit identifier.
+  Uint160 NextId();
+  // Derives an independent child generator (for per-node streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace p2
+
+#endif  // P2_RUNTIME_RANDOM_H_

@@ -1,0 +1,37 @@
+#include "src/runtime/tuple.h"
+
+namespace p2 {
+
+std::vector<Value> Tuple::KeyOf(const std::vector<size_t>& positions) const {
+  std::vector<Value> key;
+  key.reserve(positions.size());
+  for (size_t p : positions) {
+    key.push_back(p < fields_.size() ? fields_[p] : Value::Null());
+  }
+  return key;
+}
+
+bool Tuple::SameAs(const Tuple& o) const {
+  if (name_ != o.name_ || fields_.size() != o.fields_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i] != o.fields_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += fields_[i].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace p2

@@ -1,0 +1,193 @@
+#include "src/runtime/uint160.h"
+
+#include <cstring>
+
+namespace p2 {
+namespace {
+
+constexpr uint64_t kTopMask = 0xFFFFFFFFu;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Uint160 Uint160::Max() { return Uint160(kTopMask, ~0ull, ~0ull); }
+
+Uint160 Uint160::HashOf(std::string_view bytes) {
+  // FNV-1a over the input to get a seed, then SplitMix64 expansion into
+  // three limbs. Deterministic across platforms; uniform enough for ring IDs.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  uint64_t low = SplitMix64(h);
+  uint64_t mid = SplitMix64(h ^ 0xA5A5A5A5A5A5A5A5ull);
+  uint64_t hi = SplitMix64(h ^ 0x5A5A5A5A5A5A5A5Aull);
+  return Uint160(hi & kTopMask, mid, low);
+}
+
+bool Uint160::FromHex(std::string_view hex, Uint160* out) {
+  if (hex.substr(0, 2) == "0x" || hex.substr(0, 2) == "0X") {
+    hex.remove_prefix(2);
+  }
+  if (hex.empty() || hex.size() > 40) {
+    return false;
+  }
+  Uint160 v;
+  for (char c : hex) {
+    int d = HexDigit(c);
+    if (d < 0) {
+      return false;
+    }
+    v = v << 4;
+    v = v + Uint160(static_cast<uint64_t>(d));
+  }
+  *out = v;
+  return true;
+}
+
+Uint160 Uint160::operator+(const Uint160& o) const {
+  Uint160 r;
+  unsigned __int128 acc = 0;
+  for (int i = 0; i < 3; ++i) {
+    acc += limbs_[i];
+    acc += o.limbs_[i];
+    r.limbs_[i] = static_cast<uint64_t>(acc);
+    acc >>= 64;
+  }
+  r.limbs_[2] &= kTopMask;
+  return r;
+}
+
+Uint160 Uint160::operator-(const Uint160& o) const {
+  Uint160 r;
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 3; ++i) {
+    unsigned __int128 lhs = limbs_[i];
+    unsigned __int128 rhs = static_cast<unsigned __int128>(o.limbs_[i]) + borrow;
+    if (lhs >= rhs) {
+      r.limbs_[i] = static_cast<uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      r.limbs_[i] = static_cast<uint64_t>((static_cast<unsigned __int128>(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  r.limbs_[2] &= kTopMask;
+  return r;
+}
+
+Uint160 Uint160::operator<<(unsigned n) const {
+  if (n >= 160) {
+    return Uint160();
+  }
+  Uint160 r = *this;
+  unsigned whole = n / 64;
+  unsigned frac = n % 64;
+  for (unsigned i = 0; i < whole; ++i) {
+    r.limbs_[2] = r.limbs_[1];
+    r.limbs_[1] = r.limbs_[0];
+    r.limbs_[0] = 0;
+  }
+  if (frac != 0) {
+    r.limbs_[2] = (r.limbs_[2] << frac) | (r.limbs_[1] >> (64 - frac));
+    r.limbs_[1] = (r.limbs_[1] << frac) | (r.limbs_[0] >> (64 - frac));
+    r.limbs_[0] <<= frac;
+  }
+  r.limbs_[2] &= kTopMask;
+  return r;
+}
+
+bool Uint160::operator<(const Uint160& o) const {
+  for (int i = 2; i >= 0; --i) {
+    if (limbs_[i] != o.limbs_[i]) {
+      return limbs_[i] < o.limbs_[i];
+    }
+  }
+  return false;
+}
+
+bool Uint160::InOO(const Uint160& lo, const Uint160& hi) const {
+  if (lo == hi) {
+    return *this != lo;  // Full ring minus the single excluded point.
+  }
+  Uint160 span = hi - lo;
+  Uint160 off = *this - lo;
+  return !off.IsZero() && off < span;
+}
+
+bool Uint160::InOC(const Uint160& lo, const Uint160& hi) const {
+  if (lo == hi) {
+    return true;  // (x, x] wraps the whole ring back to x inclusive.
+  }
+  Uint160 span = hi - lo;
+  Uint160 off = *this - lo;
+  return !off.IsZero() && off <= span;
+}
+
+bool Uint160::InCO(const Uint160& lo, const Uint160& hi) const {
+  if (lo == hi) {
+    return true;
+  }
+  Uint160 span = hi - lo;
+  Uint160 off = *this - lo;
+  return off < span;
+}
+
+bool Uint160::InCC(const Uint160& lo, const Uint160& hi) const {
+  if (lo == hi) {
+    return *this == lo ? true : true;  // [x, x] wrapping covers the ring.
+  }
+  Uint160 span = hi - lo;
+  Uint160 off = *this - lo;
+  return off <= span;
+}
+
+std::string Uint160::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  bool started = false;
+  for (int limb = 2; limb >= 0; --limb) {
+    int top_nibble = (limb == 2) ? 7 : 15;
+    for (int n = top_nibble; n >= 0; --n) {
+      unsigned d = (limbs_[limb] >> (n * 4)) & 0xF;
+      if (!started && d == 0) {
+        continue;
+      }
+      started = true;
+      out.push_back(kDigits[d]);
+    }
+  }
+  if (!started) {
+    out = "0";
+  }
+  return out;
+}
+
+size_t Uint160::HashValue() const {
+  uint64_t h = SplitMix64(limbs_[0]);
+  h ^= SplitMix64(limbs_[1] + 0x9E3779B97F4A7C15ull);
+  h ^= SplitMix64(limbs_[2] + 0x2545F4914F6CDD1Dull);
+  return static_cast<size_t>(h);
+}
+
+}  // namespace p2

@@ -1,0 +1,79 @@
+// 160-bit unsigned integers with mod-2^160 (ring) arithmetic.
+//
+// Chord identifies nodes and keys by 160-bit identifiers on a ring; all of
+// the protocol's interval tests ("K in (N,S]") and distance computations
+// ("D := K - B - 1") are performed modulo 2^160 with wrap-around. This class
+// is the concrete identifier type used by the P2 Value system (ValueType::kId).
+#ifndef P2_RUNTIME_UINT160_H_
+#define P2_RUNTIME_UINT160_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace p2 {
+
+// An unsigned 160-bit integer. Stored as three 64-bit limbs, little-endian
+// limb order; the top limb keeps only its low 32 bits (the rest must be 0).
+class Uint160 {
+ public:
+  constexpr Uint160() : limbs_{0, 0, 0} {}
+  constexpr explicit Uint160(uint64_t low) : limbs_{low, 0, 0} {}
+  constexpr Uint160(uint64_t hi32, uint64_t mid, uint64_t low) : limbs_{low, mid, hi32 & kTopMask} {}
+
+  // 2^160 - 1, the maximum representable value.
+  static Uint160 Max();
+  // Deterministic 160-bit hash of a byte string (SplitMix64-based wide hash;
+  // a stand-in for SHA-1 — see DESIGN.md substitutions).
+  static Uint160 HashOf(std::string_view bytes);
+  // Parses a hexadecimal string (with or without 0x prefix, up to 40 digits).
+  // Returns false on malformed input.
+  static bool FromHex(std::string_view hex, Uint160* out);
+
+  // Arithmetic is mod 2^160 (wraps around the ring).
+  Uint160 operator+(const Uint160& o) const;
+  Uint160 operator-(const Uint160& o) const;
+  // Left shift; shifts >= 160 yield 0.
+  Uint160 operator<<(unsigned n) const;
+
+  bool operator==(const Uint160& o) const { return limbs_ == o.limbs_; }
+  bool operator!=(const Uint160& o) const { return !(*this == o); }
+  bool operator<(const Uint160& o) const;
+  bool operator<=(const Uint160& o) const { return *this < o || *this == o; }
+  bool operator>(const Uint160& o) const { return o < *this; }
+  bool operator>=(const Uint160& o) const { return o <= *this; }
+
+  // Ring-interval membership with Chord semantics. The interval is walked
+  // clockwise from `lo` to `hi`. When lo == hi, an interval that excludes at
+  // least one endpoint denotes the full ring minus the excluded point(s)
+  // (this is what Chord's lookup rules rely on).
+  //   InOO: x in (lo, hi)     InOC: x in (lo, hi]
+  //   InCO: x in [lo, hi)     InCC: x in [lo, hi]
+  bool InOO(const Uint160& lo, const Uint160& hi) const;
+  bool InOC(const Uint160& lo, const Uint160& hi) const;
+  bool InCO(const Uint160& lo, const Uint160& hi) const;
+  bool InCC(const Uint160& lo, const Uint160& hi) const;
+
+  // Clockwise distance from `from` to this (this - from, mod 2^160).
+  Uint160 DistanceFrom(const Uint160& from) const { return *this - from; }
+
+  bool IsZero() const { return limbs_[0] == 0 && limbs_[1] == 0 && limbs_[2] == 0; }
+
+  // Lowercase hex, no leading zeros (at least one digit).
+  std::string ToHex() const;
+  // Low 64 bits (useful for compact logging and tests).
+  uint64_t Low64() const { return limbs_[0]; }
+
+  size_t HashValue() const;
+
+  const std::array<uint64_t, 3>& limbs() const { return limbs_; }
+
+ private:
+  static constexpr uint64_t kTopMask = 0xFFFFFFFFu;
+  std::array<uint64_t, 3> limbs_;  // [0]=low 64, [1]=mid 64, [2]=high 32.
+};
+
+}  // namespace p2
+
+#endif  // P2_RUNTIME_UINT160_H_

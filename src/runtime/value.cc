@@ -1,0 +1,294 @@
+#include "src/runtime/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+// Coerces a numeric-ish value to an Id for ring arithmetic.
+Uint160 ToId(const Value& v) {
+  if (v.type() == ValueType::kId) {
+    return v.AsId();
+  }
+  return Uint160(static_cast<uint64_t>(v.AsInt()));
+}
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kBool || t == ValueType::kInt || t == ValueType::kDouble;
+}
+
+}  // namespace
+
+Value Value::Str(std::string s) {
+  return Value(Payload(std::make_shared<const std::string>(std::move(s))));
+}
+
+Value Value::Addr(std::string a) {
+  return Value(Payload(AddrTag{std::make_shared<const std::string>(std::move(a))}));
+}
+
+Value Value::List(ValueList items) {
+  return Value(Payload(std::make_shared<const ValueList>(std::move(items))));
+}
+
+bool Value::AsBool() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return std::get<bool>(v_);
+    case ValueType::kInt:
+      return std::get<int64_t>(v_) != 0;
+    case ValueType::kDouble:
+      return std::get<double>(v_) != 0.0;
+    default:
+      P2_FATAL("Value::AsBool on %s", ToString().c_str());
+  }
+}
+
+int64_t Value::AsInt() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? 1 : 0;
+    case ValueType::kInt:
+      return std::get<int64_t>(v_);
+    case ValueType::kDouble:
+      return static_cast<int64_t>(std::get<double>(v_));
+    default:
+      P2_FATAL("Value::AsInt on %s", ToString().c_str());
+  }
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? 1.0 : 0.0;
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(v_));
+    case ValueType::kDouble:
+      return std::get<double>(v_);
+    default:
+      P2_FATAL("Value::AsDouble on %s", ToString().c_str());
+  }
+}
+
+const std::string& Value::AsStr() const {
+  if (type() != ValueType::kStr) {
+    P2_FATAL("Value::AsStr on %s", ToString().c_str());
+  }
+  return *std::get<std::shared_ptr<const std::string>>(v_);
+}
+
+const Uint160& Value::AsId() const {
+  if (type() != ValueType::kId) {
+    P2_FATAL("Value::AsId on %s", ToString().c_str());
+  }
+  return std::get<Uint160>(v_);
+}
+
+const std::string& Value::AsAddr() const {
+  if (type() != ValueType::kAddr) {
+    P2_FATAL("Value::AsAddr on %s", ToString().c_str());
+  }
+  return *std::get<AddrTag>(v_).s;
+}
+
+const ValueList& Value::AsList() const {
+  if (type() != ValueType::kList) {
+    P2_FATAL("Value::AsList on %s", ToString().c_str());
+  }
+  return *std::get<std::shared_ptr<const ValueList>>(v_);
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  ValueType ta = a.type();
+  ValueType tb = b.type();
+  // Cross-type numeric comparison.
+  if (IsNumeric(ta) && IsNumeric(tb) && ta != tb) {
+    double da = a.AsDouble();
+    double db = b.AsDouble();
+    return da < db ? -1 : (da > db ? 1 : 0);
+  }
+  if (ta != tb) {
+    return static_cast<int>(ta) < static_cast<int>(tb) ? -1 : 1;
+  }
+  switch (ta) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool x = std::get<bool>(a.v_);
+      bool y = std::get<bool>(b.v_);
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case ValueType::kInt: {
+      int64_t x = std::get<int64_t>(a.v_);
+      int64_t y = std::get<int64_t>(b.v_);
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case ValueType::kDouble: {
+      double x = std::get<double>(a.v_);
+      double y = std::get<double>(b.v_);
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case ValueType::kStr:
+      return a.AsStr().compare(b.AsStr());
+    case ValueType::kId: {
+      const Uint160& x = a.AsId();
+      const Uint160& y = b.AsId();
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case ValueType::kAddr:
+      return a.AsAddr().compare(b.AsAddr());
+    case ValueType::kList: {
+      const ValueList& x = a.AsList();
+      const ValueList& y = b.AsList();
+      size_t n = std::min(x.size(), y.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(x[i], y[i]);
+        if (c != 0) {
+          return c;
+        }
+      }
+      return x.size() == y.size() ? 0 : (x.size() < y.size() ? -1 : 1);
+    }
+  }
+  P2_FATAL("unreachable value type");
+}
+
+Value Value::Add(const Value& a, const Value& b) {
+  if (a.type() == ValueType::kId || b.type() == ValueType::kId) {
+    return Id(ToId(a) + ToId(b));
+  }
+  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+    return Double(a.AsDouble() + b.AsDouble());
+  }
+  if (a.type() == ValueType::kStr && b.type() == ValueType::kStr) {
+    return Str(a.AsStr() + b.AsStr());
+  }
+  return Int(a.AsInt() + b.AsInt());
+}
+
+Value Value::Sub(const Value& a, const Value& b) {
+  if (a.type() == ValueType::kId || b.type() == ValueType::kId) {
+    return Id(ToId(a) - ToId(b));
+  }
+  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+    return Double(a.AsDouble() - b.AsDouble());
+  }
+  return Int(a.AsInt() - b.AsInt());
+}
+
+Value Value::Mul(const Value& a, const Value& b) {
+  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+    return Double(a.AsDouble() * b.AsDouble());
+  }
+  return Int(a.AsInt() * b.AsInt());
+}
+
+Value Value::Div(const Value& a, const Value& b) {
+  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+    double d = b.AsDouble();
+    return Double(d == 0.0 ? 0.0 : a.AsDouble() / d);
+  }
+  int64_t d = b.AsInt();
+  return Int(d == 0 ? 0 : a.AsInt() / d);
+}
+
+Value Value::Mod(const Value& a, const Value& b) {
+  int64_t d = b.AsInt();
+  return Int(d == 0 ? 0 : a.AsInt() % d);
+}
+
+Value Value::Shl(const Value& a, const Value& b) {
+  int64_t n = b.AsInt();
+  if (n < 0) {
+    n = 0;
+  }
+  return Id(ToId(a) << static_cast<unsigned>(n));
+}
+
+size_t Value::HashValue() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? 0x1234567u : 0x7654321u;
+    case ValueType::kInt:
+      return std::hash<int64_t>()(std::get<int64_t>(v_));
+    case ValueType::kDouble:
+      return std::hash<double>()(std::get<double>(v_));
+    case ValueType::kStr:
+      return std::hash<std::string>()(AsStr());
+    case ValueType::kId:
+      return AsId().HashValue();
+    case ValueType::kAddr:
+      return std::hash<std::string>()(AsAddr()) ^ 0xA5A5A5A5u;
+    case ValueType::kList: {
+      size_t h = 0x51ED270Bu;
+      for (const Value& v : AsList()) {
+        h = h * 1099511628211ull + v.HashValue();
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v_));
+      return buf;
+    }
+    case ValueType::kStr:
+      return "\"" + AsStr() + "\"";
+    case ValueType::kId:
+      return "0x" + AsId().ToHex();
+    case ValueType::kAddr:
+      return AsAddr();
+    case ValueType::kList: {
+      std::string out = "[";
+      bool first = true;
+      for (const Value& v : AsList()) {
+        if (!first) {
+          out += ", ";
+        }
+        first = false;
+        out += v.ToString();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+size_t ValueVecHash::operator()(const std::vector<Value>& vs) const {
+  size_t h = 0xCBF29CE4u;
+  for (const Value& v : vs) {
+    h = h * 1099511628211ull + v.HashValue();
+  }
+  return h;
+}
+
+bool ValueVecEq::operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace p2

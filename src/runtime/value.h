@@ -1,0 +1,110 @@
+// The P2 concrete type system.
+//
+// A Value is the unit of information passed around the system (§3.1 of the
+// paper): strings, integers, doubles, timestamps, 160-bit identifiers,
+// network addresses, and lists. Values are immutable; heavyweight payloads
+// (strings, lists) are shared via reference counting so copies are cheap.
+#ifndef P2_RUNTIME_VALUE_H_
+#define P2_RUNTIME_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/runtime/uint160.h"
+
+namespace p2 {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,     // int64
+  kDouble = 3,  // also used for timestamps (seconds)
+  kStr = 4,
+  kId = 5,    // 160-bit ring identifier
+  kAddr = 6,  // network address ("host:port" or simulator node name)
+  kList = 7,
+};
+
+class Value;
+using ValueList = std::vector<Value>;
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Payload(b)); }
+  static Value Int(int64_t i) { return Value(Payload(i)); }
+  static Value Double(double d) { return Value(Payload(d)); }
+  static Value Str(std::string s);
+  static Value Id(const Uint160& id) { return Value(Payload(id)); }
+  static Value Addr(std::string a);
+  static Value List(ValueList items);
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Typed accessors. Numeric accessors coerce between bool/int/double;
+  // everything else requires an exact type match and aborts otherwise
+  // (programming error — planner-generated code always type-checks first).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsStr() const;
+  const Uint160& AsId() const;
+  const std::string& AsAddr() const;
+  const ValueList& AsList() const;
+
+  // Total order over all values: by type rank, then within type; int and
+  // double compare numerically against each other. Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+  bool operator==(const Value& o) const { return Compare(*this, o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(*this, o) != 0; }
+  bool operator<(const Value& o) const { return Compare(*this, o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(*this, o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(*this, o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(*this, o) >= 0; }
+
+  // Arithmetic with P2 coercion rules:
+  //  - if either operand is an Id, compute mod 2^160 on the ring;
+  //  - else if either is a double, compute in double;
+  //  - else integer arithmetic.
+  // Shl ("<<") always yields an Id: its sole use in OverLog programs is
+  // constructing ring offsets (1 << I), which must not truncate at 64 bits.
+  static Value Add(const Value& a, const Value& b);
+  static Value Sub(const Value& a, const Value& b);
+  static Value Mul(const Value& a, const Value& b);
+  static Value Div(const Value& a, const Value& b);
+  static Value Mod(const Value& a, const Value& b);
+  static Value Shl(const Value& a, const Value& b);
+
+  size_t HashValue() const;
+  std::string ToString() const;
+
+ private:
+  struct AddrTag {
+    std::shared_ptr<const std::string> s;
+  };
+  using Payload = std::variant<std::monostate, bool, int64_t, double,
+                               std::shared_ptr<const std::string>, Uint160, AddrTag,
+                               std::shared_ptr<const ValueList>>;
+  explicit Value(Payload p) : v_(std::move(p)) {}
+
+  Payload v_;
+};
+
+// Hash functor for use in unordered containers keyed by Value vectors.
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& vs) const;
+};
+struct ValueVecEq {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const;
+};
+
+}  // namespace p2
+
+#endif  // P2_RUNTIME_VALUE_H_

@@ -1,0 +1,58 @@
+#include "src/sim/event_loop.h"
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+TimerId SimEventLoop::ScheduleAfter(double delay, Task task) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  TimerId id = ++next_id_;
+  heap_.push(Entry{now_ + delay, next_seq_++, id, std::move(task)});
+  return id;
+}
+
+void SimEventLoop::Cancel(TimerId id) {
+  if (id != kInvalidTimer) {
+    cancelled_.insert(id);
+  }
+}
+
+void SimEventLoop::RunUntil(double deadline) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (top.at > deadline) {
+      break;
+    }
+    if (cancelled_.erase(top.id) > 0) {
+      heap_.pop();
+      continue;
+    }
+    Entry e = std::move(const_cast<Entry&>(top));
+    heap_.pop();
+    now_ = e.at;
+    ++events_run_;
+    e.task();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void SimEventLoop::RunAll() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      heap_.pop();
+      continue;
+    }
+    Entry e = std::move(const_cast<Entry&>(top));
+    heap_.pop();
+    now_ = e.at;
+    ++events_run_;
+    e.task();
+  }
+}
+
+}  // namespace p2

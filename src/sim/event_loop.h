@@ -1,0 +1,66 @@
+// Discrete-event simulation loop with virtual time.
+#ifndef P2_SIM_EVENT_LOOP_H_
+#define P2_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/runtime/executor.h"
+
+namespace p2 {
+
+// A virtual-time Executor. Time advances instantaneously to the next
+// scheduled event; handlers run to completion in timestamp order (FIFO
+// among equal timestamps).
+class SimEventLoop : public Executor {
+ public:
+  SimEventLoop() = default;
+  SimEventLoop(const SimEventLoop&) = delete;
+  SimEventLoop& operator=(const SimEventLoop&) = delete;
+
+  double Now() const override { return now_; }
+  TimerId ScheduleAfter(double delay, Task task) override;
+  void Cancel(TimerId id) override;
+
+  // Runs events until the queue drains or `deadline` (virtual seconds) is
+  // reached; time is left at min(deadline, last event time). Events at
+  // exactly `deadline` do run.
+  void RunUntil(double deadline);
+
+  // Runs until the queue is completely empty. Only safe for programs
+  // without self-perpetuating timers.
+  void RunAll();
+
+  // Number of events executed so far (for tests / benchmarks).
+  uint64_t events_run() const { return events_run_; }
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    double at;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    TimerId id;
+    Task task;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 1;
+  TimerId next_id_ = 1;
+  uint64_t events_run_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace p2
+
+#endif  // P2_SIM_EVENT_LOOP_H_

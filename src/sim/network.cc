@@ -1,0 +1,67 @@
+#include "src/sim/network.h"
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+std::unique_ptr<SimTransport> SimNetwork::MakeTransport(const std::string& addr,
+                                                        size_t topo_index) {
+  P2_CHECK(endpoints_.find(addr) == endpoints_.end());
+  auto t = std::unique_ptr<SimTransport>(new SimTransport(this, addr, topo_index));
+  endpoints_[addr] = Endpoint{t.get(), topo_index};
+  return t;
+}
+
+void SimNetwork::Unregister(const std::string& addr) { endpoints_.erase(addr); }
+
+void SimNetwork::Send(SimTransport* from, const std::string& to, std::vector<uint8_t> bytes) {
+  if (loss_rate_ > 0 && rng_.CoinFlip(loss_rate_)) {
+    return;
+  }
+  auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    return;  // Destination dead or never existed: datagram vanishes.
+  }
+  size_t src = from->topo_index();
+  size_t dst = it->second.topo_index;
+  double latency = topology_.LatencyBetween(src, dst) +
+                   topology_.SerializationDelay(src, dst, bytes.size() + kUdpIpHeaderBytes);
+  double jitter = topology_.config().jitter_fraction;
+  if (jitter > 0) {
+    latency *= 1.0 + jitter * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  std::string from_addr = from->local_addr();
+  loop_->ScheduleAfter(latency, [this, from_addr, to, bytes = std::move(bytes)]() {
+    auto it2 = endpoints_.find(to);
+    if (it2 == endpoints_.end()) {
+      return;  // Died in flight.
+    }
+    ++delivered_;
+    it2->second.transport->Deliver(from_addr, bytes);
+  });
+}
+
+SimTransport::~SimTransport() { net_->Unregister(addr_); }
+
+void SimTransport::SendTo(const std::string& to, std::vector<uint8_t> bytes,
+                          bool is_lookup_traffic) {
+  size_t wire_bytes = bytes.size() + kUdpIpHeaderBytes;
+  stats_.bytes_out += wire_bytes;
+  stats_.msgs_out += 1;
+  if (is_lookup_traffic) {
+    stats_.lookup_bytes_out += wire_bytes;
+  } else {
+    stats_.maint_bytes_out += wire_bytes;
+  }
+  net_->Send(this, to, std::move(bytes));
+}
+
+void SimTransport::Deliver(const std::string& from, const std::vector<uint8_t>& bytes) {
+  stats_.bytes_in += bytes.size() + kUdpIpHeaderBytes;
+  stats_.msgs_in += 1;
+  if (receiver_) {
+    receiver_(from, bytes);
+  }
+}
+
+}  // namespace p2

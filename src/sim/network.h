@@ -1,0 +1,90 @@
+// Simulated datagram network over the transit-stub topology.
+#ifndef P2_SIM_NETWORK_H_
+#define P2_SIM_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/runtime/random.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/topology.h"
+
+namespace p2 {
+
+class SimTransport;
+
+// The shared fabric: owns the address registry and delivers datagrams with
+// topology-derived latency (+ optional jitter and loss). Endpoints are
+// SimTransport objects created via MakeTransport.
+class SimNetwork {
+ public:
+  SimNetwork(SimEventLoop* loop, Topology topology, uint64_t seed)
+      : loop_(loop), topology_(topology), rng_(seed) {}
+
+  // Creates an endpoint bound to `addr`, placed at `topo_index` in the
+  // topology. Addresses must be unique among live endpoints.
+  std::unique_ptr<SimTransport> MakeTransport(const std::string& addr, size_t topo_index);
+
+  // Probability that any datagram is silently dropped (default 0).
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  // Simulates a node crash: datagrams to `addr` vanish. Called by the
+  // transport destructor as well.
+  void Unregister(const std::string& addr);
+
+  // Fabric-wide delivered-message counter (for tests).
+  uint64_t delivered() const { return delivered_; }
+
+  SimEventLoop* loop() { return loop_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  friend class SimTransport;
+
+  struct Endpoint {
+    SimTransport* transport;
+    size_t topo_index;
+  };
+
+  void Send(SimTransport* from, const std::string& to, std::vector<uint8_t> bytes);
+
+  SimEventLoop* loop_;
+  Topology topology_;
+  Rng rng_;
+  double loss_rate_ = 0.0;
+  uint64_t delivered_ = 0;
+  std::unordered_map<std::string, Endpoint> endpoints_;
+};
+
+class SimTransport : public Transport {
+ public:
+  ~SimTransport() override;
+
+  const std::string& local_addr() const override { return addr_; }
+  void SendTo(const std::string& to, std::vector<uint8_t> bytes,
+              bool is_lookup_traffic) override;
+  void SetReceiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
+  const TrafficStats& stats() const override { return stats_; }
+
+  size_t topo_index() const { return topo_index_; }
+
+ private:
+  friend class SimNetwork;
+  SimTransport(SimNetwork* net, std::string addr, size_t topo_index)
+      : net_(net), addr_(std::move(addr)), topo_index_(topo_index) {}
+
+  void Deliver(const std::string& from, const std::vector<uint8_t>& bytes);
+
+  SimNetwork* net_;
+  std::string addr_;
+  size_t topo_index_;
+  ReceiveFn receiver_;
+  TrafficStats stats_;
+};
+
+}  // namespace p2
+
+#endif  // P2_SIM_NETWORK_H_

@@ -1,0 +1,204 @@
+#include "src/table/table.h"
+
+#include <cmath>
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+Table::Table(TableSpec spec, Executor* executor) : spec_(std::move(spec)), executor_(executor) {
+  P2_CHECK(executor_ != nullptr);
+}
+
+std::vector<Value> Table::PrimaryKeyOf(const Tuple& t) const {
+  if (spec_.key_positions.empty()) {
+    return t.fields();
+  }
+  return t.KeyOf(spec_.key_positions);
+}
+
+std::string Table::ColsKey(const std::vector<size_t>& cols) {
+  std::string k;
+  for (size_t c : cols) {
+    k += std::to_string(c);
+    k.push_back(',');
+  }
+  return k;
+}
+
+void Table::PurgeExpired() {
+  if (!std::isfinite(spec_.lifetime_s)) {
+    return;
+  }
+  double now = executor_->Now();
+  while (!rows_.empty() && rows_.front().expires_at <= now) {
+    EraseRow(rows_.begin(), /*notify_removal=*/true);
+  }
+}
+
+void Table::EraseRow(RowList::iterator it, bool notify_removal) {
+  TuplePtr gone = it->tuple;
+  IndexErase(it);
+  primary_.erase(PrimaryKeyOf(*gone));
+  rows_.erase(it);
+  if (notify_removal) {
+    for (const RemoveFn& fn : remove_listeners_) {
+      fn(gone);
+    }
+  }
+}
+
+void Table::IndexInsert(RowList::iterator it) {
+  for (auto& [name, idx] : secondary_) {
+    (void)name;
+    idx.map.emplace(it->tuple->KeyOf(idx.cols), it);
+  }
+}
+
+void Table::IndexErase(RowList::iterator it) {
+  for (auto& [name, idx] : secondary_) {
+    (void)name;
+    auto range = idx.map.equal_range(it->tuple->KeyOf(idx.cols));
+    for (auto i = range.first; i != range.second; ++i) {
+      if (i->second == it) {
+        idx.map.erase(i);
+        break;
+      }
+    }
+  }
+}
+
+bool Table::Insert(const TuplePtr& t) {
+  P2_CHECK(t != nullptr);
+  if (spec_.arity != 0 && t->size() != spec_.arity) {
+    P2_LOG(LogLevel::kDebug, "table %s: dropping tuple with arity %zu (want %zu)",
+           spec_.name.c_str(), t->size(), spec_.arity);
+    return false;
+  }
+  PurgeExpired();
+  double expires = std::isfinite(spec_.lifetime_s)
+                       ? executor_->Now() + spec_.lifetime_s
+                       : std::numeric_limits<double>::infinity();
+  std::vector<Value> key = PrimaryKeyOf(*t);
+  auto found = primary_.find(key);
+  bool changed = true;
+  if (found != primary_.end()) {
+    changed = !found->second->tuple->SameAs(*t);
+    // Refresh: move to the back (newest), update content + expiry. This is
+    // a replacement, not a removal — removal listeners stay silent.
+    EraseRow(found->second, /*notify_removal=*/false);
+  }
+  rows_.push_back(Row{t, expires});
+  auto it = std::prev(rows_.end());
+  primary_.emplace(std::move(key), it);
+  IndexInsert(it);
+  // FIFO eviction beyond capacity.
+  while (rows_.size() > spec_.max_size) {
+    EraseRow(rows_.begin(), /*notify_removal=*/true);
+  }
+  // Listeners fire on every insertion, including TTL refreshes of identical
+  // rows. Refresh visibility matters: e.g. Chord's ping-response rule
+  // re-inserts successors, which must re-derive pingNode entries before
+  // their own soft state expires. Rule sets must avoid self-triggering
+  // insertion cycles (the planner's delta events are the only consumers).
+  for (const DeltaFn& fn : listeners_) {
+    fn(t);
+  }
+  return changed;
+}
+
+bool Table::DeleteByKey(const std::vector<Value>& key) {
+  PurgeExpired();
+  auto found = primary_.find(key);
+  if (found == primary_.end()) {
+    return false;
+  }
+  EraseRow(found->second, /*notify_removal=*/true);
+  return true;
+}
+
+bool Table::DeleteMatching(const Tuple& derived) {
+  return DeleteByKey(PrimaryKeyOf(derived));
+}
+
+void Table::AddIndex(const std::vector<size_t>& cols) {
+  std::string key = ColsKey(cols);
+  if (secondary_.count(key) > 0) {
+    return;
+  }
+  SecondaryIndex idx;
+  idx.cols = cols;
+  for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+    idx.map.emplace(it->tuple->KeyOf(cols), it);
+  }
+  secondary_.emplace(std::move(key), std::move(idx));
+}
+
+bool Table::HasIndex(const std::vector<size_t>& cols) const {
+  return secondary_.count(ColsKey(cols)) > 0;
+}
+
+std::vector<TuplePtr> Table::LookupByCols(const std::vector<size_t>& cols,
+                                          const std::vector<Value>& vals) {
+  PurgeExpired();
+  std::vector<TuplePtr> out;
+  auto idx_it = secondary_.find(ColsKey(cols));
+  if (idx_it != secondary_.end()) {
+    auto range = idx_it->second.map.equal_range(vals);
+    for (auto i = range.first; i != range.second; ++i) {
+      out.push_back(i->second->tuple);
+    }
+    return out;
+  }
+  // No index: scan.
+  for (const Row& row : rows_) {
+    bool match = true;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] >= row.tuple->size() || row.tuple->field(cols[i]) != vals[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      out.push_back(row.tuple);
+    }
+  }
+  return out;
+}
+
+std::vector<TuplePtr> Table::Scan() {
+  PurgeExpired();
+  std::vector<TuplePtr> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    out.push_back(row.tuple);
+  }
+  return out;
+}
+
+TuplePtr Table::FindByKey(const std::vector<Value>& key) {
+  PurgeExpired();
+  auto found = primary_.find(key);
+  return found == primary_.end() ? nullptr : found->second->tuple;
+}
+
+size_t Table::size() {
+  PurgeExpired();
+  return rows_.size();
+}
+
+size_t Table::ApproxBytes() const {
+  // Rough per-row accounting: tuple header + per-field Value + index entries.
+  size_t bytes = sizeof(Table);
+  for (const Row& row : rows_) {
+    bytes += sizeof(Row) + sizeof(Tuple) + row.tuple->size() * (sizeof(Value) + 16);
+  }
+  bytes += primary_.size() * 48;
+  for (const auto& [name, idx] : secondary_) {
+    (void)name;
+    bytes += idx.map.size() * 48;
+  }
+  return bytes;
+}
+
+}  // namespace p2

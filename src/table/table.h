@@ -1,0 +1,130 @@
+// Soft-state tables (§2.1, §3.2).
+//
+// A Table stores tuples subject to a lifetime (expiry) and a maximum size,
+// with a primary key and optional secondary indices. Insertion replaces the
+// row with the same primary key; when the table overflows, the oldest row
+// is evicted (FIFO). Expiry is enforced lazily: expired rows are purged at
+// the start of every public operation (the list is kept in
+// refresh/insertion order, so expiry sweeps from the front).
+//
+// Tables are node-local; partitioning across nodes is expressed by OverLog
+// location specifiers, not by the table layer.
+#ifndef P2_TABLE_TABLE_H_
+#define P2_TABLE_TABLE_H_
+
+#include <functional>
+#include <limits>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/executor.h"
+#include "src/runtime/tuple.h"
+
+namespace p2 {
+
+struct TableSpec {
+  std::string name;
+  // Soft-state lifetime in seconds; infinity() means "never expires".
+  double lifetime_s = std::numeric_limits<double>::infinity();
+  // Maximum number of rows; oldest evicted beyond this.
+  size_t max_size = std::numeric_limits<size_t>::max();
+  // 0-based field positions forming the primary key. Empty means "whole
+  // tuple is the key".
+  std::vector<size_t> key_positions;
+  // Expected tuple arity; 0 disables the check. The planner infers this
+  // from the relation's use in rules so that malformed tuples arriving off
+  // the wire cannot plant short rows that later crash field-indexing
+  // operators.
+  size_t arity = 0;
+};
+
+class Table {
+ public:
+  // Listener invoked after every insertion, including TTL refreshes of an
+  // identical row (refreshes must propagate so that downstream soft state
+  // derived from this table is refreshed too).
+  using DeltaFn = std::function<void(const TuplePtr&)>;
+  // Listener invoked after a row leaves the table for good: explicit
+  // delete, TTL expiry, or FIFO eviction — but NOT replacement by key
+  // (that is an update, reported through the insert delta). Table
+  // aggregates need this to shrink (e.g. Chord's succCount must drop after
+  // successor eviction or the eviction rule never re-fires).
+  using RemoveFn = std::function<void(const TuplePtr&)>;
+
+  Table(TableSpec spec, Executor* executor);
+
+  const std::string& name() const { return spec_.name; }
+  const TableSpec& spec() const { return spec_; }
+
+  // Inserts or replaces by primary key. Returns true iff content changed.
+  bool Insert(const TuplePtr& t);
+
+  // Removes the row whose primary key matches `key`. Returns true if a row
+  // was removed.
+  bool DeleteByKey(const std::vector<Value>& key);
+  // Convenience: extracts the key from a derived tuple and deletes.
+  bool DeleteMatching(const Tuple& derived);
+
+  // Declares a secondary index over `cols` (0-based). Idempotent.
+  void AddIndex(const std::vector<size_t>& cols);
+  bool HasIndex(const std::vector<size_t>& cols) const;
+
+  // All rows whose `cols` fields equal `vals`. Uses a secondary index when
+  // one exists, otherwise scans. Purges expired rows first.
+  std::vector<TuplePtr> LookupByCols(const std::vector<size_t>& cols,
+                                     const std::vector<Value>& vals);
+
+  // All live rows, oldest first.
+  std::vector<TuplePtr> Scan();
+
+  // Row with exactly this primary key, or nullptr.
+  TuplePtr FindByKey(const std::vector<Value>& key);
+
+  size_t size();
+
+  // Registers a content-change listener (insert deltas).
+  void AddDeltaListener(DeltaFn fn) { listeners_.push_back(std::move(fn)); }
+  // Registers a removal listener (deletes, expiry, eviction).
+  void AddRemoveListener(RemoveFn fn) { remove_listeners_.push_back(std::move(fn)); }
+
+  // Approximate resident bytes (rows + index overhead) for the memory
+  // footprint experiment (E9).
+  size_t ApproxBytes() const;
+
+  // Purges expired rows now (also runs implicitly before every query).
+  void PurgeExpired();
+
+ private:
+  struct Row {
+    TuplePtr tuple;
+    double expires_at;
+  };
+  using RowList = std::list<Row>;
+  using KeyMap =
+      std::unordered_map<std::vector<Value>, RowList::iterator, ValueVecHash, ValueVecEq>;
+
+  std::vector<Value> PrimaryKeyOf(const Tuple& t) const;
+  void EraseRow(RowList::iterator it, bool notify_removal);
+  void IndexInsert(RowList::iterator it);
+  void IndexErase(RowList::iterator it);
+  static std::string ColsKey(const std::vector<size_t>& cols);
+
+  TableSpec spec_;
+  Executor* executor_;
+  RowList rows_;  // insertion/refresh order: front = oldest
+  KeyMap primary_;
+  struct SecondaryIndex {
+    std::vector<size_t> cols;
+    std::unordered_multimap<std::vector<Value>, RowList::iterator, ValueVecHash, ValueVecEq> map;
+  };
+  std::map<std::string, SecondaryIndex> secondary_;
+  std::vector<DeltaFn> listeners_;
+  std::vector<RemoveFn> remove_listeners_;
+};
+
+}  // namespace p2
+
+#endif  // P2_TABLE_TABLE_H_

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/chord_baseline.h"
+#include "src/harness/workload.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+namespace {
+
+BaselineChordConfig FastBaseline() {
+  BaselineChordConfig c;
+  c.stabilize_period_s = 2.0;
+  c.finger_fix_period_s = 2.0;
+  c.ping_period_s = 2.0;
+  c.join_retry_s = 2.0;
+  return c;
+}
+
+TEST(BaselineChord, SingleNodeSelfRing) {
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), 9);
+  auto t = net.MakeTransport("b0", 0);
+  BaselineChordNode node(&loop, t.get(), 1, FastBaseline(), "");
+  node.Start();
+  loop.RunUntil(5.0);
+  auto best = node.BestSuccessor();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->second, "b0");
+  bool answered = false;
+  node.OnLookupResult([&](const BaselineChordNode::LookupResult& r) {
+    EXPECT_EQ(r.successor_addr, "b0");
+    answered = true;
+  });
+  node.Lookup(Uint160::HashOf("k"));
+  loop.RunUntil(7.0);
+  EXPECT_TRUE(answered);
+}
+
+TEST(BaselineChord, RingFormsViaTestbed) {
+  TestbedConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.seed = 4;
+  cfg.use_baseline = true;
+  cfg.baseline = FastBaseline();
+  cfg.join_stagger_s = 0.5;
+  ChordTestbed tb(cfg);
+  tb.BuildAndSettle(80.0);
+  EXPECT_EQ(tb.JoinedFraction(), 1.0);
+  EXPECT_GE(tb.RingConsistencyFraction(), 0.9);
+}
+
+TEST(BaselineChord, LookupsResolveConsistently) {
+  TestbedConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.seed = 6;
+  cfg.use_baseline = true;
+  cfg.baseline = FastBaseline();
+  ChordTestbed tb(cfg);
+  tb.BuildAndSettle(80.0);
+  for (int i = 0; i < 20; ++i) {
+    tb.IssueRandomLookup();
+    tb.RunFor(1.0);
+  }
+  tb.RunFor(10.0);
+  size_t completed = 0;
+  size_t consistent = 0;
+  for (const auto& rec : tb.lookups()) {
+    if (rec.completed) {
+      ++completed;
+      consistent += rec.consistent ? 1 : 0;
+      EXPECT_LE(rec.hops, 10);
+    }
+  }
+  EXPECT_GE(completed, 18u);
+  EXPECT_GE(static_cast<double>(consistent), 0.9 * static_cast<double>(completed));
+}
+
+TEST(BaselineChord, DeathDetectedByPings) {
+  TestbedConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.seed = 8;
+  cfg.use_baseline = true;
+  cfg.baseline = FastBaseline();
+  ChordTestbed tb(cfg);
+  tb.BuildAndSettle(60.0);
+  ASSERT_GE(tb.RingConsistencyFraction(), 0.9);
+  tb.ReplaceNode(3);
+  tb.RunFor(60.0);
+  EXPECT_GE(tb.JoinedFraction(), 0.99);
+  EXPECT_GE(tb.RingConsistencyFraction(), 0.8);
+}
+
+}  // namespace
+}  // namespace p2

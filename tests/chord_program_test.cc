@@ -1,0 +1,158 @@
+// Golden tests over the bundled Chord OverLog program: structural
+// properties of the specification itself and of the plan it compiles to,
+// independent of protocol dynamics.
+#include <gtest/gtest.h>
+
+#include "src/overlays/chord.h"
+#include "src/overlays/narada.h"
+#include "src/overlog/localizer.h"
+#include "src/overlog/parser.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+namespace {
+
+ProgramAst ParseChord(const ChordConfig& cfg) {
+  ProgramAst ast;
+  std::string err;
+  EXPECT_TRUE(ParseOverLog(ChordProgramText(cfg), &ast, &err)) << err;
+  return ast;
+}
+
+TEST(ChordProgram, DeclaresThePaperTables) {
+  ProgramAst ast = ParseChord(ChordConfig{});
+  const char* expected[] = {"node",      "finger",   "bestSucc",      "succDist",
+                            "succ",      "pred",     "succCount",     "join",
+                            "landmark",  "fFix",     "nextFingerFix", "pingNode",
+                            "pendingPing"};
+  for (const char* name : expected) {
+    EXPECT_TRUE(ast.IsMaterialized(name)) << name;
+  }
+  EXPECT_EQ(ast.materializations.size(), 13u);
+}
+
+TEST(ChordProgram, KeyRulesPresentWithExpectedShape) {
+  ProgramAst ast = ParseChord(ChordConfig{});
+  auto find = [&](const std::string& id) -> const RuleAst* {
+    for (const RuleAst& r : ast.rules) {
+      if (r.id == id) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  // L1: answers lookups via the best successor.
+  const RuleAst* l1 = find("L1");
+  ASSERT_NE(l1, nullptr);
+  EXPECT_EQ(l1->head.name, "lookupResults");
+  EXPECT_EQ(l1->head.locspec, "R");  // replies go to the requester
+  // L3: forwards through the minimal-distance finger.
+  const RuleAst* l3 = find("L3");
+  ASSERT_NE(l3, nullptr);
+  EXPECT_EQ(l3->head.name, "lookup");
+  EXPECT_EQ(l3->head.args[0]->kind, ExprKind::kAgg);
+  EXPECT_EQ(l3->head.args[0]->name, "min");
+  // S4: successor eviction is a deletion rule.
+  const RuleAst* s4 = find("S4");
+  ASSERT_NE(s4, nullptr);
+  EXPECT_TRUE(s4->delete_head);
+  EXPECT_EQ(s4->head.name, "succ");
+  // SB0/F0 are facts.
+  EXPECT_TRUE(find("SB0")->IsFact());
+  EXPECT_TRUE(find("F0")->IsFact());
+  // The timer parameters were substituted (no %...% left anywhere).
+  EXPECT_EQ(ChordProgramText(ChordConfig{}).find('%'), std::string::npos);
+}
+
+TEST(ChordProgram, AllRulesAreCollocated) {
+  // The full Chord spec never needs the localizer: every body is
+  // single-location (heads may be remote).
+  ProgramAst ast = ParseChord(ChordConfig{});
+  size_t before = ast.rules.size();
+  std::string err;
+  ASSERT_TRUE(LocalizeProgram(&ast, &err)) << err;
+  EXPECT_EQ(ast.rules.size(), before);  // no rewrites happened
+}
+
+TEST(ChordProgram, NaiveFingerVariantParsesAndIsSmaller) {
+  ChordConfig eager;
+  ChordConfig naive;
+  naive.eager_fingers = false;
+  EXPECT_LT(ChordRuleCount(naive), ChordRuleCount(eager));
+  ProgramAst ast = ParseChord(naive);
+  for (const RuleAst& r : ast.rules) {
+    EXPECT_NE(r.id, "F9");  // the eager-advance rules are absent
+    EXPECT_NE(r.id, "F8");
+  }
+}
+
+TEST(ChordProgram, NaiveFingerVariantStillFormsARing) {
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), 61);
+  ChordConfig cfg;
+  cfg.finger_fix_period_s = 1.0;
+  cfg.stabilize_period_s = 2.5;
+  cfg.ping_period_s = 0.8;
+  cfg.succ_lifetime_s = 1.7;
+  cfg.eager_fingers = false;
+  std::vector<std::unique_ptr<SimTransport>> ts;
+  std::vector<std::unique_ptr<ChordNode>> ns;
+  for (size_t i = 0; i < 4; ++i) {
+    ts.push_back(net.MakeTransport("n" + std::to_string(i), i));
+    P2NodeConfig nc;
+    nc.executor = &loop;
+    nc.transport = ts[i].get();
+    nc.seed = 70 + i;
+    ns.push_back(std::make_unique<ChordNode>(nc, cfg, i == 0 ? "" : "n0"));
+    ns[i]->Start();
+    loop.RunUntil(loop.Now() + 2.0);
+  }
+  loop.RunUntil(60.0);
+  for (auto& n : ns) {
+    EXPECT_TRUE(n->BestSuccessor().has_value()) << n->addr();
+  }
+  // Lookups still resolve (successor routing suffices on a small ring).
+  bool answered = false;
+  ns[1]->OnLookupResult([&](const ChordNode::LookupResult&) { answered = true; });
+  ns[1]->Lookup(Uint160::HashOf("k"));
+  loop.RunUntil(70.0);
+  EXPECT_TRUE(answered);
+}
+
+TEST(ChordProgram, CompiledPlanRoutesEveryEvent) {
+  // Compile one node and verify the demux has routes for the protocol's
+  // wire-visible event names (a misspelled rule would silently drop them).
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), 62);
+  auto t = net.MakeTransport("n0", 0);
+  P2NodeConfig nc;
+  nc.executor = &loop;
+  nc.transport = t.get();
+  nc.seed = 1;
+  ChordNode node(nc, ChordConfig{}, "");
+  std::string dump = node.node()->graph().Dump();
+  for (const char* stream :
+       {"rule:L1", "rule:L2", "rule:L3", "rule:C4", "rule:SB3", "rule:SB6", "rule:CM6",
+        "insert:succ", "insert:pred", "insert:finger", "dup:lookup", "dup:lookupResults"}) {
+    EXPECT_NE(dump.find(stream), std::string::npos) << stream;
+  }
+}
+
+TEST(NaradaProgram, StructureChecks) {
+  ProgramAst ast;
+  std::string err;
+  ASSERT_TRUE(ParseOverLog(NaradaProgramText(NaradaConfig{}), &ast, &err)) << err;
+  EXPECT_TRUE(ast.IsMaterialized("member"));
+  EXPECT_TRUE(ast.IsMaterialized("sequence"));
+  // R5 counts matching members; R6/R7 branch on the count.
+  bool has_count = false;
+  for (const RuleAst& r : ast.rules) {
+    for (const ExprPtr& a : r.head.args) {
+      has_count |= a->kind == ExprKind::kAgg && a->name == "count";
+    }
+  }
+  EXPECT_TRUE(has_count);
+}
+
+}  // namespace
+}  // namespace p2

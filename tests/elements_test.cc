@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "src/dataflow/basic_elements.h"
+#include "src/dataflow/graph.h"
+#include "src/dataflow/rel_elements.h"
+#include "src/sim/event_loop.h"
+
+namespace p2 {
+namespace {
+
+TuplePtr T(const std::string& name, std::vector<Value> fields) {
+  return Tuple::Make(name, std::move(fields));
+}
+
+class ElementsTest : public ::testing::Test {
+ protected:
+  ElementsTest() : rng_(1), addr_("n0") {}
+  PelEnv Env() { return PelEnv{&loop_, &rng_, &addr_}; }
+
+  // Terminal collector.
+  CallbackSink* Sink(std::vector<TuplePtr>* out) {
+    return graph_.Add<CallbackSink>("sink", [out](const TuplePtr& t) { out->push_back(t); });
+  }
+
+  SimEventLoop loop_;
+  Rng rng_;
+  std::string addr_;
+  Graph graph_;
+};
+
+TEST_F(ElementsTest, QueueFifoAndBlockingSignals) {
+  auto* q = graph_.Add<QueueElement>("q", 2);
+  bool puller_woken = false;
+  EXPECT_EQ(q->Pull(0, [&]() { puller_woken = true; }), nullptr);
+  // Push wakes the blocked puller.
+  EXPECT_EQ(q->Push(0, T("a", {}), nullptr), 1);
+  EXPECT_TRUE(puller_woken);
+  // Fill to capacity: push returns 0 (congested) but accepts the tuple.
+  bool pusher_woken = false;
+  EXPECT_EQ(q->Push(0, T("b", {}), [&]() { pusher_woken = true; }), 0);
+  EXPECT_EQ(q->size(), 2u);
+  // Draining wakes the blocked pusher; FIFO order.
+  TuplePtr first = q->Pull(0, nullptr);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->name(), "a");
+  EXPECT_TRUE(pusher_woken);
+  EXPECT_EQ(q->Pull(0, nullptr)->name(), "b");
+}
+
+TEST_F(ElementsTest, QueueShedsOldestWhenOverCapacity) {
+  auto* q = graph_.Add<QueueElement>("q", 1);
+  q->Push(0, T("a", {}), nullptr);
+  q->Push(0, T("b", {}), nullptr);
+  EXPECT_EQ(q->dropped(), 1u);
+  EXPECT_EQ(q->Pull(0, nullptr)->name(), "b");
+}
+
+TEST_F(ElementsTest, TimedPullPushDrainsQueue) {
+  auto* q = graph_.Add<QueueElement>("q", 100);
+  auto* driver = graph_.Add<TimedPullPush>("drv", &loop_, 0.0);
+  std::vector<TuplePtr> out;
+  graph_.Connect(q, 0, driver, 0);
+  graph_.Connect(driver, 0, Sink(&out), 0);
+  for (int i = 0; i < 5; ++i) {
+    q->Push(0, T("t", {Value::Int(i)}), nullptr);
+  }
+  driver->Start();
+  loop_.RunUntil(1.0);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0]->field(0).AsInt(), 0);
+  EXPECT_EQ(out[4]->field(0).AsInt(), 4);
+  // Tuples arriving later re-wake the driver through the pull callback.
+  q->Push(0, T("t", {Value::Int(9)}), nullptr);
+  loop_.RunUntil(2.0);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST_F(ElementsTest, TimedPullPushRateLimited) {
+  auto* q = graph_.Add<QueueElement>("q", 100);
+  auto* driver = graph_.Add<TimedPullPush>("drv", &loop_, 1.0);
+  std::vector<TuplePtr> out;
+  graph_.Connect(q, 0, driver, 0);
+  graph_.Connect(driver, 0, Sink(&out), 0);
+  for (int i = 0; i < 10; ++i) {
+    q->Push(0, T("t", {}), nullptr);
+  }
+  driver->Start();
+  loop_.RunUntil(3.5);  // ticks at 1,2,3
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(ElementsTest, DemuxRoutesByName) {
+  auto* demux = graph_.Add<DemuxByName>("demux");
+  std::vector<TuplePtr> a;
+  std::vector<TuplePtr> b;
+  graph_.Connect(demux, demux->PortFor("alpha"), Sink(&a), 0);
+  graph_.Connect(demux, demux->PortFor("beta"), Sink(&b), 0);
+  demux->Push(0, T("alpha", {}), nullptr);
+  demux->Push(0, T("beta", {}), nullptr);
+  demux->Push(0, T("gamma", {}), nullptr);  // unroutable
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(demux->unroutable(), 1u);
+  EXPECT_EQ(demux->PortFor("alpha"), demux->PortFor("alpha"));  // idempotent
+}
+
+TEST_F(ElementsTest, DupFansOutToAllOutputs) {
+  auto* dup = graph_.Add<DupElement>("dup");
+  std::vector<TuplePtr> a;
+  std::vector<TuplePtr> b;
+  graph_.Connect(dup, 0, Sink(&a), 0);
+  graph_.Connect(dup, 1, Sink(&b), 0);
+  dup->Push(0, T("t", {}), nullptr);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].get(), b[0].get());  // same shared tuple, no copy
+}
+
+TEST_F(ElementsTest, PeriodicSourceEmitsWithExtras) {
+  auto* src = graph_.Add<PeriodicSource>("p", &loop_, &rng_, "n0", 2.0, 3, 0.0,
+                                         std::vector<Value>{Value::Int(2), Value::Int(3)});
+  std::vector<TuplePtr> out;
+  graph_.Connect(src, 0, Sink(&out), 0);
+  src->Start();
+  loop_.RunUntil(100.0);
+  ASSERT_EQ(out.size(), 3u);  // count = 3
+  const TuplePtr& t = out[0];
+  EXPECT_EQ(t->name(), "periodic");
+  ASSERT_EQ(t->size(), 4u);
+  EXPECT_EQ(t->field(0).AsAddr(), "n0");
+  EXPECT_EQ(t->field(1).type(), ValueType::kId);
+  EXPECT_EQ(t->field(2).AsInt(), 2);
+  EXPECT_EQ(t->field(3).AsInt(), 3);
+  // Event ids are unique.
+  EXPECT_NE(out[0]->field(1), out[1]->field(1));
+}
+
+TEST_F(ElementsTest, PeriodicSourceStopCancels) {
+  auto* src = graph_.Add<PeriodicSource>("p", &loop_, &rng_, "n0", 1.0, 0, 0.0,
+                                         std::vector<Value>{});
+  std::vector<TuplePtr> out;
+  graph_.Connect(src, 0, Sink(&out), 0);
+  src->Start();
+  loop_.RunUntil(3.5);
+  size_t seen = out.size();
+  EXPECT_GE(seen, 3u);
+  src->Stop();
+  loop_.RunUntil(10.0);
+  EXPECT_EQ(out.size(), seen);
+}
+
+TEST_F(ElementsTest, FilterDropsFalse) {
+  PelProgram prog;  // field0 > 5
+  prog.Emit(PelOp::kPushField, 0);
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Int(5)));
+  prog.Emit(PelOp::kGt);
+  auto* f = graph_.Add<FilterElement>("f", Env(), std::move(prog));
+  std::vector<TuplePtr> out;
+  graph_.Connect(f, 0, Sink(&out), 0);
+  f->Push(0, T("t", {Value::Int(3)}), nullptr);
+  f->Push(0, T("t", {Value::Int(7)}), nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->field(0).AsInt(), 7);
+}
+
+TEST_F(ElementsTest, ExtendAppendsComputedField) {
+  PelProgram prog;  // field0 + 1
+  prog.Emit(PelOp::kPushField, 0);
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Int(1)));
+  prog.Emit(PelOp::kAdd);
+  auto* e = graph_.Add<ExtendElement>("e", Env(), std::move(prog));
+  std::vector<TuplePtr> out;
+  graph_.Connect(e, 0, Sink(&out), 0);
+  e->Push(0, T("t", {Value::Int(41)}), nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0]->size(), 2u);
+  EXPECT_EQ(out[0]->field(1).AsInt(), 42);
+}
+
+TEST_F(ElementsTest, ProjectBuildsHeadTuple) {
+  std::vector<PelProgram> programs(2);
+  programs[0].Emit(PelOp::kPushField, 1);
+  programs[1].Emit(PelOp::kPushConst, programs[1].AddConst(Value::Str("k")));
+  auto* p = graph_.Add<ProjectElement>("p", Env(), "head", std::move(programs));
+  std::vector<TuplePtr> out;
+  graph_.Connect(p, 0, Sink(&out), 0);
+  p->Push(0, T("t", {Value::Int(1), Value::Int(2)}), nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->name(), "head");
+  EXPECT_EQ(out[0]->field(0).AsInt(), 2);
+  EXPECT_EQ(out[0]->field(1).AsStr(), "k");
+}
+
+TEST_F(ElementsTest, JoinEmitsConcatenatedMatches) {
+  TableSpec spec;
+  spec.name = "nbr";
+  spec.key_positions = {0, 1};
+  Table table(spec, &loop_);
+  table.Insert(T("nbr", {Value::Int(1), Value::Str("a")}));
+  table.Insert(T("nbr", {Value::Int(1), Value::Str("b")}));
+  table.Insert(T("nbr", {Value::Int(2), Value::Str("c")}));
+  PelProgram key;  // event field 0 == table col 0
+  key.Emit(PelOp::kPushField, 0);
+  std::vector<JoinKey> keys;
+  keys.push_back(JoinKey{0, std::move(key)});
+  auto* join = graph_.Add<JoinElement>("join", Env(), &table, std::move(keys), "j");
+  std::vector<TuplePtr> out;
+  graph_.Connect(join, 0, Sink(&out), 0);
+  join->Push(0, T("ev", {Value::Int(1), Value::Int(99)}), nullptr);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->name(), "j");
+  EXPECT_EQ(out[0]->size(), 4u);  // 2 event + 2 table fields
+  EXPECT_EQ(out[0]->field(1).AsInt(), 99);
+  // Match order is index order (unspecified); compare as a set.
+  std::vector<std::string> matched = {out[0]->field(3).AsStr(), out[1]->field(3).AsStr()};
+  std::sort(matched.begin(), matched.end());
+  EXPECT_EQ(matched, (std::vector<std::string>{"a", "b"}));
+  // The join installed a secondary index for its key columns.
+  EXPECT_TRUE(table.HasIndex({0}));
+}
+
+TEST_F(ElementsTest, AntiJoinPassesOnlyWhenNoMatch) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.key_positions = {0};
+  Table table(spec, &loop_);
+  table.Insert(T("t", {Value::Int(1)}));
+  PelProgram key;
+  key.Emit(PelOp::kPushField, 0);
+  std::vector<JoinKey> keys;
+  keys.push_back(JoinKey{0, std::move(key)});
+  auto* aj = graph_.Add<AntiJoinElement>("aj", Env(), &table, std::move(keys));
+  std::vector<TuplePtr> out;
+  graph_.Connect(aj, 0, Sink(&out), 0);
+  aj->Push(0, T("ev", {Value::Int(1)}), nullptr);  // match exists: blocked
+  aj->Push(0, T("ev", {Value::Int(2)}), nullptr);  // no match: passes
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->field(0).AsInt(), 2);
+}
+
+TEST_F(ElementsTest, AggWrapMinSelectsWinningTuple) {
+  auto* agg = graph_.Add<AggWrapElement>("agg", Env(), AggKind::kMin, 1, "out", false,
+                                         std::vector<PelProgram>{});
+  std::vector<TuplePtr> out;
+  graph_.Connect(agg, 0, Sink(&out), 0);
+  agg->Begin(T("ev", {}));
+  agg->Push(0, T("pre", {Value::Str("b"), Value::Int(5)}), nullptr);
+  agg->Push(0, T("pre", {Value::Str("a"), Value::Int(3)}), nullptr);
+  agg->Push(0, T("pre", {Value::Str("c"), Value::Int(9)}), nullptr);
+  agg->Flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->name(), "out");
+  // min selection carries the winner's other fields.
+  EXPECT_EQ(out[0]->field(0).AsStr(), "a");
+  EXPECT_EQ(out[0]->field(1).AsInt(), 3);
+}
+
+TEST_F(ElementsTest, AggWrapCountAndEmptyEmission) {
+  std::vector<PelProgram> empty_programs(1);
+  empty_programs[0].Emit(PelOp::kPushField, 0);  // group field from event
+  auto* agg = graph_.Add<AggWrapElement>("agg", Env(), AggKind::kCount, 1, "out", true,
+                                         std::move(empty_programs));
+  std::vector<TuplePtr> out;
+  graph_.Connect(agg, 0, Sink(&out), 0);
+  // Two candidates -> count 2.
+  agg->Begin(T("ev", {Value::Str("g")}));
+  agg->Push(0, T("pre", {Value::Str("g"), Value::Int(1)}), nullptr);
+  agg->Push(0, T("pre", {Value::Str("g"), Value::Int(1)}), nullptr);
+  agg->Flush();
+  // No candidates -> count 0 via the event-derived fields.
+  agg->Begin(T("ev", {Value::Str("h")}));
+  agg->Flush();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->field(1).AsInt(), 2);
+  EXPECT_EQ(out[1]->field(0).AsStr(), "h");
+  EXPECT_EQ(out[1]->field(1).AsInt(), 0);
+}
+
+TEST_F(ElementsTest, AggWrapSumAccumulates) {
+  auto* agg = graph_.Add<AggWrapElement>("agg", Env(), AggKind::kSum, 0, "out", false,
+                                         std::vector<PelProgram>{});
+  std::vector<TuplePtr> out;
+  graph_.Connect(agg, 0, Sink(&out), 0);
+  agg->Begin(T("ev", {}));
+  for (int i = 1; i <= 4; ++i) {
+    agg->Push(0, T("pre", {Value::Int(i)}), nullptr);
+  }
+  agg->Flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->field(0).AsInt(), 10);
+}
+
+TEST_F(ElementsTest, RuleDriverBracketsAggregate) {
+  auto* agg = graph_.Add<AggWrapElement>("agg", Env(), AggKind::kMax, 0, "out", false,
+                                         std::vector<PelProgram>{});
+  auto* driver = graph_.Add<RuleDriver>("rule:x", nullptr);
+  driver->set_agg(agg);
+  // driver -> agg directly: the "chain" degenerates to identity.
+  graph_.Connect(driver, 0, agg, 0);
+  std::vector<TuplePtr> out;
+  graph_.Connect(agg, 0, Sink(&out), 0);
+  driver->Push(0, T("pre", {Value::Int(5)}), nullptr);
+  EXPECT_EQ(driver->fires(), 1u);
+  ASSERT_EQ(out.size(), 1u);  // flushed at end of event
+  EXPECT_EQ(out[0]->field(0).AsInt(), 5);
+}
+
+TEST_F(ElementsTest, InsertAndDeleteElements) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.key_positions = {0};
+  Table table(spec, &loop_);
+  auto* ins = graph_.Add<InsertElement>("ins", &table);
+  auto* del = graph_.Add<DeleteElement>("del", &table);
+  ins->Push(0, T("t", {Value::Int(1), Value::Int(2)}), nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  del->Push(0, T("t", {Value::Int(1), Value::Int(999)}), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST_F(ElementsTest, DedupSuppressesRepeats) {
+  auto* dd = graph_.Add<DedupElement>("dd", 100);
+  std::vector<TuplePtr> out;
+  graph_.Connect(dd, 0, Sink(&out), 0);
+  dd->Push(0, T("t", {Value::Int(1)}), nullptr);
+  dd->Push(0, T("t", {Value::Int(1)}), nullptr);
+  dd->Push(0, T("t", {Value::Int(2)}), nullptr);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(ElementsTest, TableAggWatcherEmitsOnChange) {
+  TableSpec spec;
+  spec.name = "succDist";
+  spec.key_positions = {1};
+  Table table(spec, &loop_);
+  auto* watcher = graph_.Add<TableAggWatcher>("w", &table, std::vector<size_t>{0},
+                                              AggKind::kMin, 2, "bestSuccDist");
+  std::vector<TuplePtr> out;
+  graph_.Connect(watcher, 0, Sink(&out), 0);
+  watcher->Attach();
+  auto row = [](int64_t s, int64_t d) {
+    return Tuple::Make("succDist", {Value::Str("n0"), Value::Int(s), Value::Int(d)});
+  };
+  table.Insert(row(1, 50));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->name(), "bestSuccDist");
+  EXPECT_EQ(out[0]->field(1).AsInt(), 50);
+  table.Insert(row(2, 80));  // min unchanged: no emission
+  EXPECT_EQ(out.size(), 1u);
+  table.Insert(row(3, 10));  // new min
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1]->field(1).AsInt(), 10);
+}
+
+TEST_F(ElementsTest, GraphBookkeeping) {
+  Graph g;
+  auto* a = g.Add<DupElement>("a");
+  auto* b = g.Add<DiscardElement>("b");
+  g.Connect(a, 0, b, 0);
+  EXPECT_EQ(g.num_elements(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_GT(g.ApproxBytes(), 0u);
+  std::vector<std::string> names = g.ElementNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+}
+
+}  // namespace
+}  // namespace p2

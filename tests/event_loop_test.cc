@@ -1,0 +1,110 @@
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+namespace p2 {
+namespace {
+
+TEST(SimEventLoop, RunsEventsInTimestampOrder) {
+  SimEventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAfter(3.0, [&]() { order.push_back(3); });
+  loop.ScheduleAfter(1.0, [&]() { order.push_back(1); });
+  loop.ScheduleAfter(2.0, [&]() { order.push_back(2); });
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 3.0);
+}
+
+TEST(SimEventLoop, FifoAmongEqualTimestamps) {
+  SimEventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAfter(1.0, [&, i]() { order.push_back(i); });
+  }
+  loop.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimEventLoop, TimeAdvancesToEventTime) {
+  SimEventLoop loop;
+  double seen = -1;
+  loop.ScheduleAfter(5.5, [&]() { seen = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(seen, 5.5);
+}
+
+TEST(SimEventLoop, NestedSchedulingFromHandler) {
+  SimEventLoop loop;
+  std::vector<double> times;
+  loop.ScheduleAfter(1.0, [&]() {
+    times.push_back(loop.Now());
+    loop.ScheduleAfter(2.0, [&]() { times.push_back(loop.Now()); });
+  });
+  loop.RunAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 1.0);
+  EXPECT_EQ(times[1], 3.0);
+}
+
+TEST(SimEventLoop, CancelPreventsExecution) {
+  SimEventLoop loop;
+  bool ran = false;
+  TimerId id = loop.ScheduleAfter(1.0, [&]() { ran = true; });
+  loop.Cancel(id);
+  loop.RunAll();
+  EXPECT_FALSE(ran);
+  // Cancelling an invalid or already-fired id is a no-op.
+  loop.Cancel(kInvalidTimer);
+  loop.Cancel(9999);
+}
+
+TEST(SimEventLoop, RunUntilStopsAtDeadline) {
+  SimEventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAfter(1.0, [&]() { order.push_back(1); });
+  loop.ScheduleAfter(2.0, [&]() { order.push_back(2); });
+  loop.ScheduleAfter(5.0, [&]() { order.push_back(5); });
+  loop.RunUntil(2.0);  // events at exactly the deadline run
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.Now(), 2.0);
+  loop.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 5}));
+  EXPECT_EQ(loop.Now(), 10.0);  // time advances to the deadline
+}
+
+TEST(SimEventLoop, NegativeDelayClampsToNow) {
+  SimEventLoop loop;
+  loop.RunUntil(4.0);
+  double seen = -1;
+  loop.ScheduleAfter(-3.0, [&]() { seen = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(seen, 4.0);
+}
+
+TEST(SimEventLoop, SelfPerpetuatingTimerBoundedByRunUntil) {
+  SimEventLoop loop;
+  int ticks = 0;
+  std::function<void()> tick = [&]() {
+    ++ticks;
+    loop.ScheduleAfter(1.0, tick);
+  };
+  loop.ScheduleAfter(1.0, tick);
+  loop.RunUntil(10.0);
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(loop.events_run(), 10u);
+}
+
+TEST(SimEventLoop, PendingCountExcludesCancelled) {
+  SimEventLoop loop;
+  TimerId a = loop.ScheduleAfter(1.0, []() {});
+  loop.ScheduleAfter(2.0, []() {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace p2

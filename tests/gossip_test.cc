@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "src/overlays/gossip.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+namespace {
+
+TEST(GossipProgram, ParsesAndCountsRules) {
+  EXPECT_EQ(GossipRuleCount(GossipConfig{}), 5u);
+}
+
+TEST(Gossip, MembershipConvergesFromChainSeeds) {
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), 17);
+  const size_t n = 12;
+  std::vector<std::unique_ptr<SimTransport>> transports;
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  for (size_t i = 0; i < n; ++i) {
+    transports.push_back(net.MakeTransport("g" + std::to_string(i), i));
+  }
+  GossipConfig gc;
+  gc.gossip_period_s = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    P2NodeConfig c;
+    c.executor = &loop;
+    c.transport = transports[i].get();
+    c.seed = 1000 + i;
+    // Chain seeding: node i only knows node i-1.
+    std::vector<std::string> seeds;
+    if (i > 0) {
+      seeds.push_back("g" + std::to_string(i - 1));
+    }
+    nodes.push_back(std::make_unique<GossipNode>(c, gc, seeds));
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  loop.RunUntil(120.0);
+  for (auto& node : nodes) {
+    EXPECT_EQ(node->Members().size(), n) << node->addr();
+  }
+}
+
+TEST(Gossip, IsolatedNodeLearnsNothing) {
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), 18);
+  auto t = net.MakeTransport("g0", 0);
+  P2NodeConfig c;
+  c.executor = &loop;
+  c.transport = t.get();
+  c.seed = 1;
+  GossipNode node(c, GossipConfig{}, {});
+  node.Start();
+  loop.RunUntil(30.0);
+  EXPECT_EQ(node.Members().size(), 1u);  // only itself
+}
+
+}  // namespace
+}  // namespace p2

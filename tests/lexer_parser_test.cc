@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "src/overlog/lexer.h"
+#include "src/overlog/parser.h"
+
+namespace p2 {
+namespace {
+
+TEST(Lexer, TokenKinds) {
+  std::vector<Token> toks;
+  std::string err;
+  ASSERT_TRUE(LexOverLog("rule Var _x 12 3.5 0xff \"str\" :- := == << @", &toks, &err));
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokKind::kVariable);
+  EXPECT_EQ(toks[2].kind, TokKind::kVariable);  // underscore-prefixed
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_TRUE(toks[3].is_integer);
+  EXPECT_EQ(toks[4].kind, TokKind::kNumber);
+  EXPECT_FALSE(toks[4].is_integer);
+  EXPECT_EQ(toks[5].kind, TokKind::kHexId);
+  EXPECT_EQ(toks[6].kind, TokKind::kString);
+  EXPECT_EQ(toks[6].text, "str");
+  EXPECT_EQ(toks[7].text, ":-");
+  EXPECT_EQ(toks[8].text, ":=");
+  EXPECT_EQ(toks[9].text, "==");
+  EXPECT_EQ(toks[10].text, "<<");
+  EXPECT_EQ(toks[11].text, "@");
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, CommentsAndLines) {
+  std::vector<Token> toks;
+  std::string err;
+  ASSERT_TRUE(LexOverLog("/* block\ncomment */ a // line\n# hash\nb", &toks, &err));
+  ASSERT_EQ(toks.size(), 3u);  // a, b, end
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 4);
+}
+
+TEST(Lexer, DotEndsStatementButNotDecimals) {
+  std::vector<Token> toks;
+  std::string err;
+  ASSERT_TRUE(LexOverLog("f(1.5).", &toks, &err));
+  // f ( 1.5 ) . end
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[2].number, 1.5);
+  EXPECT_EQ(toks[4].text, ".");
+}
+
+TEST(Lexer, Errors) {
+  std::vector<Token> toks;
+  std::string err;
+  EXPECT_FALSE(LexOverLog("\"unterminated", &toks, &err));
+  EXPECT_NE(err.find("unterminated string"), std::string::npos);
+  toks.clear();
+  EXPECT_FALSE(LexOverLog("/* no end", &toks, &err));
+  toks.clear();
+  EXPECT_FALSE(LexOverLog("a $ b", &toks, &err));
+  EXPECT_NE(err.find("unexpected character"), std::string::npos);
+}
+
+ProgramAst MustParse(const std::string& src) {
+  ProgramAst p;
+  std::string err;
+  EXPECT_TRUE(ParseOverLog(src, &p, &err)) << err;
+  return p;
+}
+
+TEST(Parser, Materialize) {
+  ProgramAst p = MustParse("materialize(neighbor, 120, infinity, keys(2)).");
+  ASSERT_EQ(p.materializations.size(), 1u);
+  const MaterializeAst& m = p.materializations[0];
+  EXPECT_EQ(m.name, "neighbor");
+  EXPECT_DOUBLE_EQ(m.lifetime_s, 120);
+  EXPECT_EQ(m.max_size, std::numeric_limits<size_t>::max());
+  ASSERT_EQ(m.key_positions.size(), 1u);
+  EXPECT_EQ(m.key_positions[0], 1u);  // 1-based "2" -> 0-based 1
+  EXPECT_TRUE(p.IsMaterialized("neighbor"));
+  EXPECT_FALSE(p.IsMaterialized("other"));
+}
+
+TEST(Parser, MaterializeMultiKey) {
+  ProgramAst p = MustParse("materialize(env, infinity, 64, keys(2,3)).");
+  EXPECT_EQ(p.materializations[0].max_size, 64u);
+  EXPECT_EQ(p.materializations[0].key_positions, (std::vector<size_t>{1, 2}));
+}
+
+TEST(Parser, SimpleRuleWithId) {
+  ProgramAst p = MustParse("R1 refreshEvent@X(X) :- periodic@X(X, E, 3).");
+  ASSERT_EQ(p.rules.size(), 1u);
+  const RuleAst& r = p.rules[0];
+  EXPECT_EQ(r.id, "R1");
+  EXPECT_EQ(r.head.name, "refreshEvent");
+  EXPECT_EQ(r.head.locspec, "X");
+  ASSERT_EQ(r.body.size(), 1u);
+  const PredicateAst& b = std::get<PredicateAst>(r.body[0]);
+  EXPECT_EQ(b.name, "periodic");
+  ASSERT_EQ(b.args.size(), 3u);
+  EXPECT_EQ(b.args[2]->kind, ExprKind::kConst);
+}
+
+TEST(Parser, RuleWithoutId) {
+  ProgramAst p = MustParse("lookupResults@R(R,K) :- lookup@NI(NI,K,R).");
+  EXPECT_EQ(p.rules[0].id, "");
+  EXPECT_EQ(p.rules[0].head.name, "lookupResults");
+}
+
+TEST(Parser, DeleteRuleWithAndWithoutId) {
+  ProgramAst p = MustParse(
+      "L3 delete neighbor@X(X, Y) :- deadNeighbor@X(X, Y).\n"
+      "delete succ@NI(NI,S) :- evict@NI(NI,S).");
+  EXPECT_EQ(p.rules[0].id, "L3");
+  EXPECT_TRUE(p.rules[0].delete_head);
+  EXPECT_EQ(p.rules[1].id, "");
+  EXPECT_TRUE(p.rules[1].delete_head);
+}
+
+TEST(Parser, Fact) {
+  ProgramAst p = MustParse("SB0 pred@NI(NI, \"-\", \"-\").");
+  EXPECT_TRUE(p.rules[0].IsFact());
+  EXPECT_EQ(p.rules[0].head.args.size(), 3u);
+}
+
+TEST(Parser, AggregatesInHead) {
+  ProgramAst p = MustParse(
+      "L2 bestLookupDist@NI(NI,K,E,min<D>) :- lookup@NI(NI,K,E).\n"
+      "S1 succCount@NI(NI,count<*>) :- succ@NI(NI,S).\n"
+      "P0 pick@X(X,Y,max<R>) :- ev@X(X), m@X(X,Y), R := f_rand().");
+  const RuleAst& l2 = p.rules[0];
+  EXPECT_EQ(l2.head.args[3]->kind, ExprKind::kAgg);
+  EXPECT_EQ(l2.head.args[3]->name, "min");
+  EXPECT_EQ(l2.head.args[3]->agg_var, "D");
+  EXPECT_EQ(p.rules[1].head.args[1]->agg_var, "*");
+  EXPECT_EQ(p.rules[2].head.args[2]->name, "max");
+}
+
+TEST(Parser, AssignmentsAndFilters) {
+  ProgramAst p = MustParse(
+      "R2 out@X(X,N) :- ev@X(X), seq@X(X,S), N := S + 1, S < 100, f_now() - S > 20.");
+  const RuleAst& r = p.rules[0];
+  ASSERT_EQ(r.body.size(), 5u);
+  EXPECT_TRUE(std::holds_alternative<AssignAst>(r.body[2]));
+  const AssignAst& a = std::get<AssignAst>(r.body[2]);
+  EXPECT_EQ(a.var, "N");
+  EXPECT_TRUE(std::holds_alternative<ExprPtr>(r.body[3]));
+  EXPECT_TRUE(std::holds_alternative<ExprPtr>(r.body[4]));
+}
+
+TEST(Parser, NegatedPredicate) {
+  ProgramAst p = MustParse("r m@Y(Y,A) :- ev@X(X,Y,A), not m@Y(Y,A,_,_).");
+  const PredicateAst& n = std::get<PredicateAst>(p.rules[0].body[1]);
+  EXPECT_TRUE(n.negated);
+  EXPECT_EQ(n.args.size(), 4u);
+  EXPECT_EQ(n.args[2]->name, "_");
+}
+
+TEST(Parser, RangeExpressions) {
+  ProgramAst p = MustParse(
+      "L1 res@R(R,K) :- node@NI(NI,N), lookup@NI(NI,K,R), succ@NI(NI,S), K in (N,S].");
+  const ExprPtr& f = std::get<ExprPtr>(p.rules[0].body[3]);
+  ASSERT_EQ(f->kind, ExprKind::kRange);
+  EXPECT_TRUE(f->lo_open);
+  EXPECT_FALSE(f->hi_open);
+}
+
+TEST(Parser, ShiftAndParenthesizedExpr) {
+  ProgramAst p = MustParse("F3 l@NI(NI,K) :- f@NI(NI,I), node@NI(NI,N), K := N + (1 << I).");
+  const AssignAst& a = std::get<AssignAst>(p.rules[0].body[2]);
+  ASSERT_EQ(a.expr->kind, ExprKind::kBinary);
+  EXPECT_EQ(a.expr->name, "+");
+  EXPECT_EQ(a.expr->args[1]->name, "<<");
+}
+
+TEST(Parser, OrFilterWithParens) {
+  ProgramAst p = MustParse("F8 n@NI(NI,0) :- e@NI(NI,I,BI), ((I == 159) || (BI == NI)).");
+  const ExprPtr& f = std::get<ExprPtr>(p.rules[0].body[1]);
+  EXPECT_EQ(f->name, "||");
+}
+
+TEST(Parser, LocationAnnotatedBuiltin) {
+  ProgramAst p = MustParse("r6 m@Y(Y,T) :- ev@X(X,Y), T := f_now@Y().");
+  const AssignAst& a = std::get<AssignAst>(p.rules[0].body[1]);
+  EXPECT_EQ(a.expr->kind, ExprKind::kCall);
+  EXPECT_EQ(a.expr->name, "f_now");
+}
+
+TEST(Parser, Watch) {
+  ProgramAst p = MustParse("watch(lookupResults).");
+  ASSERT_EQ(p.watches.size(), 1u);
+  EXPECT_EQ(p.watches[0], "lookupResults");
+}
+
+TEST(Parser, HexIdLiteral) {
+  ProgramAst p = MustParse("f node@NI(NI, 0xdeadbeef) :- e@NI(NI).");
+  const ExprPtr& arg = p.rules[0].head.args[1];
+  ASSERT_EQ(arg->kind, ExprKind::kConst);
+  EXPECT_EQ(arg->value.AsId().Low64(), 0xdeadbeefull);
+}
+
+TEST(Parser, SyntaxErrorsReportLine) {
+  ProgramAst p;
+  std::string err;
+  EXPECT_FALSE(ParseOverLog("a@X(X :- b@X(X).", &p, &err));
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+  err.clear();
+  EXPECT_FALSE(ParseOverLog("materialize(t, bogus, 1, keys(1)).", &p, &err));
+  EXPECT_NE(err.find("expected number or 'infinity'"), std::string::npos);
+  err.clear();
+  EXPECT_FALSE(ParseOverLog("r h@X(X) :- b@X(X)", &p, &err));  // missing '.'
+}
+
+TEST(Parser, PrintersRoundTripReadably) {
+  ProgramAst p = MustParse(
+      "L2 d@NI(NI,K,min<D>) :- lookup@NI(NI,K), finger@NI(NI,B), D := K - B - 1, "
+      "B in (N,K).");
+  std::string s = RuleToString(p.rules[0]);
+  EXPECT_NE(s.find("L2"), std::string::npos);
+  EXPECT_NE(s.find("min<D>"), std::string::npos);
+  EXPECT_NE(s.find("in ("), std::string::npos);
+  // The printed rule re-parses.
+  ProgramAst again = MustParse(s);
+  EXPECT_EQ(again.rules[0].head.name, "d");
+}
+
+}  // namespace
+}  // namespace p2

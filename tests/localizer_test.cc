@@ -1,0 +1,112 @@
+#include "src/overlog/localizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/overlog/parser.h"
+
+namespace p2 {
+namespace {
+
+ProgramAst ParseAndLocalize(const std::string& src, bool expect_ok = true) {
+  ProgramAst p;
+  std::string err;
+  EXPECT_TRUE(ParseOverLog(src, &p, &err)) << err;
+  bool ok = LocalizeProgram(&p, &err);
+  EXPECT_EQ(ok, expect_ok) << err;
+  return p;
+}
+
+TEST(Localizer, CollocatedRuleUnchanged) {
+  ProgramAst p = ParseAndLocalize(
+      "materialize(t, infinity, 10, keys(1)).\n"
+      "r1 h@X(X,Y) :- ev@X(X,Y), t@X(X,Y).");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_EQ(p.rules[0].id, "r1");
+  EXPECT_EQ(p.rules[0].body.size(), 2u);
+}
+
+TEST(Localizer, RemoteHeadOnlyUnchanged) {
+  // A head at another node is fine (that's just a send); only split bodies
+  // need rewriting.
+  ProgramAst p = ParseAndLocalize("r h@Y(Y,X) :- ev@X(X), n@X(X,Y).");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_EQ(p.rules[0].head.locspec, "Y");
+}
+
+TEST(Localizer, TwoSiteBodySplitsIntoShipAndRecv) {
+  // The paper's R4 (§2.3): event and two tables at X, a negated probe at Y,
+  // head at Y with an assignment that must run at Y.
+  ProgramAst p = ParseAndLocalize(
+      "materialize(member, 120, infinity, keys(2)).\n"
+      "materialize(neighbor, 120, infinity, keys(2)).\n"
+      "R4 member@Y(Y, A, ASeqX, TimeY, ALiveX) :- refreshSeq@X(X, S), "
+      "member@X(X, A, ASeqX, _, ALiveX), neighbor@X(X, Y), "
+      "not member@Y(Y, A, _, _, _), TimeY := f_now@Y().");
+  ASSERT_EQ(p.rules.size(), 2u);
+  const RuleAst& ship = p.rules[0];
+  const RuleAst& recv = p.rules[1];
+  EXPECT_EQ(ship.id, "R4@ship");
+  EXPECT_EQ(recv.id, "R4@recv");
+  // Ship rule: at X, head is the intermediate event destined to Y.
+  EXPECT_EQ(ship.head.locspec, "Y");
+  EXPECT_EQ(ship.head.args[0]->name, "Y");
+  // It carries Y plus everything the receive side needs (A, ASeqX, ALiveX).
+  EXPECT_EQ(ship.head.args.size(), 4u);
+  // Ship body holds the X-side terms only.
+  ASSERT_EQ(ship.body.size(), 3u);
+  for (const BodyTerm& t : ship.body) {
+    EXPECT_TRUE(std::holds_alternative<PredicateAst>(t));
+    EXPECT_EQ(std::get<PredicateAst>(t).locspec, "X");
+  }
+  // Receive rule: original head, triggered by the shipped event, with the
+  // negation and the assignment now local to Y.
+  EXPECT_EQ(recv.head.name, "member");
+  EXPECT_EQ(recv.head.locspec, "Y");
+  ASSERT_EQ(recv.body.size(), 3u);
+  EXPECT_EQ(std::get<PredicateAst>(recv.body[0]).name, ship.head.name);
+  EXPECT_TRUE(std::get<PredicateAst>(recv.body[1]).negated);
+  EXPECT_TRUE(std::holds_alternative<AssignAst>(recv.body[2]));
+}
+
+TEST(Localizer, XSideFiltersStayOnShipSide) {
+  ProgramAst p = ParseAndLocalize(
+      "materialize(t, infinity, 10, keys(1)).\n"
+      "materialize(u, infinity, 10, keys(1)).\n"
+      "r h@Y(Y,V) :- ev@X(X,Y,V), t@X(X,Y), V > 10, u@Y(Y,V).");
+  ASSERT_EQ(p.rules.size(), 2u);
+  const RuleAst& ship = p.rules[0];
+  // V > 10 is evaluable at X: selection pushed before shipping.
+  bool has_filter = false;
+  for (const BodyTerm& t : ship.body) {
+    has_filter |= std::holds_alternative<ExprPtr>(t);
+  }
+  EXPECT_TRUE(has_filter);
+}
+
+TEST(Localizer, ThreeSitesRejected) {
+  ProgramAst p;
+  std::string err;
+  ASSERT_TRUE(ParseOverLog("r h@X(X) :- a@X(X,Y,Z), b@Y(Y), c@Z(Z).", &p, &err));
+  EXPECT_FALSE(LocalizeProgram(&p, &err));
+  EXPECT_NE(err.find("more than two locations"), std::string::npos);
+}
+
+TEST(Localizer, UnboundDestinationRejected) {
+  ProgramAst p;
+  std::string err;
+  ASSERT_TRUE(ParseOverLog("r h@Y(Y) :- ev@X(X), b@Y(Y).", &p, &err));
+  // Y never appears in an X-side predicate: nothing binds the destination.
+  EXPECT_FALSE(LocalizeProgram(&p, &err));
+  EXPECT_NE(err.find("not bound"), std::string::npos);
+}
+
+TEST(Localizer, FactsPassThrough) {
+  ProgramAst p = ParseAndLocalize(
+      "materialize(pred, infinity, 1, keys(1)).\n"
+      "SB0 pred@NI(NI, \"-\", \"-\").");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_TRUE(p.rules[0].IsFact());
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "src/overlays/narada.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+namespace {
+
+NaradaConfig FastNarada() {
+  NaradaConfig c;
+  c.refresh_period_s = 1.0;
+  c.probe_period_s = 0.5;
+  c.dead_after_s = 6.0;
+  c.latency_probe_period_s = 1.0;
+  c.member_lifetime_s = 60.0;
+  c.neighbor_lifetime_s = 60.0;
+  return c;
+}
+
+struct Mesh {
+  explicit Mesh(size_t n, uint64_t seed = 5)
+      : net(&loop, Topology(TopologyConfig{}), seed) {
+    for (size_t i = 0; i < n; ++i) {
+      transports.push_back(net.MakeTransport("m" + std::to_string(i), i));
+    }
+  }
+
+  NaradaNode* Add(size_t i, std::vector<std::string> neighbors) {
+    P2NodeConfig c;
+    c.executor = &loop;
+    c.transport = transports[i].get();
+    c.seed = 100 + i;
+    nodes.push_back(std::make_unique<NaradaNode>(c, FastNarada(), neighbors));
+    return nodes.back().get();
+  }
+
+  SimEventLoop loop;
+  SimNetwork net;
+  std::vector<std::unique_ptr<SimTransport>> transports;
+  std::vector<std::unique_ptr<NaradaNode>> nodes;
+};
+
+TEST(NaradaProgram, ParsesAndCountsRules) {
+  size_t rules = NaradaRuleCount(FastNarada());
+  // Paper: "a Narada-style mesh in 16 rules"; ours adds the R5a repair and
+  // the latency-probe rules from §2.3.
+  EXPECT_GE(rules, 16u);
+  EXPECT_LE(rules, 22u);
+}
+
+TEST(NaradaMesh, MembershipPropagatesAlongChain) {
+  // Chain topology: 0 - 1 - 2 - 3. Everyone should learn everyone through
+  // epidemic refreshes even without direct links.
+  Mesh mesh(4);
+  mesh.Add(0, {"m1"});
+  mesh.Add(1, {"m0", "m2"});
+  mesh.Add(2, {"m1", "m3"});
+  mesh.Add(3, {"m2"});
+  for (auto& n : mesh.nodes) {
+    n->Start();
+  }
+  mesh.loop.RunUntil(30.0);
+  for (auto& n : mesh.nodes) {
+    std::vector<NaradaMember> members = n->Members();
+    EXPECT_GE(members.size(), 4u) << n->addr();
+    size_t live = 0;
+    for (const NaradaMember& m : members) {
+      live += m.live ? 1 : 0;
+    }
+    EXPECT_GE(live, 4u) << n->addr();
+  }
+}
+
+TEST(NaradaMesh, SequenceNumbersAdvance) {
+  Mesh mesh(2);
+  mesh.Add(0, {"m1"});
+  mesh.Add(1, {"m0"});
+  mesh.nodes[0]->Start();
+  mesh.nodes[1]->Start();
+  mesh.loop.RunUntil(20.0);
+  // Node 1's view of node 0 should carry an advanced sequence number.
+  int64_t seq = -1;
+  for (const NaradaMember& m : mesh.nodes[1]->Members()) {
+    if (m.addr == "m0") {
+      seq = m.sequence;
+    }
+  }
+  EXPECT_GE(seq, 10);  // ~1 refresh/second for 20 seconds
+}
+
+TEST(NaradaMesh, NeighborLinksAreMutual) {
+  Mesh mesh(2);
+  mesh.Add(0, {"m1"});
+  mesh.Add(1, {});  // m1 starts without knowing m0
+  mesh.nodes[0]->Start();
+  mesh.nodes[1]->Start();
+  mesh.loop.RunUntil(10.0);
+  // Rule N1: refreshes create the reverse link.
+  std::vector<std::string> nbrs = mesh.nodes[1]->Neighbors();
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), "m0"), nbrs.end());
+}
+
+TEST(NaradaMesh, DeadNeighborDetectedAndPropagated) {
+  Mesh mesh(3);
+  mesh.Add(0, {"m1"});
+  mesh.Add(1, {"m0", "m2"});
+  mesh.Add(2, {"m1"});
+  for (auto& n : mesh.nodes) {
+    n->Start();
+  }
+  mesh.loop.RunUntil(15.0);
+  // Kill node 2: silence for > dead_after_s gets it declared dead at m1,
+  // and the death news (live = 0) propagates to m0.
+  mesh.nodes[2]->Stop();
+  mesh.nodes[2].reset();
+  mesh.transports[2].reset();
+  mesh.loop.RunUntil(45.0);
+  bool m0_sees_dead = false;
+  for (const NaradaMember& m : mesh.nodes[0]->Members()) {
+    if (m.addr == "m2" && !m.live) {
+      m0_sees_dead = true;
+    }
+  }
+  EXPECT_TRUE(m0_sees_dead);
+  // m1 dropped the neighbor link.
+  std::vector<std::string> nbrs = mesh.nodes[1]->Neighbors();
+  EXPECT_EQ(std::find(nbrs.begin(), nbrs.end(), "m2"), nbrs.end());
+}
+
+TEST(NaradaMesh, LatencyProbesMeasureTopology) {
+  Mesh mesh(2);
+  mesh.Add(0, {"m1"});
+  mesh.Add(1, {"m0"});
+  mesh.nodes[0]->Start();
+  mesh.nodes[1]->Start();
+  mesh.loop.RunUntil(30.0);
+  std::vector<std::pair<std::string, double>> lats = mesh.nodes[0]->Latencies();
+  ASSERT_FALSE(lats.empty());
+  for (const auto& [peer, rtt] : lats) {
+    EXPECT_EQ(peer, "m1");
+    // Nodes 0 and 1 sit in different domains: RTT ~ 2 * 104 ms.
+    EXPECT_GT(rtt, 0.15);
+    EXPECT_LT(rtt, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/overlays/pathvector.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+namespace {
+
+PathVectorConfig FastPv() {
+  PathVectorConfig c;
+  c.advertise_period_s = 1.0;
+  c.route_lifetime_s = 3.5;
+  return c;
+}
+
+struct PvNet {
+  explicit PvNet(size_t n) : net(&loop, Topology(TopologyConfig{}), 51) {
+    for (size_t i = 0; i < n; ++i) {
+      transports.push_back(net.MakeTransport("r" + std::to_string(i), i));
+    }
+  }
+
+  PathVectorNode* Add(size_t i, std::vector<std::pair<std::string, int64_t>> links) {
+    P2NodeConfig c;
+    c.executor = &loop;
+    c.transport = transports[i].get();
+    c.seed = 300 + i;
+    nodes.push_back(std::make_unique<PathVectorNode>(c, FastPv(), links));
+    nodes.back()->Start();
+    return nodes.back().get();
+  }
+
+  int64_t CostTo(size_t from, const std::string& dst) {
+    for (const RouteEntry& r : nodes[from]->BestRoutes()) {
+      if (r.dst == dst) {
+        return r.cost;
+      }
+    }
+    return -1;
+  }
+  std::string NextHopTo(size_t from, const std::string& dst) {
+    for (const RouteEntry& r : nodes[from]->BestRoutes()) {
+      if (r.dst == dst) {
+        return r.next_hop;
+      }
+    }
+    return "";
+  }
+
+  SimEventLoop loop;
+  SimNetwork net;
+  std::vector<std::unique_ptr<SimTransport>> transports;
+  std::vector<std::unique_ptr<PathVectorNode>> nodes;
+};
+
+TEST(PathVectorProgram, ParsesAndCounts) {
+  EXPECT_EQ(PathVectorRuleCount(PathVectorConfig{}), 6u);
+}
+
+TEST(PathVector, LineTopologyConvergesToShortestPaths) {
+  // r0 -1- r1 -1- r2 -1- r3 (bidirectional unit links).
+  PvNet pv(4);
+  pv.Add(0, {{"r1", 1}});
+  pv.Add(1, {{"r0", 1}, {"r2", 1}});
+  pv.Add(2, {{"r1", 1}, {"r3", 1}});
+  pv.Add(3, {{"r2", 1}});
+  pv.loop.RunUntil(20.0);
+  EXPECT_EQ(pv.CostTo(0, "r1"), 1);
+  EXPECT_EQ(pv.CostTo(0, "r2"), 2);
+  EXPECT_EQ(pv.CostTo(0, "r3"), 3);
+  EXPECT_EQ(pv.NextHopTo(0, "r3"), "r1");
+  EXPECT_EQ(pv.CostTo(3, "r0"), 3);
+}
+
+TEST(PathVector, PrefersCheaperMultiHopOverExpensiveDirect) {
+  // Direct r0->r2 costs 10; the detour via r1 costs 2.
+  PvNet pv(3);
+  pv.Add(0, {{"r1", 1}, {"r2", 10}});
+  pv.Add(1, {{"r0", 1}, {"r2", 1}});
+  pv.Add(2, {{"r1", 1}, {"r0", 10}});
+  pv.loop.RunUntil(20.0);
+  EXPECT_EQ(pv.CostTo(0, "r2"), 2);
+  EXPECT_EQ(pv.NextHopTo(0, "r2"), "r1");
+}
+
+TEST(PathVector, ReroutesAfterLinkFailure) {
+  // Triangle: r0-r1 (1), r1-r2 (1), r0-r2 (5). Best r0->r2 is via r1.
+  PvNet pv(3);
+  pv.Add(0, {{"r1", 1}, {"r2", 5}});
+  pv.Add(1, {{"r0", 1}, {"r2", 1}});
+  pv.Add(2, {{"r1", 1}, {"r0", 5}});
+  pv.loop.RunUntil(20.0);
+  ASSERT_EQ(pv.CostTo(0, "r2"), 2);
+  // The r0-r1 link dies (both directions). Routes through it age out and
+  // the expensive direct link takes over.
+  pv.nodes[0]->RemoveLink("r1");
+  pv.nodes[1]->RemoveLink("r0");
+  pv.loop.RunUntil(60.0);
+  EXPECT_EQ(pv.CostTo(0, "r2"), 5);
+  EXPECT_EQ(pv.NextHopTo(0, "r2"), "r2");
+}
+
+TEST(PathVector, HorizonBoundsCountToInfinity) {
+  // Partition: r2 disappears entirely; r0/r1 must drop the route rather
+  // than counting up forever (max_cost horizon + soft-state expiry).
+  PvNet pv(3);
+  pv.Add(0, {{"r1", 1}});
+  pv.Add(1, {{"r0", 1}, {"r2", 1}});
+  pv.Add(2, {{"r1", 1}});
+  pv.loop.RunUntil(20.0);
+  ASSERT_EQ(pv.CostTo(0, "r2"), 2);
+  pv.nodes[1]->RemoveLink("r2");
+  pv.nodes[2]->Stop();
+  pv.loop.RunUntil(120.0);
+  EXPECT_EQ(pv.CostTo(0, "r2"), -1);  // no best route survives
+}
+
+TEST(PathVector, GraphDumpListsRuleChains) {
+  PvNet pv(1);
+  PathVectorNode* n = pv.Add(0, {});
+  std::string dump = n->node()->graph().Dump();
+  EXPECT_NE(dump.find("rule:PV3"), std::string::npos);
+  EXPECT_NE(dump.find("->"), std::string::npos);
+  EXPECT_NE(dump.find("element input_queue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2

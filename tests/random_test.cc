@@ -1,0 +1,114 @@
+#include "src/runtime/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p2 {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) {
+    seen[rng.NextBelow(10)] += 1;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GT(seen[i], 300) << "bucket " << i;  // ~500 expected
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, CoinFlipRespectsProbability) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.CoinFlip(0.3)) {
+      ++heads;
+    }
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+  Rng r2(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r2.CoinFlip(0.0));
+  }
+}
+
+TEST(Rng, ExponentialHasConfiguredMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextExponential(60.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 60.0, 2.5);
+}
+
+TEST(Rng, NextIdFillsAllLimbs) {
+  Rng rng(19);
+  bool mid_nonzero = false;
+  bool hi_nonzero = false;
+  for (int i = 0; i < 50; ++i) {
+    Uint160 id = rng.NextId();
+    mid_nonzero |= id.limbs()[1] != 0;
+    hi_nonzero |= id.limbs()[2] != 0;
+  }
+  EXPECT_TRUE(mid_nonzero);
+  EXPECT_TRUE(hi_nonzero);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork();
+  Rng b(23);
+  Rng child_b = b.Fork();
+  // Forks are deterministic...
+  EXPECT_EQ(child.NextU64(), child_b.NextU64());
+  // ...and differ from the parent stream.
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+}  // namespace
+}  // namespace p2

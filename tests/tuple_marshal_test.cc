@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "src/net/transport.h"
+#include "src/net/wire.h"
+#include "src/runtime/marshal.h"
+#include "src/runtime/tuple.h"
+
+namespace p2 {
+namespace {
+
+TuplePtr SampleTuple() {
+  return Tuple::Make("lookup", {Value::Addr("n3"), Value::Id(Uint160::HashOf("key")),
+                                Value::Addr("n1"), Value::Id(Uint160(77)),
+                                Value::Double(1.25), Value::Str("s"), Value::Int(-9),
+                                Value::Bool(true), Value::Null(),
+                                Value::List({Value::Int(1), Value::Str("x")})});
+}
+
+TEST(Tuple, FieldAccessAndLocspec) {
+  TuplePtr t = SampleTuple();
+  EXPECT_EQ(t->name(), "lookup");
+  EXPECT_EQ(t->size(), 10u);
+  EXPECT_EQ(t->locspec().AsAddr(), "n3");
+  EXPECT_EQ(t->field(6).AsInt(), -9);
+}
+
+TEST(Tuple, KeyOfProjectsPositions) {
+  TuplePtr t = Tuple::Make("r", {Value::Int(10), Value::Int(20), Value::Int(30)});
+  std::vector<Value> key = t->KeyOf({2, 0});
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(key[0].AsInt(), 30);
+  EXPECT_EQ(key[1].AsInt(), 10);
+  // Out-of-range positions become null rather than crashing.
+  EXPECT_TRUE(t->KeyOf({5})[0].is_null());
+}
+
+TEST(Tuple, SameAs) {
+  TuplePtr a = Tuple::Make("r", {Value::Int(1)});
+  TuplePtr b = Tuple::Make("r", {Value::Int(1)});
+  TuplePtr c = Tuple::Make("r", {Value::Int(2)});
+  TuplePtr d = Tuple::Make("s", {Value::Int(1)});
+  EXPECT_TRUE(a->SameAs(*b));
+  EXPECT_FALSE(a->SameAs(*c));
+  EXPECT_FALSE(a->SameAs(*d));
+}
+
+TEST(Marshal, ValueRoundTripAllTypes) {
+  TuplePtr t = SampleTuple();
+  for (const Value& v : t->fields()) {
+    ByteWriter w;
+    MarshalValue(v, &w);
+    ByteReader r(w.buffer());
+    Value out;
+    ASSERT_TRUE(UnmarshalValue(&r, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(out.type(), v.type());
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Marshal, TupleRoundTrip) {
+  TuplePtr t = SampleTuple();
+  std::vector<uint8_t> bytes = MarshalTupleToBytes(*t);
+  std::optional<TuplePtr> back = UnmarshalTupleFromBytes(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE((*back)->SameAs(*t));
+}
+
+TEST(Marshal, TruncatedInputFailsCleanly) {
+  std::vector<uint8_t> bytes = MarshalTupleToBytes(*SampleTuple());
+  for (size_t cut = 0; cut < bytes.size(); cut += 3) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(UnmarshalTupleFromBytes(prefix).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Marshal, GarbageTagFails) {
+  std::vector<uint8_t> bytes = {0xFF, 0x00, 0x01};
+  ByteReader r(bytes);
+  Value v;
+  EXPECT_FALSE(UnmarshalValue(&r, &v));
+}
+
+TEST(Wire, FrameRoundTrip) {
+  TuplePtr t = SampleTuple();
+  std::vector<uint8_t> framed = FrameTuple(*t);
+  std::optional<TuplePtr> back = UnframeTuple(framed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE((*back)->SameAs(*t));
+}
+
+TEST(Wire, BadMagicRejected) {
+  std::vector<uint8_t> framed = FrameTuple(*SampleTuple());
+  framed[0] ^= 0x01;
+  EXPECT_FALSE(UnframeTuple(framed).has_value());
+  framed[0] ^= 0x01;
+  framed[1] = 0x7F;  // wrong version
+  EXPECT_FALSE(UnframeTuple(framed).has_value());
+}
+
+TEST(Wire, WireSizeIncludesHeaders) {
+  TuplePtr t = Tuple::Make("x", {Value::Int(1)});
+  EXPECT_EQ(WireSizeOf(*t), FrameTuple(*t).size() + kUdpIpHeaderBytes);
+}
+
+TEST(Wire, LookupTrafficClassifier) {
+  EXPECT_TRUE(IsLookupTraffic("lookup"));
+  EXPECT_TRUE(IsLookupTraffic("lookupResults"));
+  EXPECT_TRUE(IsLookupTraffic("blookup"));
+  EXPECT_FALSE(IsLookupTraffic("stabilize"));
+  EXPECT_FALSE(IsLookupTraffic("pingReq"));
+}
+
+TEST(ByteIo, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutDouble(-2.5);
+  w.PutString("hello");
+  ByteReader r(w.buffer());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8));
+  ASSERT_TRUE(r.GetU16(&u16));
+  ASSERT_TRUE(r.GetU32(&u32));
+  ASSERT_TRUE(r.GetU64(&u64));
+  ASSERT_TRUE(r.GetDouble(&d));
+  ASSERT_TRUE(r.GetString(&s));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(d, -2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,168 @@
+#include "src/runtime/uint160.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/random.h"
+
+namespace p2 {
+namespace {
+
+TEST(Uint160, DefaultIsZero) {
+  Uint160 z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.ToHex(), "0");
+}
+
+TEST(Uint160, AdditionCarriesAcrossLimbs) {
+  Uint160 a(0, 0, ~0ull);  // low limb all ones
+  Uint160 r = a + Uint160(1);
+  EXPECT_EQ(r.limbs()[0], 0u);
+  EXPECT_EQ(r.limbs()[1], 1u);
+  EXPECT_EQ(r.limbs()[2], 0u);
+}
+
+TEST(Uint160, SubtractionBorrowsAcrossLimbs) {
+  Uint160 a(0, 1, 0);  // 2^64
+  Uint160 r = a - Uint160(1);
+  EXPECT_EQ(r.limbs()[0], ~0ull);
+  EXPECT_EQ(r.limbs()[1], 0u);
+}
+
+TEST(Uint160, WrapsModulo2To160) {
+  Uint160 max = Uint160::Max();
+  EXPECT_TRUE((max + Uint160(1)).IsZero());
+  EXPECT_EQ(Uint160(0) - Uint160(1), max);
+}
+
+TEST(Uint160, ShiftLeftSmall) {
+  Uint160 one(1);
+  EXPECT_EQ((one << 4).Low64(), 16u);
+  EXPECT_EQ((one << 63).Low64(), 1ull << 63);
+}
+
+TEST(Uint160, ShiftLeftAcrossLimbBoundary) {
+  Uint160 one(1);
+  Uint160 r = one << 64;
+  EXPECT_EQ(r.limbs()[0], 0u);
+  EXPECT_EQ(r.limbs()[1], 1u);
+  r = one << 159;
+  EXPECT_EQ(r.limbs()[2], 1ull << 31);
+  EXPECT_TRUE((one << 160).IsZero());
+  EXPECT_TRUE((one << 200).IsZero());
+}
+
+TEST(Uint160, ComparisonIsUnsignedLexicographic) {
+  EXPECT_LT(Uint160(5), Uint160(6));
+  EXPECT_LT(Uint160(0, 0, ~0ull), Uint160(0, 1, 0));
+  EXPECT_LT(Uint160(0, ~0ull, ~0ull), Uint160(1, 0, 0));
+  EXPECT_LE(Uint160(7), Uint160(7));
+  EXPECT_GT(Uint160(8), Uint160(7));
+  EXPECT_GE(Uint160(8), Uint160(8));
+}
+
+TEST(Uint160, HexRoundTrip) {
+  Uint160 v;
+  ASSERT_TRUE(Uint160::FromHex("0xdeadbeef", &v));
+  EXPECT_EQ(v.Low64(), 0xdeadbeefull);
+  EXPECT_EQ(v.ToHex(), "deadbeef");
+  ASSERT_TRUE(Uint160::FromHex("ffffffffffffffffffffffffffffffffffffffff", &v));
+  EXPECT_EQ(v, Uint160::Max());
+  EXPECT_FALSE(Uint160::FromHex("xyz", &v));
+  EXPECT_FALSE(Uint160::FromHex("", &v));
+  // 41 hex digits overflow 160 bits.
+  EXPECT_FALSE(Uint160::FromHex("10000000000000000000000000000000000000000", &v));
+}
+
+TEST(Uint160, HashOfIsDeterministicAndSpreads) {
+  Uint160 a = Uint160::HashOf("n1");
+  Uint160 b = Uint160::HashOf("n1");
+  Uint160 c = Uint160::HashOf("n2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Uint160, IntervalOpenOpen) {
+  Uint160 lo(10);
+  Uint160 hi(20);
+  EXPECT_FALSE(Uint160(10).InOO(lo, hi));
+  EXPECT_TRUE(Uint160(11).InOO(lo, hi));
+  EXPECT_TRUE(Uint160(19).InOO(lo, hi));
+  EXPECT_FALSE(Uint160(20).InOO(lo, hi));
+  EXPECT_FALSE(Uint160(25).InOO(lo, hi));
+}
+
+TEST(Uint160, IntervalOpenClosed) {
+  Uint160 lo(10);
+  Uint160 hi(20);
+  EXPECT_FALSE(Uint160(10).InOC(lo, hi));
+  EXPECT_TRUE(Uint160(20).InOC(lo, hi));
+  EXPECT_FALSE(Uint160(21).InOC(lo, hi));
+}
+
+TEST(Uint160, IntervalWrapsAroundZero) {
+  // Interval (max-5, 5): walks clockwise through 0.
+  Uint160 lo = Uint160::Max() - Uint160(5);
+  Uint160 hi(5);
+  EXPECT_TRUE(Uint160(0).InOO(lo, hi));
+  EXPECT_TRUE(Uint160::Max().InOO(lo, hi));
+  EXPECT_TRUE(Uint160(4).InOO(lo, hi));
+  EXPECT_FALSE(Uint160(5).InOO(lo, hi));
+  EXPECT_FALSE(Uint160(100).InOO(lo, hi));
+  EXPECT_TRUE(Uint160(5).InOC(lo, hi));
+}
+
+TEST(Uint160, DegenerateIntervalIsFullRing) {
+  // Chord semantics: (x, x] covers the whole ring (single-node ring owns
+  // every key), (x, x) covers everything but x.
+  Uint160 x(42);
+  EXPECT_TRUE(Uint160(7).InOC(x, x));
+  EXPECT_TRUE(x.InOC(x, x));
+  EXPECT_TRUE(Uint160(7).InOO(x, x));
+  EXPECT_FALSE(x.InOO(x, x));
+}
+
+TEST(Uint160, DistanceFrom) {
+  EXPECT_EQ(Uint160(15).DistanceFrom(Uint160(10)), Uint160(5));
+  // Wrap: distance from 10 back around to 5.
+  Uint160 d = Uint160(5).DistanceFrom(Uint160(10));
+  EXPECT_EQ(d, Uint160::Max() - Uint160(4));
+}
+
+// Property sweep: a + b - b == a, and interval membership matches a
+// reference implementation over 64-bit values.
+class Uint160PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Uint160PropertyTest, AddSubRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Uint160 a = rng.NextId();
+    Uint160 b = rng.NextId();
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ(a - b + b, a);
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+TEST_P(Uint160PropertyTest, IntervalComplementarity) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int i = 0; i < 200; ++i) {
+    Uint160 n = rng.NextId();
+    Uint160 s = rng.NextId();
+    Uint160 k = rng.NextId();
+    if (n == s) {
+      continue;
+    }
+    // Chord lookup exclusivity invariant: either K in (N,S] or S in (N,K)
+    // (used by rules L1 vs L3 to fire exactly one case).
+    bool own = k.InOC(n, s);
+    bool forward = s.InOO(n, k) || k == n;
+    EXPECT_NE(own, forward) << "n=" << n.ToHex() << " s=" << s.ToHex()
+                            << " k=" << k.ToHex();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Uint160PropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,134 @@
+#include "src/runtime/value.h"
+
+#include <gtest/gtest.h>
+
+namespace p2 {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(Value, NumericAccessorsCoerce) {
+  EXPECT_EQ(Value::Bool(true).AsInt(), 1);
+  EXPECT_EQ(Value::Int(42).AsDouble(), 42.0);
+  EXPECT_EQ(Value::Double(3.7).AsInt(), 3);
+  EXPECT_TRUE(Value::Int(1).AsBool());
+  EXPECT_FALSE(Value::Double(0.0).AsBool());
+}
+
+TEST(Value, StringAndAddrAreDistinctTypes) {
+  Value s = Value::Str("a:1");
+  Value a = Value::Addr("a:1");
+  EXPECT_EQ(s.type(), ValueType::kStr);
+  EXPECT_EQ(a.type(), ValueType::kAddr);
+  EXPECT_NE(s, a);
+  EXPECT_EQ(s.AsStr(), "a:1");
+  EXPECT_EQ(a.AsAddr(), "a:1");
+}
+
+TEST(Value, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Str("abc"), Value::Str("abc"));
+  EXPECT_LT(Value::Str("abc"), Value::Str("abd"));
+  EXPECT_LT(Value::Id(Uint160(1)), Value::Id(Uint160(2)));
+  EXPECT_LT(Value::Addr("a"), Value::Addr("b"));
+}
+
+TEST(Value, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2), Value::Double(2.5));
+  EXPECT_GT(Value::Double(3.0), Value::Int(2));
+}
+
+TEST(Value, CrossTypeNonNumericOrdersByTypeRank) {
+  // Str (rank 4) sorts before Id (rank 5), before Addr (rank 6).
+  EXPECT_LT(Value::Str("zzz"), Value::Id(Uint160(0)));
+  EXPECT_LT(Value::Id(Uint160::Max()), Value::Addr("a"));
+  EXPECT_NE(Value::Str("-"), Value::Addr("-"));
+}
+
+TEST(Value, IntegerArithmetic) {
+  EXPECT_EQ(Value::Add(Value::Int(2), Value::Int(3)).AsInt(), 5);
+  EXPECT_EQ(Value::Sub(Value::Int(2), Value::Int(3)).AsInt(), -1);
+  EXPECT_EQ(Value::Mul(Value::Int(4), Value::Int(3)).AsInt(), 12);
+  EXPECT_EQ(Value::Div(Value::Int(7), Value::Int(2)).AsInt(), 3);
+  EXPECT_EQ(Value::Mod(Value::Int(7), Value::Int(3)).AsInt(), 1);
+}
+
+TEST(Value, DivisionByZeroYieldsZeroNotCrash) {
+  EXPECT_EQ(Value::Div(Value::Int(7), Value::Int(0)).AsInt(), 0);
+  EXPECT_EQ(Value::Mod(Value::Int(7), Value::Int(0)).AsInt(), 0);
+  EXPECT_EQ(Value::Div(Value::Double(1.0), Value::Double(0.0)).AsDouble(), 0.0);
+}
+
+TEST(Value, DoublePromotion) {
+  Value r = Value::Add(Value::Int(1), Value::Double(0.5));
+  EXPECT_EQ(r.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.AsDouble(), 1.5);
+}
+
+TEST(Value, IdArithmeticWrapsOnRing) {
+  Value max = Value::Id(Uint160::Max());
+  Value r = Value::Add(max, Value::Int(1));
+  EXPECT_EQ(r.type(), ValueType::kId);
+  EXPECT_TRUE(r.AsId().IsZero());
+  // Chord's distance idiom: K - B - 1.
+  Value d = Value::Sub(Value::Sub(Value::Id(Uint160(5)), Value::Id(Uint160(5))), Value::Int(1));
+  EXPECT_EQ(d.AsId(), Uint160::Max());
+}
+
+TEST(Value, ShlAlwaysYieldsId) {
+  Value r = Value::Shl(Value::Int(1), Value::Int(100));
+  ASSERT_EQ(r.type(), ValueType::kId);
+  EXPECT_EQ(r.AsId(), Uint160(1) << 100);
+  EXPECT_TRUE(Value::Shl(Value::Int(1), Value::Int(200)).AsId().IsZero());
+}
+
+TEST(Value, StringConcatenationViaAdd) {
+  EXPECT_EQ(Value::Add(Value::Str("ab"), Value::Str("cd")).AsStr(), "abcd");
+}
+
+TEST(Value, ListConstructionAndComparison) {
+  Value l1 = Value::List({Value::Int(1), Value::Str("x")});
+  Value l2 = Value::List({Value::Int(1), Value::Str("x")});
+  Value l3 = Value::List({Value::Int(1), Value::Str("y")});
+  Value l4 = Value::List({Value::Int(1)});
+  EXPECT_EQ(l1, l2);
+  EXPECT_LT(l1, l3);
+  EXPECT_LT(l4, l1);  // prefix sorts first
+  EXPECT_EQ(l1.AsList().size(), 2u);
+}
+
+TEST(Value, ToStringFormats) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Str("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Addr("n1").ToString(), "n1");
+  EXPECT_EQ(Value::Id(Uint160(255)).ToString(), "0xff");
+  EXPECT_EQ(Value::List({Value::Int(1), Value::Int(2)}).ToString(), "[1, 2]");
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Str("abc").HashValue(), Value::Str("abc").HashValue());
+  EXPECT_EQ(Value::Int(5).HashValue(), Value::Int(5).HashValue());
+  EXPECT_NE(Value::Str("n1").HashValue(), Value::Addr("n1").HashValue());
+}
+
+TEST(ValueVec, HashAndEqFunctors) {
+  std::vector<Value> a = {Value::Int(1), Value::Str("x")};
+  std::vector<Value> b = {Value::Int(1), Value::Str("x")};
+  std::vector<Value> c = {Value::Int(2), Value::Str("x")};
+  ValueVecHash h;
+  ValueVecEq eq;
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_FALSE(eq(a, c));
+  EXPECT_FALSE(eq(a, {Value::Int(1)}));
+}
+
+}  // namespace
+}  // namespace p2
