@@ -9,10 +9,13 @@
 //              to that node (rule KV1 stores it).
 //   get(k):    lookup k's successor, send a kvGet to it; rule KV2 joins
 //              the store table and replies with kvGetResp.
+//
+// The ring itself rides the ScenarioNet fleet layer shared with `p2run`;
+// only the three KV rules and the put/get driver live here.
 #include <cstdio>
 
+#include "src/cli/scenario.h"
 #include "src/overlays/chord.h"
-#include "src/sim/network.h"
 
 namespace {
 
@@ -34,8 +37,8 @@ KV3 kvGetMiss@RI(RI,K) :- kvGet@NI(NI,RI,K), not store@NI(NI,K,_).
 
 int main() {
   using namespace p2;
-  SimEventLoop loop;
-  SimNetwork net(&loop, Topology(TopologyConfig{}), 11);
+  const size_t kNodes = 8;
+  ScenarioNet net(BackendKind::kSim, kNodes, /*seed=*/11);
 
   // An 8-node ring with snappy timers (this is a demo, not an experiment).
   ChordConfig chord;
@@ -44,32 +47,30 @@ int main() {
   chord.ping_period_s = 0.8;
   chord.succ_lifetime_s = 1.7;
 
-  const size_t kNodes = 8;
-  std::vector<std::unique_ptr<SimTransport>> transports;
   std::vector<std::unique_ptr<ChordNode>> nodes;
   for (size_t i = 0; i < kNodes; ++i) {
-    transports.push_back(net.MakeTransport("n" + std::to_string(i), i));
     P2NodeConfig cfg;
-    cfg.executor = &loop;
-    cfg.transport = transports[i].get();
+    cfg.executor = net.executor();
+    cfg.transport = net.transport(i);
     cfg.seed = 1000 + i;
-    nodes.push_back(std::make_unique<ChordNode>(cfg, chord, i == 0 ? "" : "n0", kKvRules));
+    nodes.push_back(std::make_unique<ChordNode>(cfg, chord, i == 0 ? "" : net.addr(0),
+                                                kKvRules));
     nodes[i]->Start();
-    loop.RunUntil(loop.Now() + 1.0);  // stagger joins
+    net.Run(1.0);  // stagger joins
   }
-  loop.RunUntil(60.0);  // let the ring converge
+  net.Run(60.0 - net.Now());  // let the ring converge
 
   // --- put: resolve the key's successor, then ship the value there. ---
   ChordNode* client = nodes[3].get();
   auto put = [&](const std::string& key, const std::string& value) {
     Uint160 k = Uint160::HashOf(key);
     Uint160 ev = client->Lookup(k);
-    client->OnLookupResult([=, &loop](const ChordNode::LookupResult& r) {
+    client->OnLookupResult([=, &net](const ChordNode::LookupResult& r) {
       if (r.event_id != ev) {
         return;
       }
       std::printf("[%6.2fs] put '%s' -> stored at %s (successor of 0x%.12s...)\n",
-                  loop.Now(), key.c_str(), r.successor_addr.c_str(),
+                  net.Now(), key.c_str(), r.successor_addr.c_str(),
                   k.ToHex().c_str());
       // Injected tuples route by their location specifier: this one ships
       // straight to the key's successor.
@@ -80,15 +81,15 @@ int main() {
   put("declarative", "overlays");
   put("sigops", "sosp 2005");
   put("p2", "dataflow");
-  loop.RunUntil(70.0);
+  net.Run(10.0);
 
   // --- get: resolve, then ask the holder; KV2/KV3 answer. ---
   ChordNode* reader = nodes[6].get();
   reader->node()->Subscribe("kvGetResp", [&](const TuplePtr& t) {
-    std::printf("[%6.2fs] get -> '%s'\n", loop.Now(), t->field(2).AsStr().c_str());
+    std::printf("[%6.2fs] get -> '%s'\n", net.Now(), t->field(2).AsStr().c_str());
   });
   reader->node()->Subscribe("kvGetMiss", [&](const TuplePtr&) {
-    std::printf("[%6.2fs] get -> MISS\n", loop.Now());
+    std::printf("[%6.2fs] get -> MISS\n", net.Now());
   });
   auto get = [&](const std::string& key) {
     Uint160 k = Uint160::HashOf(key);
@@ -105,7 +106,7 @@ int main() {
   get("declarative");
   get("p2");
   get("unknown-key");
-  loop.RunUntil(80.0);
+  net.Run(10.0);
 
   std::printf("\nstore contents per node:\n");
   for (auto& n : nodes) {

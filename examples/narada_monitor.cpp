@@ -1,15 +1,18 @@
 // Narada mesh monitor: watch the §2.3 mesh-maintenance protocol run —
 // epidemic membership, sequence-number refresh, latency probing, and
-// failure detection when a node silently dies.
+// failure detection when a node silently dies. The fleet comes from the
+// ScenarioNet layer shared with `p2run`; the mid-run crash uses its
+// Kill() primitive.
 #include <cstdio>
 
+#include "src/cli/scenario.h"
 #include "src/overlays/narada.h"
-#include "src/sim/network.h"
 
 int main() {
   using namespace p2;
-  SimEventLoop loop;
-  SimNetwork net(&loop, Topology(TopologyConfig{}), 23);
+  // A star-seeded mesh: everyone initially knows only node 0.
+  const size_t kNodes = 6;
+  ScenarioNet net(BackendKind::kSim, kNodes, /*seed=*/23);
 
   NaradaConfig narada;
   narada.refresh_period_s = 1.0;
@@ -17,26 +20,22 @@ int main() {
   narada.dead_after_s = 6.0;
   narada.latency_probe_period_s = 2.0;
 
-  // A star-seeded mesh: everyone initially knows only m0.
-  const size_t kNodes = 6;
-  std::vector<std::unique_ptr<SimTransport>> transports;
   std::vector<std::unique_ptr<NaradaNode>> nodes;
   for (size_t i = 0; i < kNodes; ++i) {
-    transports.push_back(net.MakeTransport("m" + std::to_string(i), i));
     P2NodeConfig cfg;
-    cfg.executor = &loop;
-    cfg.transport = transports[i].get();
+    cfg.executor = net.executor();
+    cfg.transport = net.transport(i);
     cfg.seed = 2000 + i;
     std::vector<std::string> seeds;
     if (i != 0) {
-      seeds.push_back("m0");
+      seeds.push_back(net.addr(0));
     }
     nodes.push_back(std::make_unique<NaradaNode>(cfg, narada, seeds));
     nodes[i]->Start();
   }
 
   auto dump = [&]() {
-    std::printf("--- t = %.1fs ---\n", loop.Now());
+    std::printf("--- t = %.1fs ---\n", net.Now());
     for (auto& n : nodes) {
       if (!n) {
         continue;
@@ -55,21 +54,22 @@ int main() {
     }
   };
 
-  loop.RunUntil(5.0);
+  net.Run(5.0);
   dump();
-  loop.RunUntil(20.0);
+  net.Run(15.0);
   dump();
 
-  std::printf("\nkilling m4 (it goes silent — no goodbye message)...\n\n");
+  std::printf("\nkilling %s (it goes silent — no goodbye message)...\n\n",
+              net.addr(4).c_str());
   nodes[4].reset();
-  transports[4].reset();
+  net.Kill(4);
 
-  loop.RunUntil(45.0);
+  net.Run(25.0);
   dump();
-  std::printf("\nafter the %gs silence threshold, m4's former neighbors declared it\n"
-              "dead (rule L2), dropped the link (L3), and flooded the death with a\n"
-              "bumped sequence number (L4 + refreshes) — every node should now show\n"
-              "one non-live member.\n",
+  std::printf("\nafter the %gs silence threshold, the dead node's former neighbors\n"
+              "declared it dead (rule L2), dropped the link (L3), and flooded the\n"
+              "death with a bumped sequence number (L4 + refreshes) — every node\n"
+              "should now show one non-live member.\n",
               narada.dead_after_s);
   return 0;
 }

@@ -9,10 +9,12 @@
 // This exercises most of the P2 pipeline: materialized soft-state tables,
 // periodic rules, stream rules, cross-node heads (the '@' location
 // specifier sends tuples over the network), and delta-triggered derivation.
+// The fleet itself (event loop, simulated network, transports) comes from
+// the ScenarioNet layer that also powers the `p2run` driver.
 #include <cstdio>
 
+#include "src/cli/scenario.h"
 #include "src/p2/node.h"
-#include "src/sim/network.h"
 
 namespace {
 
@@ -39,17 +41,14 @@ int main() {
   using namespace p2;
   // A four-node line: n0 - n1 - n2 - n3. Each node only knows its direct
   // neighbors at startup.
-  SimEventLoop loop;
-  SimNetwork net(&loop, Topology(TopologyConfig{}), /*seed=*/7);
-
   const size_t kNodes = 4;
-  std::vector<std::unique_ptr<SimTransport>> transports;
+  ScenarioNet net(BackendKind::kSim, kNodes, /*seed=*/7);
+
   std::vector<std::unique_ptr<P2Node>> nodes;
   for (size_t i = 0; i < kNodes; ++i) {
-    transports.push_back(net.MakeTransport("n" + std::to_string(i), i));
     P2NodeConfig cfg;
-    cfg.executor = &loop;
-    cfg.transport = transports[i].get();
+    cfg.executor = net.executor();
+    cfg.transport = net.transport(i);
     cfg.seed = 100 + i;
     nodes.push_back(std::make_unique<P2Node>(cfg));
     std::string err;
@@ -74,7 +73,7 @@ int main() {
   }
 
   // Let the declarative protocol run for 20 simulated seconds.
-  loop.RunUntil(20.0);
+  net.Run(20.0);
 
   std::printf("reachability after 20s of simulated time:\n");
   for (auto& n : nodes) {

@@ -10,29 +10,33 @@
 //   $ ./two_process_udp join 9002 9001
 // Both processes converge on the same two-member view via the 5-rule
 // gossip overlay — no simulator anywhere, real datagrams.
+//
+// Everything here is a thin wrapper over the scenario layer: the no-arg
+// mode is literally `p2run --overlay gossip --nodes 2 --udp`, and the
+// listen/join modes use a one-node ScenarioNet fleet pinned to a port.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
-#include "src/net/udp_loop.h"
+#include "src/cli/scenario.h"
 #include "src/overlays/gossip.h"
 
 namespace {
 
 int RunNode(uint16_t port, const char* peer_port, double seconds) {
   using namespace p2;
-  UdpLoop loop;
-  auto transport = loop.MakeTransport(port);
-  if (transport == nullptr) {
+  ScenarioNet net(BackendKind::kUdp, 1, /*seed=*/port, /*loss_rate=*/0,
+                  /*udp_base_port=*/port);
+  if (!net.ok()) {
     std::fprintf(stderr, "failed to bind UDP port %u\n", port);
     return 1;
   }
-  std::printf("node up at %s\n", transport->local_addr().c_str());
+  std::printf("node up at %s\n", net.addr(0).c_str());
   GossipConfig cfg;
   cfg.gossip_period_s = 1.0;
   P2NodeConfig nc;
-  nc.executor = &loop;
-  nc.transport = transport.get();
+  nc.executor = net.executor();
+  nc.transport = net.transport(0);
   nc.seed = static_cast<uint64_t>(port) * 2654435761u + 1;
   std::vector<std::string> seeds;
   if (peer_port != nullptr) {
@@ -42,7 +46,7 @@ int RunNode(uint16_t port, const char* peer_port, double seconds) {
   node.Start();
   double step = 2.0;
   for (double t = 0; t < seconds; t += step) {
-    loop.RunFor(step);
+    net.Run(step);
     std::printf("t=%4.0fs members:", t + step);
     for (const std::string& m : node.Members()) {
       std::printf(" %s", m.c_str());
@@ -55,30 +59,30 @@ int RunNode(uint16_t port, const char* peer_port, double seconds) {
 
 int RunBothInProcess() {
   using namespace p2;
-  UdpLoop loop;
-  auto ta = loop.MakeTransport(0);
-  auto tb = loop.MakeTransport(0);
-  if (ta == nullptr || tb == nullptr) {
+  // A two-node gossip fleet over real kernel UDP datagrams, built on the
+  // same ScenarioNet fabric `p2run --overlay gossip --udp` uses.
+  ScenarioNet net(BackendKind::kUdp, 2, /*seed=*/1);
+  if (!net.ok()) {
     std::fprintf(stderr, "failed to bind UDP sockets\n");
     return 1;
   }
   GossipConfig cfg;
   cfg.gossip_period_s = 0.5;
   P2NodeConfig ca;
-  ca.executor = &loop;
-  ca.transport = ta.get();
+  ca.executor = net.executor();
+  ca.transport = net.transport(0);
   ca.seed = 1;
   P2NodeConfig cb;
-  cb.executor = &loop;
-  cb.transport = tb.get();
+  cb.executor = net.executor();
+  cb.transport = net.transport(1);
   cb.seed = 2;
   GossipNode a(ca, cfg, {});
-  GossipNode b(cb, cfg, {ta->local_addr()});  // b knows a
+  GossipNode b(cb, cfg, {net.addr(0)});  // b knows a
   a.Start();
   b.Start();
-  std::printf("a = %s, b = %s (b seeded with a)\n", ta->local_addr().c_str(),
-              tb->local_addr().c_str());
-  loop.RunFor(3.0);
+  std::printf("a = %s, b = %s (b seeded with a)\n", net.addr(0).c_str(),
+              net.addr(1).c_str());
+  net.Run(3.0);
   std::printf("a's members:");
   for (const std::string& m : a.Members()) {
     std::printf(" %s", m.c_str());
@@ -89,7 +93,7 @@ int RunBothInProcess() {
   }
   std::printf("\nboth views should contain both addresses — learned over real\n"
               "kernel UDP datagrams (a learned b from b's first gossip push).\n");
-  return 0;
+  return (a.Members().size() == 2 && b.Members().size() == 2) ? 0 : 1;
 }
 
 }  // namespace

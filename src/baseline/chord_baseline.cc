@@ -78,13 +78,17 @@ void BaselineChordNode::ArmTimers() {
 }
 
 void BaselineChordNode::Send(const std::string& to, const TuplePtr& t) {
+  std::vector<uint8_t> frame = FrameTuple(*t);
+  if (frame.empty()) {
+    return;  // oversize tuple, cannot be framed
+  }
   if (to == addr_) {
     // Local delivery: dispatch synchronously through the same handler (no
     // deferred task — the node may be destroyed by churn before it runs).
-    OnPacket(addr_, FrameTuple(*t));
+    OnPacket(addr_, frame);
     return;
   }
-  transport_->SendTo(to, FrameTuple(*t), IsLookupTraffic(t->name()));
+  transport_->SendTo(to, std::move(frame), IsLookupTraffic(t->name()));
 }
 
 void BaselineChordNode::OnPacket(const std::string& from, const std::vector<uint8_t>& bytes) {

@@ -1,0 +1,147 @@
+// p2run: the unified scenario driver.
+//
+// One command wires the whole P2 pipeline — OverLog program, planner,
+// dataflow graph, network backend — for any bundled overlay:
+//
+//   p2run --overlay chord --nodes 16 --sim
+//   p2run --overlay chord --nodes 64 --sim --churn 480 --duration 300
+//   p2run --overlay gossip --nodes 8 --udp
+//   p2run --overlay pathvector --nodes 10 --sim --seed 7
+//
+// Exit status 0 iff the overlay converged (see src/cli/scenario.h for the
+// per-overlay convergence criteria), which makes p2run usable directly as
+// a smoke test in scripts and CI.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/cli/scenario.h"
+#include "src/runtime/logging.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --overlay <chord|gossip|narada|pathvector>   overlay to run (default chord)\n"
+      "  --nodes <n>          number of nodes (default 8)\n"
+      "  --sim                deterministic virtual-time simulator (default)\n"
+      "  --udp                real UDP sockets on 127.0.0.1, one process\n"
+      "  --churn <mean_s>     exponential mean session time; chord --sim only\n"
+      "  --duration <s>       measurement phase length (default per overlay)\n"
+      "  --lookups <n>        chord: lookups to issue (default 20)\n"
+      "  --loss <p>           sim: datagram loss probability (default 0)\n"
+      "  --port <base>        udp: first port to bind (default: kernel picks)\n"
+      "  --seed <n>           RNG seed (default 1)\n"
+      "  --verbose            info-level runtime logging\n",
+      argv0);
+}
+
+bool NeedValue(int argc, char** argv, int i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s requires a value\n", argv[i]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  p2::ScenarioConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (std::strcmp(arg, "--overlay") == 0) {
+      if (!NeedValue(argc, argv, i) || !p2::ParseOverlayKind(argv[++i], &config.overlay)) {
+        std::fprintf(stderr, "unknown overlay; expected chord|gossip|narada|pathvector\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--nodes") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 2 || n > 1000000) {
+        std::fprintf(stderr, "--nodes must be in [2, 1000000], got %s\n", argv[i]);
+        return 2;
+      }
+      config.nodes = static_cast<size_t>(n);
+    } else if (std::strcmp(arg, "--sim") == 0) {
+      config.backend = p2::BackendKind::kSim;
+    } else if (std::strcmp(arg, "--udp") == 0) {
+      config.backend = p2::BackendKind::kUdp;
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      if (!NeedValue(argc, argv, i) || !p2::ParseBackendKind(argv[++i], &config.backend)) {
+        std::fprintf(stderr, "unknown backend; expected sim|udp\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--churn") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.churn_session_mean_s = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--duration") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.duration_s = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--lookups") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.lookups = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--loss") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.loss_rate = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--port") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      long port = std::strtol(argv[++i], nullptr, 10);
+      if (port < 1 || port > 65535) {
+        std::fprintf(stderr, "--port must be in [1, 65535], got %s\n", argv[i]);
+        return 2;
+      }
+      config.udp_base_port = static_cast<uint16_t>(port);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      config.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (config.verbose) {
+    p2::SetLogLevel(p2::LogLevel::kInfo);
+  }
+
+  std::printf("p2run: overlay=%s nodes=%zu backend=%s seed=%llu",
+              p2::OverlayKindName(config.overlay), config.nodes,
+              p2::BackendKindName(config.backend),
+              static_cast<unsigned long long>(config.seed));
+  if (config.churn_session_mean_s > 0) {
+    std::printf(" churn=%.0fs", config.churn_session_mean_s);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+
+  p2::ScenarioReport report = p2::RunScenario(config);
+
+  std::printf("ran for %.1f %s seconds\n%s", report.ran_for_s,
+              config.backend == p2::BackendKind::kSim ? "virtual" : "wall-clock",
+              report.detail.c_str());
+  std::printf(report.converged ? "CONVERGED\n" : "DID NOT CONVERGE\n");
+  return report.converged ? 0 : 1;
+}

@@ -1,0 +1,485 @@
+#include "src/cli/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/harness/churn.h"
+#include "src/harness/workload.h"
+#include "src/overlays/chord.h"
+#include "src/overlays/gossip.h"
+#include "src/overlays/narada.h"
+#include "src/overlays/pathvector.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+bool ParseOverlayKind(const std::string& name, OverlayKind* out) {
+  if (name == "chord") {
+    *out = OverlayKind::kChord;
+  } else if (name == "gossip") {
+    *out = OverlayKind::kGossip;
+  } else if (name == "narada") {
+    *out = OverlayKind::kNarada;
+  } else if (name == "pathvector") {
+    *out = OverlayKind::kPathVector;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseBackendKind(const std::string& name, BackendKind* out) {
+  if (name == "sim") {
+    *out = BackendKind::kSim;
+  } else if (name == "udp") {
+    *out = BackendKind::kUdp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* OverlayKindName(OverlayKind kind) {
+  switch (kind) {
+    case OverlayKind::kChord:
+      return "chord";
+    case OverlayKind::kGossip:
+      return "gossip";
+    case OverlayKind::kNarada:
+      return "narada";
+    case OverlayKind::kPathVector:
+      return "pathvector";
+  }
+  return "?";
+}
+
+const char* BackendKindName(BackendKind kind) {
+  return kind == BackendKind::kSim ? "sim" : "udp";
+}
+
+// --- ScenarioNet -----------------------------------------------------------
+
+ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
+                         double loss_rate, uint16_t udp_base_port)
+    : backend_(backend) {
+  if (backend_ == BackendKind::kSim) {
+    sim_loop_ = std::make_unique<SimEventLoop>();
+    sim_net_ = std::make_unique<SimNetwork>(sim_loop_.get(), Topology(TopologyConfig{}), seed);
+    sim_net_->set_loss_rate(loss_rate);
+    for (size_t i = 0; i < nodes; ++i) {
+      std::string addr = "n" + std::to_string(i);
+      sim_transports_.push_back(sim_net_->MakeTransport(addr, i));
+      addrs_.push_back(std::move(addr));
+    }
+    return;
+  }
+  udp_loop_ = std::make_unique<UdpLoop>();
+  for (size_t i = 0; i < nodes; ++i) {
+    uint32_t wanted = udp_base_port == 0 ? 0 : udp_base_port + static_cast<uint32_t>(i);
+    if (wanted > 65535) {
+      // base+i would wrap uint16_t and silently bind the wrong port.
+      ok_ = false;
+      addrs_.push_back("");
+      udp_transports_.push_back(nullptr);
+      continue;
+    }
+    auto t = udp_loop_->MakeTransport(static_cast<uint16_t>(wanted));
+    if (t == nullptr) {
+      ok_ = false;
+      addrs_.push_back("");
+      udp_transports_.push_back(nullptr);
+      continue;
+    }
+    addrs_.push_back(t->local_addr());
+    udp_transports_.push_back(std::move(t));
+  }
+}
+
+ScenarioNet::~ScenarioNet() = default;
+
+Executor* ScenarioNet::executor() {
+  return backend_ == BackendKind::kSim ? static_cast<Executor*>(sim_loop_.get())
+                                       : static_cast<Executor*>(udp_loop_.get());
+}
+
+Transport* ScenarioNet::transport(size_t i) {
+  return backend_ == BackendKind::kSim
+             ? static_cast<Transport*>(sim_transports_[i].get())
+             : static_cast<Transport*>(udp_transports_[i].get());
+}
+
+void ScenarioNet::Run(double seconds) {
+  if (backend_ == BackendKind::kSim) {
+    sim_loop_->RunUntil(sim_loop_->Now() + seconds);
+  } else {
+    udp_loop_->RunFor(seconds);
+  }
+}
+
+double ScenarioNet::Now() const {
+  return backend_ == BackendKind::kSim ? sim_loop_->Now() : udp_loop_->Now();
+}
+
+void ScenarioNet::Kill(size_t i) {
+  if (backend_ == BackendKind::kSim) {
+    sim_transports_[i].reset();
+  } else {
+    udp_transports_[i].reset();
+  }
+}
+
+// --- Per-overlay runners ---------------------------------------------------
+
+namespace {
+
+// Chord on the deterministic simulator rides the evaluation harness: the
+// transit-stub testbed provides staggered joins, lookup bookkeeping with
+// ground-truth consistency, and (optionally) Bamboo-style churn.
+ScenarioReport RunChordSim(const ScenarioConfig& config) {
+  ScenarioReport report;
+  report.nodes = config.nodes;
+
+  TestbedConfig cfg;
+  cfg.num_nodes = config.nodes;
+  cfg.seed = config.seed;
+  cfg.loss_rate = config.loss_rate;
+  ChordTestbed tb(cfg);
+  // The fig3 settle recipe: staggered joins plus a 300-virtual-second tail
+  // so every node finishes stabilization before measurement starts (a
+  // shorter tail leaves the last joiners' successor lists racing the first
+  // lookups, which shows up as spurious inconsistency).
+  double settle = cfg.join_stagger_s * static_cast<double>(config.nodes) + 300.0;
+  tb.BuildAndSettle(settle);
+
+  ChurnConfig churn_cfg;
+  churn_cfg.session_mean_s = config.churn_session_mean_s;
+  churn_cfg.seed = config.seed ^ 0xC0FFEE;
+  std::unique_ptr<ChurnDriver> churn;
+  if (config.churn_session_mean_s > 0) {
+    churn = std::make_unique<ChurnDriver>(&tb, churn_cfg);
+    churn->Start();
+  }
+
+  double t0 = tb.Now();
+  // One lookup per second, then a grace window for stragglers/retries.
+  for (int i = 0; i < config.lookups; ++i) {
+    tb.IssueRandomLookup();
+    tb.RunFor(1.0);
+  }
+  double duration = config.duration_s > 0 ? config.duration_s : 60.0;
+  double grace = std::max(cfg.lookup_timeout_s + 1.0,
+                          duration - static_cast<double>(config.lookups));
+  tb.RunFor(grace);
+  report.ran_for_s = tb.Now() - t0;
+
+  report.lookups_issued = tb.lookups().size();
+  for (const ChordTestbed::LookupRecord& rec : tb.lookups()) {
+    report.lookups_completed += rec.completed ? 1 : 0;
+    report.lookups_consistent += rec.consistent ? 1 : 0;
+  }
+  report.ring_consistency = tb.RingConsistencyFraction();
+  report.churn_deaths = churn ? churn->deaths() : 0;
+
+  // A static ring must answer everything consistently; under churn we accept
+  // the usual evaluation slack (some lookups race dead nodes).
+  bool static_ok = report.lookups_completed == report.lookups_issued &&
+                   report.ring_consistency >= 0.9 &&
+                   report.lookups_consistent * 10 >= report.lookups_completed * 9;
+  bool churn_ok = report.lookups_completed * 4 >= report.lookups_issued * 3;
+  report.converged = churn ? churn_ok : static_ok;
+
+  std::ostringstream os;
+  os << "lookups: " << report.lookups_completed << "/" << report.lookups_issued
+     << " completed, " << report.lookups_consistent << " consistent\n"
+     << "ring consistency: " << report.ring_consistency << "\n";
+  if (churn) {
+    os << "churn deaths: " << report.churn_deaths << " (mean session "
+       << config.churn_session_mean_s << "s)\n";
+  }
+  report.detail = os.str();
+  return report;
+}
+
+// Chord over real UDP sockets: one process, N loopback endpoints, snappy
+// timers so a ring forms within seconds of wall-clock time.
+ScenarioReport RunChordUdp(const ScenarioConfig& config, ScenarioNet* net) {
+  ScenarioReport report;
+  report.nodes = config.nodes;
+
+  ChordConfig chord;
+  chord.finger_fix_period_s = 2.0;
+  chord.stabilize_period_s = 1.5;
+  chord.ping_period_s = 0.8;
+  chord.succ_lifetime_s = 1.7;
+
+  std::vector<std::unique_ptr<ChordNode>> nodes;
+  for (size_t i = 0; i < net->size(); ++i) {
+    P2NodeConfig nc;
+    nc.executor = net->executor();
+    nc.transport = net->transport(i);
+    nc.seed = config.seed + i;
+    nodes.push_back(std::make_unique<ChordNode>(nc, chord,
+                                                i == 0 ? "" : net->addr(0)));
+    nodes.back()->Start();
+  }
+
+  double duration = config.duration_s > 0 ? config.duration_s : 15.0;
+  double t0 = net->Now();
+  net->Run(duration * 0.7);
+
+  size_t completed = 0;
+  for (int i = 0; i < config.lookups; ++i) {
+    ChordNode* origin = nodes[static_cast<size_t>(i) % nodes.size()].get();
+    Uint160 key = Uint160::HashOf("p2run-key-" + std::to_string(i));
+    Uint160 ev = origin->Lookup(key);
+    origin->OnLookupResult([ev, &completed](const ChordNode::LookupResult& r) {
+      if (r.event_id == ev) {
+        ++completed;
+      }
+    });
+  }
+  net->Run(duration * 0.3 + 2.0);
+  report.ran_for_s = net->Now() - t0;
+
+  // Ring consistency against the id-sorted ground truth.
+  std::vector<std::pair<Uint160, std::string>> ring;
+  for (auto& n : nodes) {
+    ring.emplace_back(n->id(), n->addr());
+  }
+  std::sort(ring.begin(), ring.end());
+  size_t agree = 0;
+  for (auto& n : nodes) {
+    auto best = n->BestSuccessor();
+    if (!best.has_value()) {
+      continue;
+    }
+    size_t pos = 0;
+    while (pos < ring.size() && !(ring[pos].first == n->id())) {
+      ++pos;
+    }
+    const auto& truth = ring[(pos + 1) % ring.size()];
+    agree += best->second == truth.second ? 1 : 0;
+  }
+  report.lookups_issued = static_cast<size_t>(config.lookups);
+  report.lookups_completed = completed;
+  report.lookups_consistent = completed;  // no ground-truth audit over UDP
+  report.ring_consistency =
+      nodes.empty() ? 0
+                    : static_cast<double>(agree) / static_cast<double>(nodes.size());
+  report.converged = completed == report.lookups_issued && report.ring_consistency >= 0.75;
+
+  std::ostringstream os;
+  os << "lookups: " << completed << "/" << report.lookups_issued << " completed\n"
+     << "ring consistency: " << report.ring_consistency << "\n";
+  report.detail = os.str();
+
+  for (auto& n : nodes) {
+    n->Stop();
+  }
+  return report;
+}
+
+ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
+  ScenarioReport report;
+  report.nodes = config.nodes;
+
+  GossipConfig gc;
+  gc.gossip_period_s = net->backend() == BackendKind::kSim ? 1.0 : 0.5;
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  for (size_t i = 0; i < net->size(); ++i) {
+    P2NodeConfig nc;
+    nc.executor = net->executor();
+    nc.transport = net->transport(i);
+    nc.seed = config.seed + i;
+    // Chain seeding: node i only knows node i-1; convergence therefore
+    // proves full transitive spread, not just one-hop pushes.
+    std::vector<std::string> seeds;
+    if (i > 0) {
+      seeds.push_back(net->addr(i - 1));
+    }
+    nodes.push_back(std::make_unique<GossipNode>(nc, gc, seeds));
+    nodes.back()->Start();
+  }
+
+  double duration = config.duration_s > 0
+                        ? config.duration_s
+                        : (net->backend() == BackendKind::kSim ? 120.0 : 8.0);
+  double t0 = net->Now();
+  net->Run(duration);
+  report.ran_for_s = net->Now() - t0;
+
+  size_t full_views = 0;
+  double view_sum = 0;
+  for (auto& n : nodes) {
+    size_t view = n->Members().size();
+    view_sum += static_cast<double>(view);
+    full_views += view == net->size() ? 1 : 0;
+  }
+  report.mean_view_size = nodes.empty() ? 0 : view_sum / static_cast<double>(nodes.size());
+  report.converged = full_views == net->size();
+
+  std::ostringstream os;
+  os << "full membership views: " << full_views << "/" << net->size()
+     << " (mean view " << report.mean_view_size << ")\n";
+  report.detail = os.str();
+
+  for (auto& n : nodes) {
+    n->Stop();
+  }
+  return report;
+}
+
+ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
+  ScenarioReport report;
+  report.nodes = config.nodes;
+
+  NaradaConfig narada;
+  narada.refresh_period_s = 1.0;
+  narada.probe_period_s = 0.5;
+  narada.dead_after_s = 6.0;
+  narada.latency_probe_period_s = 2.0;
+
+  std::vector<std::unique_ptr<NaradaNode>> nodes;
+  for (size_t i = 0; i < net->size(); ++i) {
+    P2NodeConfig nc;
+    nc.executor = net->executor();
+    nc.transport = net->transport(i);
+    nc.seed = config.seed + i;
+    // Chain mesh: i <-> i+1; epidemic refresh must spread membership.
+    std::vector<std::string> neighbors;
+    if (i > 0) {
+      neighbors.push_back(net->addr(i - 1));
+    }
+    if (i + 1 < net->size()) {
+      neighbors.push_back(net->addr(i + 1));
+    }
+    nodes.push_back(std::make_unique<NaradaNode>(nc, narada, neighbors));
+    nodes.back()->Start();
+  }
+
+  double duration = config.duration_s > 0
+                        ? config.duration_s
+                        : (net->backend() == BackendKind::kSim
+                               ? 30.0 + 2.0 * static_cast<double>(net->size())
+                               : 10.0);
+  double t0 = net->Now();
+  net->Run(duration);
+  report.ran_for_s = net->Now() - t0;
+
+  size_t full_views = 0;
+  double view_sum = 0;
+  for (auto& n : nodes) {
+    std::vector<NaradaMember> members = n->Members();
+    size_t live = 0;
+    for (const NaradaMember& m : members) {
+      live += m.live ? 1 : 0;
+    }
+    view_sum += static_cast<double>(members.size());
+    full_views += (members.size() >= net->size() && live >= net->size()) ? 1 : 0;
+  }
+  report.mean_view_size = nodes.empty() ? 0 : view_sum / static_cast<double>(nodes.size());
+  report.converged = full_views == net->size();
+
+  std::ostringstream os;
+  os << "full live views: " << full_views << "/" << net->size() << " (mean view "
+     << report.mean_view_size << ")\n";
+  report.detail = os.str();
+
+  for (auto& n : nodes) {
+    n->Stop();
+  }
+  return report;
+}
+
+ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
+  ScenarioReport report;
+  report.nodes = config.nodes;
+
+  PathVectorConfig pv;
+  pv.advertise_period_s = net->backend() == BackendKind::kSim ? 1.0 : 0.5;
+  pv.route_lifetime_s = pv.advertise_period_s * 3.5;
+
+  std::vector<std::unique_ptr<PathVectorNode>> nodes;
+  for (size_t i = 0; i < net->size(); ++i) {
+    P2NodeConfig nc;
+    nc.executor = net->executor();
+    nc.transport = net->transport(i);
+    nc.seed = config.seed + i;
+    // Bidirectional unit-cost ring: i <-> i+1 (mod n).
+    std::vector<std::pair<std::string, int64_t>> links;
+    if (net->size() > 1) {
+      links.emplace_back(net->addr((i + 1) % net->size()), 1);
+      links.emplace_back(net->addr((i + net->size() - 1) % net->size()), 1);
+    }
+    nodes.push_back(std::make_unique<PathVectorNode>(nc, pv, links));
+    nodes.back()->Start();
+  }
+
+  // Path-vector needs ~diameter advertisement rounds to converge.
+  double rounds = static_cast<double>(net->size()) / 2.0 + 8.0;
+  double duration = config.duration_s > 0 ? config.duration_s
+                                          : rounds * pv.advertise_period_s;
+  double t0 = net->Now();
+  net->Run(duration);
+  report.ran_for_s = net->Now() - t0;
+
+  size_t full_tables = 0;
+  double routes_sum = 0;
+  for (auto& n : nodes) {
+    size_t best = n->BestRoutes().size();
+    routes_sum += static_cast<double>(best);
+    full_tables += best >= net->size() - 1 ? 1 : 0;
+  }
+  report.mean_view_size = nodes.empty() ? 0 : routes_sum / static_cast<double>(nodes.size());
+  report.converged = full_tables == net->size();
+
+  std::ostringstream os;
+  os << "full routing tables: " << full_tables << "/" << net->size()
+     << " (mean best routes " << report.mean_view_size << ")\n";
+  report.detail = os.str();
+
+  for (auto& n : nodes) {
+    n->Stop();
+  }
+  return report;
+}
+
+}  // namespace
+
+ScenarioReport RunScenario(const ScenarioConfig& config) {
+  ScenarioReport report;
+  if (config.nodes < 2) {
+    report.detail = "scenario needs at least 2 nodes\n";
+    return report;
+  }
+  if (config.churn_session_mean_s > 0 &&
+      !(config.overlay == OverlayKind::kChord && config.backend == BackendKind::kSim)) {
+    report.detail = "churn profiles are supported for --overlay chord --sim only\n";
+    return report;
+  }
+
+  if (config.overlay == OverlayKind::kChord && config.backend == BackendKind::kSim) {
+    return RunChordSim(config);
+  }
+
+  ScenarioNet net(config.backend, config.nodes, config.seed, config.loss_rate,
+                  config.udp_base_port);
+  if (!net.ok()) {
+    report.detail = "failed to bring up transports (UDP bind failure?)\n";
+    return report;
+  }
+  switch (config.overlay) {
+    case OverlayKind::kChord:
+      return RunChordUdp(config, &net);
+    case OverlayKind::kGossip:
+      return RunGossip(config, &net);
+    case OverlayKind::kNarada:
+      return RunNarada(config, &net);
+    case OverlayKind::kPathVector:
+      return RunPathVector(config, &net);
+  }
+  return report;
+}
+
+}  // namespace p2

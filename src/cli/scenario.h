@@ -1,0 +1,130 @@
+// Scenario configuration layer behind the `p2run` driver.
+//
+// A scenario is one reproducible overlay deployment: an overlay kind
+// (chord/gossip/narada/pathvector), a node count, an optional churn
+// profile, and a backend — the deterministic virtual-time simulator or
+// real UDP sockets on the loopback. RunScenario wires the whole pipeline
+// (overlog -> planner -> dataflow -> net) for the chosen overlay, runs it,
+// and reports whether the overlay converged plus per-overlay metrics.
+//
+// The examples/ binaries are thin wrappers over this layer: they build
+// their fleets through ScenarioNet and add only their demo-specific rules
+// or narration on top.
+#ifndef P2_CLI_SCENARIO_H_
+#define P2_CLI_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/net/udp_loop.h"
+#include "src/runtime/executor.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+
+enum class OverlayKind { kChord, kGossip, kNarada, kPathVector };
+enum class BackendKind { kSim, kUdp };
+
+// "chord" / "gossip" / "narada" / "pathvector"; false on unknown names.
+bool ParseOverlayKind(const std::string& name, OverlayKind* out);
+// "sim" / "udp"; false on unknown names.
+bool ParseBackendKind(const std::string& name, BackendKind* out);
+const char* OverlayKindName(OverlayKind kind);
+const char* BackendKindName(BackendKind kind);
+
+struct ScenarioConfig {
+  OverlayKind overlay = OverlayKind::kChord;
+  BackendKind backend = BackendKind::kSim;
+  size_t nodes = 8;
+  uint64_t seed = 1;
+  // Measurement phase length in seconds (virtual for --sim, wall-clock for
+  // --udp). 0 picks an overlay/backend-specific default.
+  double duration_s = 0;
+  // Mean exponential node session time in seconds; 0 disables churn.
+  // Churn is supported for chord on the sim backend (Bamboo methodology:
+  // dead nodes are replaced immediately, population stays constant).
+  double churn_session_mean_s = 0;
+  // Chord only: number of lookups issued during the measurement phase.
+  int lookups = 20;
+  // Sim backend only: probability that any datagram is dropped.
+  double loss_rate = 0;
+  // Udp backend only: first port to bind (node i gets base+i); 0 lets the
+  // kernel pick free ports.
+  uint16_t udp_base_port = 0;
+  bool verbose = false;
+};
+
+struct ScenarioReport {
+  bool converged = false;
+  size_t nodes = 0;
+  double ran_for_s = 0;  // measurement phase actually driven
+  // Chord metrics.
+  size_t lookups_issued = 0;
+  size_t lookups_completed = 0;
+  size_t lookups_consistent = 0;
+  double ring_consistency = 0;  // fraction of nodes agreeing with ground truth
+  uint64_t churn_deaths = 0;
+  // Gossip/Narada: mean membership view size; PathVector: mean number of
+  // best routes per node.
+  double mean_view_size = 0;
+  // Human-readable per-overlay summary (multi-line, ready to print).
+  std::string detail;
+};
+
+// Runs one scenario to completion. Deterministic for the sim backend given
+// a fixed config (virtual time, seeded RNG); best-effort timing for udp.
+ScenarioReport RunScenario(const ScenarioConfig& config);
+
+// ScenarioNet: the backend-owning node fabric that RunScenario and the
+// examples build fleets on. Owns one executor — a virtual-time SimEventLoop
+// or a poll()-based UdpLoop — plus `nodes` transports addressed "n0".."nK"
+// (sim) or "127.0.0.1:port" (udp).
+class ScenarioNet {
+ public:
+  ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
+              double loss_rate = 0, uint16_t udp_base_port = 0);
+  ~ScenarioNet();
+  ScenarioNet(const ScenarioNet&) = delete;
+  ScenarioNet& operator=(const ScenarioNet&) = delete;
+
+  // False if any endpoint failed to come up (UDP bind failure).
+  bool ok() const { return ok_; }
+
+  BackendKind backend() const { return backend_; }
+  size_t size() const { return addrs_.size(); }
+  Executor* executor();
+  Transport* transport(size_t i);
+  const std::string& addr(size_t i) const { return addrs_[i]; }
+
+  // Advances the fleet by `seconds`: virtual time under sim (deterministic),
+  // wall-clock under udp.
+  void Run(double seconds);
+  double Now() const;
+
+  // Simulates a crash of endpoint i: its socket/registration goes away and
+  // datagrams addressed to it vanish. Destroy the node using the transport
+  // first.
+  void Kill(size_t i);
+
+  // Non-null only for the sim backend (loss injection, delivery counters).
+  SimNetwork* sim_network() { return sim_net_.get(); }
+
+ private:
+  BackendKind backend_;
+  bool ok_ = true;
+  std::vector<std::string> addrs_;
+  // Sim backend.
+  std::unique_ptr<SimEventLoop> sim_loop_;
+  std::unique_ptr<SimNetwork> sim_net_;
+  std::vector<std::unique_ptr<SimTransport>> sim_transports_;
+  // Udp backend.
+  std::unique_ptr<UdpLoop> udp_loop_;
+  std::vector<std::unique_ptr<UdpTransport>> udp_transports_;
+};
+
+}  // namespace p2
+
+#endif  // P2_CLI_SCENARIO_H_

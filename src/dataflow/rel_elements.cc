@@ -164,7 +164,10 @@ int DeleteElement::Push(int port, const TuplePtr& t, const Callback& cb) {
 int DedupElement::Push(int port, const TuplePtr& t, const Callback& cb) {
   (void)port;
   ByteWriter w;
-  MarshalTuple(*t, &w);
+  if (!MarshalTuple(*t, &w)) {
+    // No wire signature for an oversize tuple; pass it through undeduped.
+    return PushOut(0, t, cb);
+  }
   std::string key(reinterpret_cast<const char*>(w.buffer().data()), w.size());
   if (seen_.count(key) > 0) {
     return 1;

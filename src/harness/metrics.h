@@ -60,6 +60,17 @@ class RateSampler {
   double last_v_ = 0;
 };
 
+// Datagram send-failure counters, fed by the UDP transport's ::sendto
+// result checking. Failed sends never reach the wire, so they are counted
+// here instead of in TrafficStats' bandwidth figures.
+struct SendFailureCounters {
+  uint64_t oversize = 0;      // EMSGSIZE: datagram too large for the stack
+  uint64_t transient = 0;     // EAGAIN/EWOULDBLOCK/ENOBUFS/EINTR/ECONNREFUSED
+  uint64_t other = 0;         // unexpected errno values
+  uint64_t short_writes = 0;  // kernel accepted fewer bytes than the datagram
+  uint64_t total() const { return oversize + transient + other + short_writes; }
+};
+
 // Renders a fixed-width ASCII table row (benchmark output helper).
 std::string FormatRow(const std::vector<std::string>& cells, size_t width = 14);
 

@@ -7,7 +7,9 @@ namespace p2 {
 ChordTestbed::ChordTestbed(TestbedConfig config)
     : config_(config),
       network_(&loop_, Topology(config.topology), config.seed ^ 0x5EED),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  network_.set_loss_rate(config.loss_rate);
+}
 
 ChordTestbed::~ChordTestbed() {
   // Nodes reference transports; destroy nodes first, slot by slot.

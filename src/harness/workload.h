@@ -27,6 +27,7 @@ struct TestbedConfig {
   ChordConfig chord;
   BaselineChordConfig baseline;
   TopologyConfig topology;
+  double loss_rate = 0;          // probability any datagram is dropped
   double join_stagger_s = 0.25;  // delay between consecutive joins
   double lookup_timeout_s = 20.0;
   // Workload-level lookup retries (standard DHT-evaluation methodology:

@@ -152,6 +152,31 @@ void UdpTransport::SendTo(const std::string& to, std::vector<uint8_t> bytes,
     P2_LOG(LogLevel::kWarn, "udp: bad destination address '%s'", to.c_str());
     return;
   }
+  ssize_t sent =
+      ::sendto(fd_, bytes.data(), bytes.size(), 0, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (sent < 0) {
+    if (errno == EMSGSIZE) {
+      ++send_failures_.oversize;
+      P2_LOG(LogLevel::kDebug, "udp: sendto %s: %zu-byte datagram too large", to.c_str(),
+             bytes.size());
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+               errno == EINTR || errno == ECONNREFUSED) {
+      ++send_failures_.transient;
+      P2_LOG(LogLevel::kDebug, "udp: sendto %s: transient failure: %s", to.c_str(),
+             std::strerror(errno));
+    } else {
+      ++send_failures_.other;
+      P2_LOG(LogLevel::kWarn, "udp: sendto %s failed: %s", to.c_str(),
+             std::strerror(errno));
+    }
+    return;  // nothing reached the wire: keep it out of the bandwidth figures
+  }
+  if (static_cast<size_t>(sent) != bytes.size()) {
+    ++send_failures_.short_writes;
+    P2_LOG(LogLevel::kDebug, "udp: sendto %s: short write (%zd of %zu bytes)", to.c_str(),
+           sent, bytes.size());
+    return;  // a truncated datagram is garbage to the receiver: count it as lost
+  }
   size_t wire_bytes = bytes.size() + kUdpIpHeaderBytes;
   stats_.bytes_out += wire_bytes;
   stats_.msgs_out += 1;
@@ -160,7 +185,6 @@ void UdpTransport::SendTo(const std::string& to, std::vector<uint8_t> bytes,
   } else {
     stats_.maint_bytes_out += wire_bytes;
   }
-  ::sendto(fd_, bytes.data(), bytes.size(), 0, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
 }
 
 void UdpTransport::OnReadable() {

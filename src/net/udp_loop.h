@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/harness/metrics.h"
 #include "src/net/transport.h"
 #include "src/runtime/executor.h"
 
@@ -81,6 +82,8 @@ class UdpTransport : public Transport {
               bool is_lookup_traffic) override;
   void SetReceiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
   const TrafficStats& stats() const override { return stats_; }
+  // ::sendto failures observed on this socket (not counted in stats()).
+  const SendFailureCounters& send_failures() const { return send_failures_; }
 
  private:
   friend class UdpLoop;
@@ -93,6 +96,7 @@ class UdpTransport : public Transport {
   std::string addr_;
   ReceiveFn receiver_;
   TrafficStats stats_;
+  SendFailureCounters send_failures_;
 };
 
 }  // namespace p2

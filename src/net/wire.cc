@@ -9,7 +9,9 @@ std::vector<uint8_t> FrameTuple(const Tuple& t) {
   ByteWriter w;
   w.PutU8(0xD2);  // magic
   w.PutU8(0x01);  // version
-  MarshalTuple(t, &w);
+  if (!MarshalTuple(t, &w)) {
+    return {};  // oversize tuple: callers drop the datagram
+  }
   return w.Take();
 }
 

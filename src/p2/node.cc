@@ -157,8 +157,14 @@ void P2Node::RouteTuple(const TuplePtr& t) {
     }
     return;
   }
+  std::vector<uint8_t> frame = FrameTuple(*t);
+  if (frame.empty()) {
+    P2_LOG(LogLevel::kWarn, "%s: dropping unmarshalable tuple %s", addr_.c_str(),
+           t->name().c_str());
+    return;
+  }
   ++stats_.tuples_sent;
-  transport_->SendTo(dest, FrameTuple(*t), IsLookupTraffic(t->name()));
+  transport_->SendTo(dest, std::move(frame), IsLookupTraffic(t->name()));
 }
 
 void P2Node::OnPacket(const std::string& from, const std::vector<uint8_t>& bytes) {

@@ -90,7 +90,9 @@ bool ByteReader::GetDouble(double* v) {
 
 bool ByteReader::GetString(std::string* s) {
   uint32_t n;
-  if (!GetU32(&n) || pos_ + n > size_) {
+  // Cap the claimed length against the bytes actually remaining before any
+  // allocation: a malicious 4 GB length must not reach assign/reserve.
+  if (!GetU32(&n) || n > size_ - pos_) {
     return false;
   }
   s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
@@ -136,7 +138,17 @@ void MarshalValue(const Value& v, ByteWriter* w) {
   }
 }
 
-bool UnmarshalValue(ByteReader* r, Value* out) {
+namespace {
+
+// Lists nest values recursively; wire input is untrusted, so bound the
+// depth — a 64 KB datagram of nested list tags would otherwise drive the
+// decoder tens of thousands of frames deep and overflow the stack.
+constexpr int kMaxUnmarshalDepth = 32;
+
+bool UnmarshalValueAtDepth(ByteReader* r, Value* out, int depth) {
+  if (depth > kMaxUnmarshalDepth) {
+    return false;
+  }
   uint8_t tag;
   if (!r->GetU8(&tag)) {
     return false;
@@ -197,14 +209,16 @@ bool UnmarshalValue(ByteReader* r, Value* out) {
     }
     case ValueType::kList: {
       uint32_t n;
-      if (!r->GetU32(&n) || n > 1u << 20) {
+      // Every marshaled value is at least one tag byte, so a count beyond
+      // the remaining buffer is malformed — reject it before reserve.
+      if (!r->GetU32(&n) || n > 1u << 20 || n > r->remaining()) {
         return false;
       }
       ValueList items;
       items.reserve(n);
       for (uint32_t i = 0; i < n; ++i) {
         Value v;
-        if (!UnmarshalValue(r, &v)) {
+        if (!UnmarshalValueAtDepth(r, &v, depth + 1)) {
           return false;
         }
         items.push_back(std::move(v));
@@ -212,22 +226,37 @@ bool UnmarshalValue(ByteReader* r, Value* out) {
       *out = Value::List(std::move(items));
       return true;
     }
+    default:
+      // Unknown type tag: wire data is untrusted, reject explicitly rather
+      // than relying on falling out of the switch.
+      return false;
   }
-  return false;
 }
 
-void MarshalTuple(const Tuple& t, ByteWriter* w) {
+}  // namespace
+
+bool UnmarshalValue(ByteReader* r, Value* out) {
+  return UnmarshalValueAtDepth(r, out, 0);
+}
+
+bool MarshalTuple(const Tuple& t, ByteWriter* w) {
+  if (t.size() > 0xFFFF) {
+    // The wire field count is a u16; a silent static_cast would corrupt the
+    // stream (the receiver would stop short and misparse the rest).
+    return false;
+  }
   w->PutString(t.name());
   w->PutU16(static_cast<uint16_t>(t.size()));
   for (const Value& v : t.fields()) {
     MarshalValue(v, w);
   }
+  return true;
 }
 
 std::optional<TuplePtr> UnmarshalTuple(ByteReader* r) {
   std::string name;
   uint16_t n;
-  if (!r->GetString(&name) || !r->GetU16(&n)) {
+  if (!r->GetString(&name) || !r->GetU16(&n) || n > r->remaining()) {
     return std::nullopt;
   }
   std::vector<Value> fields;
@@ -244,7 +273,9 @@ std::optional<TuplePtr> UnmarshalTuple(ByteReader* r) {
 
 std::vector<uint8_t> MarshalTupleToBytes(const Tuple& t) {
   ByteWriter w;
-  MarshalTuple(t, &w);
+  if (!MarshalTuple(t, &w)) {
+    return {};
+  }
   return w.Take();
 }
 

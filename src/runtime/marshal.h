@@ -57,15 +57,19 @@ class ByteReader {
 };
 
 // Value codec. Returns false from Unmarshal on malformed input (never
-// aborts: wire data is untrusted).
+// aborts: wire data is untrusted). Nesting deeper than 32 lists is
+// rejected — unbounded recursion on attacker bytes would exhaust the stack.
 void MarshalValue(const Value& v, ByteWriter* w);
 bool UnmarshalValue(ByteReader* r, Value* out);
 
-// Tuple codec: name + field count + fields.
-void MarshalTuple(const Tuple& t, ByteWriter* w);
+// Tuple codec: name + field count (u16) + fields. Returns false — writing
+// nothing — for tuples whose field count does not fit the u16 wire field
+// (> 65535): truncating the count would silently corrupt the stream.
+bool MarshalTuple(const Tuple& t, ByteWriter* w);
 std::optional<TuplePtr> UnmarshalTuple(ByteReader* r);
 
-// Convenience round-trips used by the network stack.
+// Convenience round-trips used by the network stack. MarshalTupleToBytes
+// returns an empty buffer for unmarshalable (oversize) tuples.
 std::vector<uint8_t> MarshalTupleToBytes(const Tuple& t);
 std::optional<TuplePtr> UnmarshalTupleFromBytes(const std::vector<uint8_t>& bytes);
 

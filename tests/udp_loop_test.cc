@@ -48,6 +48,25 @@ TEST(UdpLoop, BadDestinationIsDroppedGracefully) {
   loop.RunFor(0.05);  // nothing should crash
 }
 
+TEST(UdpLoop, OversizeDatagramCountedNotSent) {
+  UdpLoop loop;
+  auto a = loop.MakeTransport(0);
+  auto b = loop.MakeTransport(0);
+  // 256 KiB exceeds the 64 KiB UDP datagram limit: the kernel refuses with
+  // EMSGSIZE. The failure must be counted, and must stay out of the
+  // evaluation's bandwidth figures (nothing reached the wire).
+  std::vector<uint8_t> huge(256 * 1024, 0x5A);
+  a->SendTo(b->local_addr(), std::move(huge), false);
+  EXPECT_EQ(a->send_failures().oversize, 1u);
+  EXPECT_EQ(a->send_failures().total(), 1u);
+  EXPECT_EQ(a->stats().msgs_out, 0u);
+  EXPECT_EQ(a->stats().bytes_out, 0u);
+  // A normal datagram afterwards goes through and is accounted.
+  a->SendTo(b->local_addr(), {1, 2, 3}, false);
+  EXPECT_EQ(a->stats().msgs_out, 1u);
+  EXPECT_EQ(a->send_failures().total(), 1u);
+}
+
 // The same P2 node code that runs under the simulator runs over real
 // sockets: a two-node OverLog ping-pong through the kernel's UDP stack.
 TEST(UdpLoop, P2NodesOverRealSockets) {
