@@ -29,10 +29,15 @@ void Usage(const char* argv0) {
       "  --nodes <n>          number of nodes (default 8)\n"
       "  --sim                deterministic virtual-time simulator (default)\n"
       "  --udp                real UDP sockets on 127.0.0.1, one process\n"
-      "  --churn <mean_s>     exponential mean session time; chord --sim only\n"
+      "  --churn <mean_s>     exponential mean session time; sim backend,\n"
+      "                       chord|gossip|narada\n"
       "  --duration <s>       measurement phase length (default per overlay)\n"
       "  --lookups <n>        chord: lookups to issue (default 20)\n"
-      "  --loss <p>           sim: datagram loss probability (default 0)\n"
+      "  --loss <p>           datagram loss probability (default 0; sim drops in\n"
+      "                       the fabric, udp via per-endpoint drop filter)\n"
+      "  --reliable           layer the reliable transport stack (ACK/retry,\n"
+      "                       RTT estimation, AIMD cwnd, bounded send queues)\n"
+      "                       over every endpoint\n"
       "  --port <base>        udp: first port to bind (default: kernel picks)\n"
       "  --seed <n>           RNG seed (default 1)\n"
       "  --verbose            info-level runtime logging\n",
@@ -85,21 +90,39 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.churn_session_mean_s = std::atof(argv[++i]);
+      if (config.churn_session_mean_s < 0) {
+        std::fprintf(stderr, "--churn must be >= 0, got %s\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--duration") == 0) {
       if (!NeedValue(argc, argv, i)) {
         return 2;
       }
       config.duration_s = std::atof(argv[++i]);
+      if (config.duration_s < 0) {
+        std::fprintf(stderr, "--duration must be >= 0, got %s\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--lookups") == 0) {
       if (!NeedValue(argc, argv, i)) {
         return 2;
       }
       config.lookups = std::atoi(argv[++i]);
+      if (config.lookups < 0 || config.lookups > 1000000) {
+        std::fprintf(stderr, "--lookups must be in [0, 1000000], got %s\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--loss") == 0) {
       if (!NeedValue(argc, argv, i)) {
         return 2;
       }
       config.loss_rate = std::atof(argv[++i]);
+      if (config.loss_rate < 0 || config.loss_rate >= 1) {
+        std::fprintf(stderr, "--loss must be in [0, 1), got %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--reliable") == 0) {
+      config.reliable = true;
     } else if (std::strcmp(arg, "--port") == 0) {
       if (!NeedValue(argc, argv, i)) {
         return 2;
@@ -134,14 +157,20 @@ int main(int argc, char** argv) {
   if (config.churn_session_mean_s > 0) {
     std::printf(" churn=%.0fs", config.churn_session_mean_s);
   }
+  if (config.loss_rate > 0) {
+    std::printf(" loss=%.2f", config.loss_rate);
+  }
+  if (config.reliable) {
+    std::printf(" reliable=on");
+  }
   std::printf("\n");
   std::fflush(stdout);
 
   p2::ScenarioReport report = p2::RunScenario(config);
 
-  std::printf("ran for %.1f %s seconds\n%s", report.ran_for_s,
+  std::printf("ran for %.1f %s seconds (seed=%llu)\n%s", report.ran_for_s,
               config.backend == p2::BackendKind::kSim ? "virtual" : "wall-clock",
-              report.detail.c_str());
+              static_cast<unsigned long long>(config.seed), report.detail.c_str());
   std::printf(report.converged ? "CONVERGED\n" : "DID NOT CONVERGE\n");
   return report.converged ? 0 : 1;
 }

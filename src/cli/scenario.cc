@@ -61,8 +61,15 @@ const char* BackendKindName(BackendKind kind) {
 // --- ScenarioNet -----------------------------------------------------------
 
 ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
-                         double loss_rate, uint16_t udp_base_port)
-    : backend_(backend) {
+                         double loss_rate, uint16_t udp_base_port,
+                         bool reliable, ReliableConfig reliable_config)
+    : backend_(backend),
+      seed_(seed),
+      loss_rate_(loss_rate),
+      reliable_(reliable),
+      reliable_config_(reliable_config) {
+  lossy_.resize(nodes);
+  channels_.resize(nodes);
   if (backend_ == BackendKind::kSim) {
     sim_loop_ = std::make_unique<SimEventLoop>();
     sim_net_ = std::make_unique<SimNetwork>(sim_loop_.get(), Topology(TopologyConfig{}), seed);
@@ -71,6 +78,7 @@ ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
       std::string addr = "n" + std::to_string(i);
       sim_transports_.push_back(sim_net_->MakeTransport(addr, i));
       addrs_.push_back(std::move(addr));
+      BuildStack(i);
     }
     return;
   }
@@ -93,10 +101,39 @@ ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
     }
     addrs_.push_back(t->local_addr());
     udp_transports_.push_back(std::move(t));
+    BuildStack(i);
   }
 }
 
-ScenarioNet::~ScenarioNet() = default;
+ScenarioNet::~ScenarioNet() {
+  // Channels hold receiver hooks into the base transports; tear the stack
+  // down outermost-first.
+  channels_.clear();
+  lossy_.clear();
+}
+
+void ScenarioNet::BuildStack(size_t i) {
+  Transport* top = backend_ == BackendKind::kSim
+                       ? static_cast<Transport*>(sim_transports_[i].get())
+                       : static_cast<Transport*>(udp_transports_[i].get());
+  if (top == nullptr) {
+    return;
+  }
+  if (backend_ == BackendKind::kUdp && loss_rate_ > 0) {
+    // The sim injects loss in the fabric; UDP endpoints get a deterministic
+    // per-endpoint drop filter instead.
+    lossy_[i] = std::make_unique<LossyTransport>(
+        top, loss_rate_, seed_ ^ (0x1055ULL + 0x9E3779B97F4A7C15ULL * (i + 1)));
+    top = lossy_[i].get();
+  }
+  if (reliable_) {
+    // The epoch seed folds in the revive counter so a replacement endpoint
+    // reusing an address announces a fresh stream incarnation.
+    channels_[i] = std::make_unique<ReliableChannel>(
+        top, executor(), reliable_config_,
+        seed_ + 0xC4A271ULL + i + revive_counter_ * 1000003ULL);
+  }
+}
 
 Executor* ScenarioNet::executor() {
   return backend_ == BackendKind::kSim ? static_cast<Executor*>(sim_loop_.get())
@@ -104,6 +141,12 @@ Executor* ScenarioNet::executor() {
 }
 
 Transport* ScenarioNet::transport(size_t i) {
+  if (channels_[i] != nullptr) {
+    return channels_[i].get();
+  }
+  if (lossy_[i] != nullptr) {
+    return lossy_[i].get();
+  }
   return backend_ == BackendKind::kSim
              ? static_cast<Transport*>(sim_transports_[i].get())
              : static_cast<Transport*>(udp_transports_[i].get());
@@ -122,6 +165,11 @@ double ScenarioNet::Now() const {
 }
 
 void ScenarioNet::Kill(size_t i) {
+  if (channels_[i] != nullptr) {
+    dead_reliable_stats_.MergeFrom(channels_[i]->Stats());
+  }
+  channels_[i].reset();
+  lossy_[i].reset();
   if (backend_ == BackendKind::kSim) {
     sim_transports_[i].reset();
   } else {
@@ -129,9 +177,90 @@ void ScenarioNet::Kill(size_t i) {
   }
 }
 
+void ScenarioNet::Revive(size_t i) {
+  P2_CHECK(backend_ == BackendKind::kSim);
+  P2_CHECK(sim_transports_[i] == nullptr);
+  ++revive_counter_;
+  sim_transports_[i] = sim_net_->MakeTransport(addrs_[i], i);
+  BuildStack(i);
+}
+
+ReliableChannelStats ScenarioNet::TotalReliableStats() const {
+  ReliableChannelStats total = dead_reliable_stats_;
+  for (const auto& ch : channels_) {
+    if (ch != nullptr) {
+      total.MergeFrom(ch->Stats());
+    }
+  }
+  return total;
+}
+
 // --- Per-overlay runners ---------------------------------------------------
 
 namespace {
+
+// Appends the reliable-transport summary line when the stack was enabled.
+void FinishTransportReport(const ScenarioConfig& config, const ReliableChannelStats& stats,
+                           ScenarioReport* report, std::ostringstream* os) {
+  report->reliable = config.reliable;
+  report->transport_stats = stats;
+  if (config.reliable) {
+    *os << "transport: " << stats.Summary() << "\n";
+  }
+}
+
+// Bamboo-style churn scaffolding shared by the gossip/narada runners: each
+// death destroys the slot's node, revives its endpoint at the same
+// address, and rebuilds a replacement. Inert when churn is disabled.
+struct FleetChurn {
+  std::unique_ptr<FunctionChurnTarget> target;
+  std::unique_ptr<ChurnDriver> driver;
+
+  uint64_t deaths() const { return driver ? driver->deaths() : 0; }
+  explicit operator bool() const { return driver != nullptr; }
+};
+
+FleetChurn StartFleetChurn(const ScenarioConfig& config, ScenarioNet* net,
+                           std::function<void(size_t)> destroy_node,
+                           std::function<void(size_t, uint64_t)> rebuild_node) {
+  FleetChurn churn;
+  if (config.churn_session_mean_s <= 0) {
+    return churn;
+  }
+  auto salt = std::make_shared<uint64_t>(0);
+  churn.target = std::make_unique<FunctionChurnTarget>(
+      net->executor(), net->size(),
+      [net, salt, destroy = std::move(destroy_node),
+       rebuild = std::move(rebuild_node)](size_t slot) {
+        destroy(slot);
+        net->Kill(slot);
+        net->Revive(slot);
+        rebuild(slot, ++*salt);
+        return true;
+      });
+  ChurnConfig churn_cfg;
+  churn_cfg.session_mean_s = config.churn_session_mean_s;
+  churn_cfg.seed = config.seed ^ 0xC0FFEE;
+  churn.driver = std::make_unique<ChurnDriver>(churn.target.get(), churn_cfg);
+  churn.driver->Start();
+  return churn;
+}
+
+// Full-view convergence rule: everything under no churn; 3/4 under churn,
+// where recently replaced nodes are still re-learning the membership.
+bool FullViewsConverged(size_t full_views, size_t nodes, bool churned) {
+  return churned ? full_views * 4 >= nodes * 3 : full_views == nodes;
+}
+
+void AppendChurnDetail(const ScenarioConfig& config, const FleetChurn& churn,
+                       ScenarioReport* report, std::ostringstream* os) {
+  if (!churn) {
+    return;
+  }
+  report->churn_deaths = churn.deaths();
+  *os << "churn deaths: " << report->churn_deaths << " (mean session "
+      << config.churn_session_mean_s << "s)\n";
+}
 
 // Chord on the deterministic simulator rides the evaluation harness: the
 // transit-stub testbed provides staggered joins, lookup bookkeeping with
@@ -144,6 +273,7 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
   cfg.num_nodes = config.nodes;
   cfg.seed = config.seed;
   cfg.loss_rate = config.loss_rate;
+  cfg.reliable = config.reliable;
   ChordTestbed tb(cfg);
   // The fig3 settle recipe: staggered joins plus a 300-virtual-second tail
   // so every node finishes stabilization before measurement starts (a
@@ -197,6 +327,7 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
     os << "churn deaths: " << report.churn_deaths << " (mean session "
        << config.churn_session_mean_s << "s)\n";
   }
+  FinishTransportReport(config, tb.TotalReliableStats(), &report, &os);
   report.detail = os.str();
   return report;
 }
@@ -272,6 +403,7 @@ ScenarioReport RunChordUdp(const ScenarioConfig& config, ScenarioNet* net) {
   std::ostringstream os;
   os << "lookups: " << completed << "/" << report.lookups_issued << " completed\n"
      << "ring consistency: " << report.ring_consistency << "\n";
+  FinishTransportReport(config, net->TotalReliableStats(), &report, &os);
   report.detail = os.str();
 
   for (auto& n : nodes) {
@@ -302,6 +434,25 @@ ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
     nodes.back()->Start();
   }
 
+  // Under churn the dead node's slot is revived at the same address and
+  // rejoins through its ring predecessor.
+  FleetChurn churn = StartFleetChurn(
+      config, net,
+      [&nodes](size_t slot) {
+        nodes[slot]->Stop();
+        nodes[slot].reset();
+      },
+      [&](size_t slot, uint64_t salt) {
+        P2NodeConfig nc;
+        nc.executor = net->executor();
+        nc.transport = net->transport(slot);
+        nc.seed = config.seed + 100003 * salt + slot;
+        std::vector<std::string> seeds{
+            net->addr((slot + net->size() - 1) % net->size())};
+        nodes[slot] = std::make_unique<GossipNode>(nc, gc, seeds);
+        nodes[slot]->Start();
+      });
+
   double duration = config.duration_s > 0
                         ? config.duration_s
                         : (net->backend() == BackendKind::kSim ? 120.0 : 8.0);
@@ -317,15 +468,20 @@ ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
     full_views += view == net->size() ? 1 : 0;
   }
   report.mean_view_size = nodes.empty() ? 0 : view_sum / static_cast<double>(nodes.size());
-  report.converged = full_views == net->size();
+  report.converged =
+      FullViewsConverged(full_views, net->size(), static_cast<bool>(churn));
 
   std::ostringstream os;
   os << "full membership views: " << full_views << "/" << net->size()
      << " (mean view " << report.mean_view_size << ")\n";
+  AppendChurnDetail(config, churn, &report, &os);
+  FinishTransportReport(config, net->TotalReliableStats(), &report, &os);
   report.detail = os.str();
 
   for (auto& n : nodes) {
-    n->Stop();
+    if (n != nullptr) {
+      n->Stop();
+    }
   }
   return report;
 }
@@ -358,6 +514,25 @@ ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
     nodes.back()->Start();
   }
 
+  // Under churn the revived slot re-meshes with both chain neighbors.
+  FleetChurn churn = StartFleetChurn(
+      config, net,
+      [&nodes](size_t slot) {
+        nodes[slot]->Stop();
+        nodes[slot].reset();
+      },
+      [&](size_t slot, uint64_t salt) {
+        P2NodeConfig nc;
+        nc.executor = net->executor();
+        nc.transport = net->transport(slot);
+        nc.seed = config.seed + 100003 * salt + slot;
+        std::vector<std::string> neighbors{
+            net->addr((slot + net->size() - 1) % net->size()),
+            net->addr((slot + 1) % net->size())};
+        nodes[slot] = std::make_unique<NaradaNode>(nc, narada, neighbors);
+        nodes[slot]->Start();
+      });
+
   double duration = config.duration_s > 0
                         ? config.duration_s
                         : (net->backend() == BackendKind::kSim
@@ -379,15 +554,20 @@ ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
     full_views += (members.size() >= net->size() && live >= net->size()) ? 1 : 0;
   }
   report.mean_view_size = nodes.empty() ? 0 : view_sum / static_cast<double>(nodes.size());
-  report.converged = full_views == net->size();
+  report.converged =
+      FullViewsConverged(full_views, net->size(), static_cast<bool>(churn));
 
   std::ostringstream os;
   os << "full live views: " << full_views << "/" << net->size() << " (mean view "
      << report.mean_view_size << ")\n";
+  AppendChurnDetail(config, churn, &report, &os);
+  FinishTransportReport(config, net->TotalReliableStats(), &report, &os);
   report.detail = os.str();
 
   for (auto& n : nodes) {
-    n->Stop();
+    if (n != nullptr) {
+      n->Stop();
+    }
   }
   return report;
 }
@@ -437,6 +617,7 @@ ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
   std::ostringstream os;
   os << "full routing tables: " << full_tables << "/" << net->size()
      << " (mean best routes " << report.mean_view_size << ")\n";
+  FinishTransportReport(config, net->TotalReliableStats(), &report, &os);
   report.detail = os.str();
 
   for (auto& n : nodes) {
@@ -454,8 +635,10 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
     return report;
   }
   if (config.churn_session_mean_s > 0 &&
-      !(config.overlay == OverlayKind::kChord && config.backend == BackendKind::kSim)) {
-    report.detail = "churn profiles are supported for --overlay chord --sim only\n";
+      !(config.backend == BackendKind::kSim &&
+        (config.overlay == OverlayKind::kChord || config.overlay == OverlayKind::kGossip ||
+         config.overlay == OverlayKind::kNarada))) {
+    report.detail = "churn profiles need --sim and --overlay chord|gossip|narada\n";
     return report;
   }
 
@@ -464,7 +647,7 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
   }
 
   ScenarioNet net(config.backend, config.nodes, config.seed, config.loss_rate,
-                  config.udp_base_port);
+                  config.udp_base_port, config.reliable);
   if (!net.ok()) {
     report.detail = "failed to bring up transports (UDP bind failure?)\n";
     return report;

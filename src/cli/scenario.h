@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "src/net/stack/lossy.h"
+#include "src/net/stack/reliable_channel.h"
 #include "src/net/transport.h"
 #include "src/net/udp_loop.h"
 #include "src/runtime/executor.h"
@@ -44,13 +46,19 @@ struct ScenarioConfig {
   // --udp). 0 picks an overlay/backend-specific default.
   double duration_s = 0;
   // Mean exponential node session time in seconds; 0 disables churn.
-  // Churn is supported for chord on the sim backend (Bamboo methodology:
-  // dead nodes are replaced immediately, population stays constant).
+  // Churn is supported on the sim backend for chord, gossip and narada
+  // (Bamboo methodology: dead nodes are replaced immediately, population
+  // stays constant).
   double churn_session_mean_s = 0;
   // Chord only: number of lookups issued during the measurement phase.
   int lookups = 20;
-  // Sim backend only: probability that any datagram is dropped.
+  // Probability that any datagram is dropped. The sim backend drops in the
+  // fabric; the udp backend drops outgoing datagrams at each endpoint
+  // through a deterministic LossyTransport filter.
   double loss_rate = 0;
+  // Layer a ReliableChannel (ACK/retry, RTT estimation, AIMD congestion
+  // control, bounded send queues) over every endpoint.
+  bool reliable = false;
   // Udp backend only: first port to bind (node i gets base+i); 0 lets the
   // kernel pick free ports.
   uint16_t udp_base_port = 0;
@@ -70,6 +78,10 @@ struct ScenarioReport {
   // Gossip/Narada: mean membership view size; PathVector: mean number of
   // best routes per node.
   double mean_view_size = 0;
+  // Reliable-transport counters summed over the fleet (all-zero unless the
+  // scenario ran with reliable = true).
+  bool reliable = false;
+  ReliableChannelStats transport_stats;
   // Human-readable per-overlay summary (multi-line, ready to print).
   std::string detail;
 };
@@ -85,7 +97,8 @@ ScenarioReport RunScenario(const ScenarioConfig& config);
 class ScenarioNet {
  public:
   ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
-              double loss_rate = 0, uint16_t udp_base_port = 0);
+              double loss_rate = 0, uint16_t udp_base_port = 0,
+              bool reliable = false, ReliableConfig reliable_config = ReliableConfig{});
   ~ScenarioNet();
   ScenarioNet(const ScenarioNet&) = delete;
   ScenarioNet& operator=(const ScenarioNet&) = delete;
@@ -109,13 +122,32 @@ class ScenarioNet {
   // first.
   void Kill(size_t i);
 
+  // Recreates a killed endpoint at the same address/topology slot (churn
+  // replacement). Sim backend only.
+  void Revive(size_t i);
+
+  // Non-null only when the fleet runs with reliable = true.
+  ReliableChannel* channel(size_t i) { return channels_.empty() ? nullptr : channels_[i].get(); }
+  // Summed reliable-transport counters (live endpoints + churned-out ones).
+  ReliableChannelStats TotalReliableStats() const;
+
   // Non-null only for the sim backend (loss injection, delivery counters).
   SimNetwork* sim_network() { return sim_net_.get(); }
 
  private:
+  // Builds the per-endpoint decorator stack (loss filter, reliable channel)
+  // over the freshly created base transport for slot i.
+  void BuildStack(size_t i);
+
   BackendKind backend_;
   bool ok_ = true;
+  uint64_t seed_;
+  double loss_rate_;
+  bool reliable_;
+  ReliableConfig reliable_config_;
+  uint64_t revive_counter_ = 0;
   std::vector<std::string> addrs_;
+  ReliableChannelStats dead_reliable_stats_;
   // Sim backend.
   std::unique_ptr<SimEventLoop> sim_loop_;
   std::unique_ptr<SimNetwork> sim_net_;
@@ -123,6 +155,9 @@ class ScenarioNet {
   // Udp backend.
   std::unique_ptr<UdpLoop> udp_loop_;
   std::vector<std::unique_ptr<UdpTransport>> udp_transports_;
+  // Optional decorators, outermost last (indexes parallel the transports).
+  std::vector<std::unique_ptr<LossyTransport>> lossy_;
+  std::vector<std::unique_ptr<ReliableChannel>> channels_;
 };
 
 }  // namespace p2

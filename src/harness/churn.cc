@@ -3,15 +3,15 @@
 namespace p2 {
 
 void ChurnDriver::Start() {
-  for (size_t i = 0; i < testbed_->num_slots(); ++i) {
+  for (size_t i = 0; i < target_->churn_slots(); ++i) {
     ScheduleDeath(i);
   }
 }
 
 void ChurnDriver::ScheduleDeath(size_t slot) {
   double lifetime = rng_.NextExponential(config_.session_mean_s);
-  testbed_->loop()->ScheduleAfter(lifetime, [this, slot]() {
-    if (testbed_->ReplaceNode(slot)) {
+  target_->churn_executor()->ScheduleAfter(lifetime, [this, slot]() {
+    if (target_->ChurnReplace(slot)) {
       ++deaths_;
     }
     ScheduleDeath(slot);

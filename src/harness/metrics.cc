@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace p2 {
 
@@ -97,6 +98,46 @@ double RateSampler::Sample(double now_s, double cumulative_bytes) {
   last_t_ = now_s;
   last_v_ = cumulative_bytes;
   return dt <= 0 ? 0 : dv / dt;
+}
+
+void ReliableChannelStats::MergeFrom(const ReliableChannelStats& o) {
+  data_frames_sent += o.data_frames_sent;
+  retransmits += o.retransmits;
+  retransmit_bytes += o.retransmit_bytes;
+  timeouts += o.timeouts;
+  fast_retransmits += o.fast_retransmits;
+  acks_sent += o.acks_sent;
+  acks_received += o.acks_received;
+  duplicates_received += o.duplicates_received;
+  queue_drops += o.queue_drops;
+  queue_high_watermark = std::max(queue_high_watermark, o.queue_high_watermark);
+  expired += o.expired;
+  reorder_drops += o.reorder_drops;
+  stream_resets += o.stream_resets;
+  rtt_samples += o.rtt_samples;
+  srtt_sum_s += o.srtt_sum_s;
+  srtt_count += o.srtt_count;
+  cwnd_sum += o.cwnd_sum;
+  cwnd_count += o.cwnd_count;
+}
+
+std::string ReliableChannelStats::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "data %llu retx %llu (timeouts %llu, fast %llu) srtt %.0fms "
+                "cwnd %.1f qdrops %llu qmax %llu expired %llu dups %llu "
+                "resets %llu",
+                static_cast<unsigned long long>(data_frames_sent),
+                static_cast<unsigned long long>(retransmits),
+                static_cast<unsigned long long>(timeouts),
+                static_cast<unsigned long long>(fast_retransmits),
+                MeanSrttS() * 1000.0, MeanCwnd(),
+                static_cast<unsigned long long>(queue_drops),
+                static_cast<unsigned long long>(queue_high_watermark),
+                static_cast<unsigned long long>(expired),
+                static_cast<unsigned long long>(duplicates_received),
+                static_cast<unsigned long long>(stream_resets));
+  return buf;
 }
 
 std::string FormatRow(const std::vector<std::string>& cells, size_t width) {

@@ -71,6 +71,42 @@ struct SendFailureCounters {
   uint64_t total() const { return oversize + transient + other + short_writes; }
 };
 
+// Cumulative counters for one ReliableChannel (src/net/stack/), summed
+// over its per-destination state. Mergeable so the harness can aggregate a
+// whole fleet (including channels of already-churned-out nodes).
+struct ReliableChannelStats {
+  uint64_t data_frames_sent = 0;     // first transmissions
+  uint64_t retransmits = 0;          // RTO + fast retransmissions
+  uint64_t retransmit_bytes = 0;     // payload bytes retransmitted
+  uint64_t timeouts = 0;             // RTO expirations
+  uint64_t fast_retransmits = 0;     // dup-ACK-triggered resends
+  uint64_t acks_sent = 0;            // pure ACK frames (piggybacks excluded)
+  uint64_t acks_received = 0;        // frames carrying ack information
+  uint64_t duplicates_received = 0;  // already-seen DATA frames
+  uint64_t queue_drops = 0;          // bounded send-queue overflow
+  uint64_t queue_high_watermark = 0; // max across per-destination queues
+  uint64_t expired = 0;              // frames dropped after max_retries
+  uint64_t reorder_drops = 0;        // receive reorder window overflow
+  uint64_t stream_resets = 0;        // send-stream renumbers (peer restarts)
+  uint64_t rtt_samples = 0;
+  // Sums over destinations with at least one state update; read them
+  // through MeanSrttS/MeanCwnd.
+  double srtt_sum_s = 0;
+  uint64_t srtt_count = 0;
+  double cwnd_sum = 0;
+  uint64_t cwnd_count = 0;
+
+  double MeanSrttS() const {
+    return srtt_count == 0 ? 0 : srtt_sum_s / static_cast<double>(srtt_count);
+  }
+  double MeanCwnd() const {
+    return cwnd_count == 0 ? 0 : cwnd_sum / static_cast<double>(cwnd_count);
+  }
+  void MergeFrom(const ReliableChannelStats& o);
+  // One-line human-readable rendering for scenario summaries.
+  std::string Summary() const;
+};
+
 // Renders a fixed-width ASCII table row (benchmark output helper).
 std::string FormatRow(const std::vector<std::string>& cells, size_t width = 14);
 

@@ -12,10 +12,12 @@ ChordTestbed::ChordTestbed(TestbedConfig config)
 }
 
 ChordTestbed::~ChordTestbed() {
-  // Nodes reference transports; destroy nodes first, slot by slot.
+  // Nodes reference channels which reference transports; destroy outermost
+  // layers first, slot by slot.
   for (Slot& s : slots_) {
     s.p2.reset();
     s.baseline.reset();
+    s.channel.reset();
     s.transport.reset();
   }
 }
@@ -27,15 +29,22 @@ void ChordTestbed::MakeNode(size_t slot, const std::string& landmark) {
   s.addr = NextAddr();
   s.id = Uint160::HashOf(s.addr);
   s.transport = network_.MakeTransport(s.addr, s.topo_index);
+  Transport* endpoint = s.transport.get();
+  if (config_.reliable) {
+    s.channel = std::make_unique<ReliableChannel>(s.transport.get(), &loop_,
+                                                  config_.reliable_config,
+                                                  rng_.NextU64());
+    endpoint = s.channel.get();
+  }
   if (config_.use_baseline) {
-    s.baseline = std::make_unique<BaselineChordNode>(&loop_, s.transport.get(),
+    s.baseline = std::make_unique<BaselineChordNode>(&loop_, endpoint,
                                                      rng_.NextU64(), config_.baseline,
                                                      landmark);
   } else {
     P2NodeConfig nc;
     nc.addr = s.addr;
     nc.executor = &loop_;
-    nc.transport = s.transport.get();
+    nc.transport = endpoint;
     nc.seed = rng_.NextU64();
     s.p2 = std::make_unique<ChordNode>(nc, config_.chord, landmark);
   }
@@ -307,6 +316,16 @@ double ChordTestbed::MeanFingerRows() const {
   return live == 0 ? 0 : total / static_cast<double>(live);
 }
 
+ReliableChannelStats ChordTestbed::TotalReliableStats() const {
+  ReliableChannelStats total = dead_reliable_stats_;
+  for (const Slot& s : slots_) {
+    if (s.alive && s.channel != nullptr) {
+      total.MergeFrom(s.channel->Stats());
+    }
+  }
+  return total;
+}
+
 bool ChordTestbed::ReplaceNode(size_t slot) {
   if (live_count_ <= 1 || slot >= slots_.size() || !slots_[slot].alive) {
     return false;
@@ -315,8 +334,12 @@ bool ChordTestbed::ReplaceNode(size_t slot) {
   // Account the dead node's traffic so cumulative totals stay monotone.
   dead_maint_bytes_ += s.transport->stats().maint_bytes_out;
   dead_lookup_bytes_ += s.transport->stats().lookup_bytes_out;
+  if (s.channel != nullptr) {
+    dead_reliable_stats_.MergeFrom(s.channel->Stats());
+  }
   s.p2.reset();
   s.baseline.reset();
+  s.channel.reset();
   s.transport.reset();
   s.alive = false;
   --live_count_;

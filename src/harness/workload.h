@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "src/baseline/chord_baseline.h"
+#include "src/harness/churn.h"
+#include "src/net/stack/reliable_channel.h"
 #include "src/overlays/chord.h"
 #include "src/sim/network.h"
 
@@ -34,9 +36,13 @@ struct TestbedConfig {
   // re-issue unanswered lookups until the timeout). 0 disables.
   double lookup_retry_s = 4.0;
   int lookup_max_retries = 4;
+  // Layer a ReliableChannel (ACK/retry, RTT estimation, AIMD congestion
+  // control) between every node and its SimTransport.
+  bool reliable = false;
+  ReliableConfig reliable_config;
 };
 
-class ChordTestbed {
+class ChordTestbed : public ChurnTarget {
  public:
   struct LookupRecord {
     Uint160 key;
@@ -87,6 +93,10 @@ class ChordTestbed {
   // baseline flavor; used by the finger-fixing ablation).
   double MeanFingerRows() const;
 
+  // Summed reliable-transport counters across live and churned-out nodes;
+  // all-zero when config.reliable is off.
+  ReliableChannelStats TotalReliableStats() const;
+
   // --- Churn support ---
   // Kills the node in `slot` (transport unregistered; peers see silence)
   // and immediately replaces it with a fresh node that joins through a
@@ -95,12 +105,18 @@ class ChordTestbed {
   size_t num_slots() const { return slots_.size(); }
   uint64_t KilledBytesMaint() const { return dead_maint_bytes_; }
 
+  // ChurnTarget implementation (the generic ChurnDriver interface).
+  Executor* churn_executor() override { return &loop_; }
+  size_t churn_slots() const override { return slots_.size(); }
+  bool ChurnReplace(size_t slot) override { return ReplaceNode(slot); }
+
  private:
   struct Slot {
     std::string addr;
     Uint160 id;
     size_t topo_index = 0;
     std::unique_ptr<SimTransport> transport;
+    std::unique_ptr<ReliableChannel> channel;  // only when config.reliable
     std::unique_ptr<ChordNode> p2;
     std::unique_ptr<BaselineChordNode> baseline;
     bool alive = false;
@@ -125,6 +141,7 @@ class ChordTestbed {
   uint64_t addr_counter_ = 0;
   uint64_t dead_maint_bytes_ = 0;
   uint64_t dead_lookup_bytes_ = 0;
+  ReliableChannelStats dead_reliable_stats_;
 
   std::vector<LookupRecord> lookups_;
   std::unordered_map<uint64_t, size_t> pending_;  // event id low64 -> index

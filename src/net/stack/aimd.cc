@@ -1,0 +1,16 @@
+#include "src/net/stack/aimd.h"
+
+#include <algorithm>
+
+namespace p2 {
+
+void AimdWindow::OnAck() {
+  window_ = std::min(config_.max_window, window_ + 1.0 / window_);
+}
+
+void AimdWindow::OnLoss() {
+  window_ = std::max(config_.min_window, window_ * config_.decrease_factor);
+  ++losses_;
+}
+
+}  // namespace p2

@@ -1,0 +1,46 @@
+// AIMD congestion-control window, one per destination.
+//
+// TCP-style additive increase / multiplicative decrease over a window
+// measured in outstanding frames: every ACKed frame grows the window by
+// 1/window (~ +1 frame per RTT); every loss signal (RTO expiry or fast
+// retransmit) halves it. The window bounds how many frames may be in
+// flight to a destination; excess sends wait in the bounded SendQueue.
+#ifndef P2_NET_STACK_AIMD_H_
+#define P2_NET_STACK_AIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace p2 {
+
+struct AimdConfig {
+  double initial_window = 4.0;
+  double min_window = 1.0;
+  double max_window = 64.0;
+  double decrease_factor = 0.5;
+};
+
+class AimdWindow {
+ public:
+  explicit AimdWindow(AimdConfig config = AimdConfig{})
+      : config_(config), window_(config.initial_window) {}
+
+  // One frame was ACKed: additive increase.
+  void OnAck();
+  // Loss detected: multiplicative decrease.
+  void OnLoss();
+
+  // Whole frames currently allowed in flight (>= 1).
+  size_t Allowance() const { return static_cast<size_t>(window_); }
+  double window() const { return window_; }
+  uint64_t losses() const { return losses_; }
+
+ private:
+  AimdConfig config_;
+  double window_;
+  uint64_t losses_ = 0;
+};
+
+}  // namespace p2
+
+#endif  // P2_NET_STACK_AIMD_H_

@@ -1,0 +1,35 @@
+#include "src/net/stack/rtt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2 {
+
+void RttEstimator::AddSample(double rtt_s) {
+  if (rtt_s < 0) {
+    rtt_s = 0;
+  }
+  if (samples_ == 0) {
+    srtt_ = rtt_s;
+    rttvar_ = rtt_s / 2.0;
+  } else {
+    // RFC 6298 order: RTTVAR first (uses the previous SRTT), then SRTT.
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - rtt_s);
+    srtt_ = 0.875 * srtt_ + 0.125 * rtt_s;
+  }
+  ++samples_;
+  backoff_ = 1.0;
+}
+
+double RttEstimator::Rto() const {
+  double base = samples_ == 0 ? config_.initial_rto_s : srtt_ + 4.0 * rttvar_;
+  return std::clamp(base * backoff_, config_.min_rto_s, config_.max_rto_s);
+}
+
+void RttEstimator::Backoff() {
+  if (Rto() < config_.max_rto_s) {
+    backoff_ *= 2.0;
+  }
+}
+
+}  // namespace p2

@@ -1,0 +1,56 @@
+// Jacobson/Karels round-trip-time estimation driving the retransmit timer.
+//
+// Standard SRTT/RTTVAR EWMA (alpha = 1/8, beta = 1/4) with RTO =
+// SRTT + 4*RTTVAR clamped to [min_rto, max_rto], exponential backoff after
+// a timeout, and Karn's rule enforced by the caller: samples from
+// retransmitted frames are never fed in, because their ACK is ambiguous
+// between the original send and the retransmission.
+#ifndef P2_NET_STACK_RTT_H_
+#define P2_NET_STACK_RTT_H_
+
+#include <cstdint>
+
+namespace p2 {
+
+struct RttConfig {
+  double initial_rto_s = 1.0;  // before the first valid sample
+  double min_rto_s = 0.25;
+  double max_rto_s = 3.0;
+};
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(RttConfig config = RttConfig{}) : config_(config) {}
+
+  // Feeds one valid (non-retransmitted, Karn) RTT sample. Also resets the
+  // timeout backoff: a fresh unambiguous sample means the path is live.
+  void AddSample(double rtt_s);
+
+  // Current retransmission timeout, including any timeout backoff, clamped
+  // to [min_rto, max_rto].
+  double Rto() const;
+
+  // Doubles the timeout after an RTO expiry (capped at max_rto).
+  void Backoff();
+
+  // Clears the timeout backoff without taking a sample. Used when an ACK
+  // acknowledges new data: the path is alive even if the frames it covered
+  // were Karn-ambiguous and produced no sample.
+  void ResetBackoff() { backoff_ = 1.0; }
+
+  bool has_sample() const { return samples_ > 0; }
+  uint64_t samples() const { return samples_; }
+  double srtt_s() const { return srtt_; }
+  double rttvar_s() const { return rttvar_; }
+
+ private:
+  RttConfig config_;
+  double srtt_ = 0;
+  double rttvar_ = 0;
+  double backoff_ = 1.0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace p2
+
+#endif  // P2_NET_STACK_RTT_H_

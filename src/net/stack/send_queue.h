@@ -1,0 +1,65 @@
+// Bounded per-destination send queue with backpressure accounting.
+//
+// Frames admitted past the congestion window wait here in FIFO order.
+// The queue is hard-bounded: overflow drops the newest frame and counts
+// it, so a dead or congested destination can never grow memory without
+// bound (the failure mode the ROADMAP's "non-blocking send queueing"
+// item calls out).
+#ifndef P2_NET_STACK_SEND_QUEUE_H_
+#define P2_NET_STACK_SEND_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace p2 {
+
+class SendQueue {
+ public:
+  struct Item {
+    std::vector<uint8_t> payload;
+    TrafficClass cls = TrafficClass::kMaintenance;
+  };
+
+  explicit SendQueue(size_t capacity) : capacity_(capacity) {}
+
+  // False (and the drop counter ticks) when the queue is full.
+  bool Push(Item item) {
+    if (items_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    high_watermark_ = std::max(high_watermark_, items_.size());
+    return true;
+  }
+
+  std::optional<Item> Pop() {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t drops() const { return drops_; }
+  size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  size_t capacity_;
+  std::deque<Item> items_;
+  uint64_t drops_ = 0;
+  size_t high_watermark_ = 0;
+};
+
+}  // namespace p2
+
+#endif  // P2_NET_STACK_SEND_QUEUE_H_

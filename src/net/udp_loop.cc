@@ -146,7 +146,7 @@ UdpTransport::~UdpTransport() {
 }
 
 void UdpTransport::SendTo(const std::string& to, std::vector<uint8_t> bytes,
-                          bool is_lookup_traffic) {
+                          TrafficClass cls) {
   sockaddr_in sa;
   if (!ParseAddr(to, &sa)) {
     P2_LOG(LogLevel::kWarn, "udp: bad destination address '%s'", to.c_str());
@@ -177,14 +177,7 @@ void UdpTransport::SendTo(const std::string& to, std::vector<uint8_t> bytes,
            sent, bytes.size());
     return;  // a truncated datagram is garbage to the receiver: count it as lost
   }
-  size_t wire_bytes = bytes.size() + kUdpIpHeaderBytes;
-  stats_.bytes_out += wire_bytes;
-  stats_.msgs_out += 1;
-  if (is_lookup_traffic) {
-    stats_.lookup_bytes_out += wire_bytes;
-  } else {
-    stats_.maint_bytes_out += wire_bytes;
-  }
+  stats_.CountOut(bytes.size() + kUdpIpHeaderBytes, cls);
 }
 
 void UdpTransport::OnReadable() {

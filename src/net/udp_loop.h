@@ -78,8 +78,9 @@ class UdpTransport : public Transport {
   ~UdpTransport() override;
 
   const std::string& local_addr() const override { return addr_; }
+  using Transport::SendTo;
   void SendTo(const std::string& to, std::vector<uint8_t> bytes,
-              bool is_lookup_traffic) override;
+              TrafficClass cls) override;
   void SetReceiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
   const TrafficStats& stats() const override { return stats_; }
   // ::sendto failures observed on this socket (not counted in stats()).

@@ -44,15 +44,8 @@ void SimNetwork::Send(SimTransport* from, const std::string& to, std::vector<uin
 SimTransport::~SimTransport() { net_->Unregister(addr_); }
 
 void SimTransport::SendTo(const std::string& to, std::vector<uint8_t> bytes,
-                          bool is_lookup_traffic) {
-  size_t wire_bytes = bytes.size() + kUdpIpHeaderBytes;
-  stats_.bytes_out += wire_bytes;
-  stats_.msgs_out += 1;
-  if (is_lookup_traffic) {
-    stats_.lookup_bytes_out += wire_bytes;
-  } else {
-    stats_.maint_bytes_out += wire_bytes;
-  }
+                          TrafficClass cls) {
+  stats_.CountOut(bytes.size() + kUdpIpHeaderBytes, cls);
   net_->Send(this, to, std::move(bytes));
 }
 

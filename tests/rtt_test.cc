@@ -1,0 +1,104 @@
+// RTT estimator math: Jacobson/Karels SRTT/RTTVAR updates, RTO clamping,
+// timeout backoff, and the Karn's-rule contract around retransmitted
+// samples (enforced at the channel layer by never feeding them in).
+#include "src/net/stack/rtt.h"
+
+#include <gtest/gtest.h>
+
+namespace p2 {
+namespace {
+
+TEST(RttEstimator, InitialRtoBeforeAnySample) {
+  RttConfig cfg;
+  cfg.initial_rto_s = 1.5;
+  RttEstimator rtt(cfg);
+  EXPECT_FALSE(rtt.has_sample());
+  EXPECT_DOUBLE_EQ(rtt.Rto(), 1.5);
+}
+
+TEST(RttEstimator, FirstSampleSeedsSrttAndRttvar) {
+  RttEstimator rtt;
+  rtt.AddSample(0.4);
+  EXPECT_TRUE(rtt.has_sample());
+  EXPECT_DOUBLE_EQ(rtt.srtt_s(), 0.4);
+  EXPECT_DOUBLE_EQ(rtt.rttvar_s(), 0.2);
+  // RTO = SRTT + 4*RTTVAR = 0.4 + 0.8 = 1.2, inside the default clamp.
+  EXPECT_DOUBLE_EQ(rtt.Rto(), 1.2);
+}
+
+TEST(RttEstimator, EwmaUpdateMatchesRfc6298) {
+  RttEstimator rtt;
+  rtt.AddSample(0.4);
+  rtt.AddSample(0.2);
+  // RTTVAR' = 3/4*0.2 + 1/4*|0.4-0.2| = 0.2; SRTT' = 7/8*0.4 + 1/8*0.2.
+  EXPECT_NEAR(rtt.rttvar_s(), 0.2, 1e-12);
+  EXPECT_NEAR(rtt.srtt_s(), 0.375, 1e-12);
+  EXPECT_NEAR(rtt.Rto(), 0.375 + 4 * 0.2, 1e-12);
+}
+
+TEST(RttEstimator, ConvergesOnSteadyRtt) {
+  RttEstimator rtt;
+  for (int i = 0; i < 200; ++i) {
+    rtt.AddSample(0.3);
+  }
+  EXPECT_NEAR(rtt.srtt_s(), 0.3, 1e-6);
+  EXPECT_NEAR(rtt.rttvar_s(), 0.0, 1e-6);
+  EXPECT_EQ(rtt.samples(), 200u);
+}
+
+TEST(RttEstimator, RtoClampedToMinimum) {
+  RttEstimator rtt;  // default min_rto 0.25s
+  for (int i = 0; i < 100; ++i) {
+    rtt.AddSample(0.01);  // SRTT+4*RTTVAR collapses below the floor
+  }
+  EXPECT_DOUBLE_EQ(rtt.Rto(), RttConfig{}.min_rto_s);
+}
+
+TEST(RttEstimator, RtoClampedToMaximum) {
+  RttEstimator rtt;
+  rtt.AddSample(30.0);
+  EXPECT_DOUBLE_EQ(rtt.Rto(), RttConfig{}.max_rto_s);
+}
+
+TEST(RttEstimator, BackoffDoublesAndIsCapped) {
+  RttConfig cfg;
+  cfg.max_rto_s = 60.0;
+  RttEstimator rtt(cfg);
+  rtt.AddSample(0.5);  // RTO = 0.5 + 4*0.25 = 1.5
+  double base = rtt.Rto();
+  rtt.Backoff();
+  EXPECT_DOUBLE_EQ(rtt.Rto(), 2 * base);
+  rtt.Backoff();
+  EXPECT_DOUBLE_EQ(rtt.Rto(), 4 * base);
+  for (int i = 0; i < 10; ++i) {
+    rtt.Backoff();
+  }
+  EXPECT_DOUBLE_EQ(rtt.Rto(), 60.0);
+  // ResetBackoff clears the multiplier without a sample.
+  rtt.ResetBackoff();
+  EXPECT_DOUBLE_EQ(rtt.Rto(), base);
+}
+
+TEST(RttEstimator, KarnFreshSampleResetsBackoff) {
+  RttEstimator rtt;
+  rtt.AddSample(0.5);
+  double base = rtt.Rto();
+  rtt.Backoff();
+  rtt.Backoff();
+  ASSERT_GT(rtt.Rto(), base);
+  // A new unambiguous (non-retransmitted) sample clears the backoff (the
+  // RTO even dips below the pre-backoff value as RTTVAR decays).
+  rtt.AddSample(0.5);
+  EXPECT_LE(rtt.Rto(), base);
+  EXPECT_GT(rtt.Rto(), base / 2);
+}
+
+TEST(RttEstimator, NegativeSamplesTreatedAsZero) {
+  RttEstimator rtt;
+  rtt.AddSample(-1.0);
+  EXPECT_DOUBLE_EQ(rtt.srtt_s(), 0.0);
+  EXPECT_DOUBLE_EQ(rtt.Rto(), RttConfig{}.min_rto_s);
+}
+
+}  // namespace
+}  // namespace p2

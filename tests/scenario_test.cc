@@ -105,11 +105,107 @@ TEST(ScenarioConfigErrors, Rejected) {
   cfg.nodes = 1;
   EXPECT_FALSE(RunScenario(cfg).converged);
 
-  ScenarioConfig churn_on_gossip;
-  churn_on_gossip.overlay = OverlayKind::kGossip;
-  churn_on_gossip.nodes = 4;
-  churn_on_gossip.churn_session_mean_s = 60;
-  EXPECT_FALSE(RunScenario(churn_on_gossip).converged);
+  // Churn is still unsupported for pathvector and for the UDP backend.
+  ScenarioConfig churn_on_pathvector;
+  churn_on_pathvector.overlay = OverlayKind::kPathVector;
+  churn_on_pathvector.nodes = 4;
+  churn_on_pathvector.churn_session_mean_s = 60;
+  EXPECT_FALSE(RunScenario(churn_on_pathvector).converged);
+
+  ScenarioConfig churn_on_udp;
+  churn_on_udp.overlay = OverlayKind::kGossip;
+  churn_on_udp.backend = BackendKind::kUdp;
+  churn_on_udp.nodes = 4;
+  churn_on_udp.churn_session_mean_s = 60;
+  EXPECT_FALSE(RunScenario(churn_on_udp).converged);
+}
+
+TEST(ScenarioChurn, GossipSimChurnStaysAvailable) {
+  ScenarioConfig cfg;
+  cfg.overlay = OverlayKind::kGossip;
+  cfg.backend = BackendKind::kSim;
+  cfg.nodes = 8;
+  cfg.seed = 2;
+  cfg.churn_session_mean_s = 300;
+  cfg.duration_s = 120;
+  ScenarioReport report = RunScenario(cfg);
+  EXPECT_TRUE(report.converged) << report.detail;
+}
+
+TEST(ScenarioChurn, NaradaSimChurnStaysAvailable) {
+  ScenarioConfig cfg;
+  cfg.overlay = OverlayKind::kNarada;
+  cfg.backend = BackendKind::kSim;
+  cfg.nodes = 6;
+  cfg.seed = 5;
+  cfg.churn_session_mean_s = 300;
+  cfg.duration_s = 60;
+  ScenarioReport report = RunScenario(cfg);
+  EXPECT_TRUE(report.converged) << report.detail;
+}
+
+// The tentpole acceptance scenario: with 20% datagram loss, chord lookups
+// converge when the reliable stack is on and demonstrably degrade when it
+// is off (the sim is deterministic, so both outcomes are stable).
+TEST(ScenarioReliable, ChordSimWithLossConvergesOnlyWithReliableStack) {
+  ScenarioConfig cfg;
+  cfg.overlay = OverlayKind::kChord;
+  cfg.backend = BackendKind::kSim;
+  cfg.nodes = 16;
+  cfg.seed = 1;
+  cfg.lookups = 10;
+  cfg.loss_rate = 0.2;
+
+  cfg.reliable = true;
+  ScenarioReport with_stack = RunScenario(cfg);
+  EXPECT_TRUE(with_stack.converged) << with_stack.detail;
+  EXPECT_TRUE(with_stack.reliable);
+  EXPECT_GT(with_stack.transport_stats.retransmits, 0u);
+  EXPECT_GT(with_stack.transport_stats.rtt_samples, 0u);
+  EXPECT_GT(with_stack.transport_stats.MeanCwnd(), 0.0);
+
+  cfg.reliable = false;
+  ScenarioReport without_stack = RunScenario(cfg);
+  EXPECT_EQ(without_stack.transport_stats.retransmits, 0u);
+  // Degradation: strictly worse lookup consistency or outright failure.
+  bool degraded = !without_stack.converged ||
+                  without_stack.lookups_consistent < with_stack.lookups_consistent;
+  EXPECT_TRUE(degraded) << "plain UDP at 20% loss should degrade\n"
+                        << without_stack.detail;
+}
+
+TEST(ScenarioReliable, GossipChurnWithReliableStackStaysHealthy) {
+  // Churn replacements reuse addresses; continuing peers must renumber
+  // their streams (stream_resets > 0) instead of blackholing — expired
+  // frames and queue drops stay near zero.
+  ScenarioConfig cfg;
+  cfg.overlay = OverlayKind::kGossip;
+  cfg.backend = BackendKind::kSim;
+  cfg.nodes = 8;
+  cfg.seed = 1;
+  cfg.churn_session_mean_s = 100;
+  cfg.duration_s = 300;
+  cfg.reliable = true;
+  ScenarioReport report = RunScenario(cfg);
+  EXPECT_TRUE(report.converged) << report.detail;
+  EXPECT_GT(report.churn_deaths, 0u);
+  EXPECT_GT(report.transport_stats.stream_resets, 0u);
+  EXPECT_EQ(report.transport_stats.queue_drops, 0u) << report.detail;
+  EXPECT_LT(report.transport_stats.expired, 20u) << report.detail;
+}
+
+TEST(ScenarioReliable, GossipSimReliableConverges) {
+  ScenarioConfig cfg;
+  cfg.overlay = OverlayKind::kGossip;
+  cfg.backend = BackendKind::kSim;
+  cfg.nodes = 8;
+  cfg.seed = 2;
+  cfg.loss_rate = 0.2;
+  cfg.reliable = true;
+  ScenarioReport report = RunScenario(cfg);
+  EXPECT_TRUE(report.converged) << report.detail;
+  EXPECT_GT(report.transport_stats.data_frames_sent, 0u);
+  EXPECT_GT(report.transport_stats.retransmits, 0u);
 }
 
 TEST(ScenarioNetSmoke, SimFleetBasics) {

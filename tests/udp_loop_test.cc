@@ -40,6 +40,32 @@ TEST(UdpLoop, DatagramRoundTrip) {
   EXPECT_EQ(b->stats().msgs_in, 1u);
 }
 
+TEST(UdpLoop, BandwidthAccountingIsSymmetric) {
+  // kUdpIpHeaderBytes must be counted identically on the send and receive
+  // side, so a lossless exchange reports bytes_in == bytes_out.
+  UdpLoop loop;
+  auto a = loop.MakeTransport(0);
+  auto b = loop.MakeTransport(0);
+  int got = 0;
+  b->SetReceiver([&](const std::string&, const std::vector<uint8_t>&) {
+    if (++got == 3) {
+      loop.Stop();
+    }
+  });
+  a->SendTo(b->local_addr(), {1, 2, 3}, TrafficClass::kLookup);
+  a->SendTo(b->local_addr(), std::vector<uint8_t>(100, 7), TrafficClass::kMaintenance);
+  a->SendTo(b->local_addr(), std::vector<uint8_t>(9, 1), TrafficClass::kRetransmit);
+  loop.RunFor(2.0);
+  ASSERT_EQ(got, 3);
+  EXPECT_EQ(b->stats().bytes_in, a->stats().bytes_out);
+  EXPECT_EQ(b->stats().msgs_in, a->stats().msgs_out);
+  // The per-class split adds up to the total.
+  EXPECT_EQ(a->stats().lookup_bytes_out + a->stats().maint_bytes_out +
+                a->stats().retx_bytes_out + a->stats().control_bytes_out,
+            a->stats().bytes_out);
+  EXPECT_EQ(a->stats().retx_bytes_out, 9u + kUdpIpHeaderBytes);
+}
+
 TEST(UdpLoop, BadDestinationIsDroppedGracefully) {
   UdpLoop loop;
   auto a = loop.MakeTransport(0);
