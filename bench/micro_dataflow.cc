@@ -130,6 +130,104 @@ void BM_JoinProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_JoinProbe)->Arg(16)->Arg(160);
 
+void BM_TableIndexedLookup(benchmark::State& state) {
+  SimEventLoop loop;
+  TableSpec spec;
+  spec.name = "member";
+  spec.key_positions = {0};
+  Table table(spec, &loop);
+  table.AddIndex({1});
+  const int64_t rows = state.range(0);
+  for (int64_t i = 0; i < rows; ++i) {
+    table.Insert(Tuple::Make(
+        "member", {Value::Int(i), Value::Addr("n" + std::to_string(i % 16)),
+                   Value::Id(Uint160::HashOf(std::to_string(i)))}));
+  }
+  std::vector<Value> probe{Value::Addr("n7")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.LookupByCols({1}, probe));
+  }
+}
+BENCHMARK(BM_TableIndexedLookup)->Arg(256);
+
+// --- Demultiplexer dispatch ---
+
+void BM_DemuxDispatch(benchmark::State& state) {
+  Graph g;
+  auto* demux = g.Add<DemuxByName>("demux");
+  std::vector<TuplePtr> tuples;
+  for (int i = 0; i < 16; ++i) {
+    std::string name = "relation" + std::to_string(i);
+    auto* sink = g.Add<DiscardElement>("sink" + std::to_string(i));
+    g.Connect(demux, demux->PortFor(name), sink, 0);
+    tuples.push_back(Tuple::Make(name, {Value::Addr("n0"), Value::Int(i)}));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demux->Push(0, tuples[i & 15], nullptr));
+    ++i;
+  }
+}
+BENCHMARK(BM_DemuxDispatch);
+
+// Queue -> driver -> demux drain: the node input path the planner's
+// fan-out strands sit behind.
+void BM_QueueDemuxDrain(benchmark::State& state) {
+  SimEventLoop loop;
+  Graph g;
+  auto* q = g.Add<QueueElement>("q", 8192);
+  auto* driver = g.Add<TimedPullPush>("driver", &loop, 0.0);
+  auto* demux = g.Add<DemuxByName>("demux");
+  g.Connect(q, 0, driver, 0);
+  g.Connect(driver, 0, demux, 0);
+  std::vector<TuplePtr> tuples;
+  for (int i = 0; i < 8; ++i) {
+    std::string name = "relation" + std::to_string(i);
+    auto* sink = g.Add<DiscardElement>("sink" + std::to_string(i));
+    g.Connect(demux, demux->PortFor(name), sink, 0);
+    tuples.push_back(Tuple::Make(name, {Value::Addr("n0"), Value::Int(i)}));
+  }
+  driver->Start();
+  constexpr int kBurst = 512;
+  for (auto _ : state) {
+    for (int i = 0; i < kBurst; ++i) {
+      q->Push(0, tuples[i & 7], nullptr);
+    }
+    loop.RunUntil(loop.Now() + 0.001);
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_QueueDemuxDrain);
+
+// --- Timers ---
+
+// Schedule/cancel churn with many pending timers: the reliable stack's
+// per-peer retransmit timers at 1k-node scale.
+void BM_TimerScheduleCancel(benchmark::State& state) {
+  SimEventLoop loop;
+  const int64_t pending = state.range(0);
+  std::vector<TimerId> ids;
+  for (int64_t i = 0; i < pending; ++i) {
+    ids.push_back(loop.ScheduleAfter(1e9 + static_cast<double>(i), []() {}));
+  }
+  int batch = 0;
+  for (auto _ : state) {
+    TimerId id = loop.ScheduleAfter(0.5, []() {});
+    loop.Cancel(id);
+    benchmark::DoNotOptimize(id);
+    if (++batch == 256) {
+      // Advance past the cancelled deadline so backends that reclaim
+      // cancelled timers lazily pay their reclamation cost here.
+      batch = 0;
+      loop.RunUntil(loop.Now() + 1.0);
+    }
+  }
+  for (TimerId id : ids) {
+    loop.Cancel(id);
+  }
+}
+BENCHMARK(BM_TimerScheduleCancel)->Arg(1024)->Arg(16384);
+
 // --- Marshaling ---
 
 void BM_MarshalTuple(benchmark::State& state) {

@@ -29,8 +29,8 @@ void Usage(const char* argv0) {
       "  --nodes <n>          number of nodes (default 8)\n"
       "  --sim                deterministic virtual-time simulator (default)\n"
       "  --udp                real UDP sockets on 127.0.0.1, one process\n"
-      "  --churn <mean_s>     exponential mean session time; sim backend,\n"
-      "                       chord|gossip|narada\n"
+      "  --churn <mean_s>     exponential mean session time; any overlay on\n"
+      "                       --sim, gossip|narada|pathvector also on --udp\n"
       "  --duration <s>       measurement phase length (default per overlay)\n"
       "  --lookups <n>        chord: lookups to issue (default 20)\n"
       "  --loss <p>           datagram loss probability (default 0; sim drops in\n"
@@ -171,6 +171,11 @@ int main(int argc, char** argv) {
   std::printf("ran for %.1f %s seconds (seed=%llu)\n%s", report.ran_for_s,
               config.backend == p2::BackendKind::kSim ? "virtual" : "wall-clock",
               static_cast<unsigned long long>(config.seed), report.detail.c_str());
+  if (report.sim_events > 0 && report.wall_s > 0) {
+    std::printf("sim: %llu events in %.1fs wall (%.0f events/sec)\n",
+                static_cast<unsigned long long>(report.sim_events), report.wall_s,
+                static_cast<double>(report.sim_events) / report.wall_s);
+  }
   std::printf(report.converged ? "CONVERGED\n" : "DID NOT CONVERGE\n");
   return report.converged ? 0 : 1;
 }

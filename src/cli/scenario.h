@@ -69,6 +69,11 @@ struct ScenarioReport {
   bool converged = false;
   size_t nodes = 0;
   double ran_for_s = 0;  // measurement phase actually driven
+  // Simulator-backend throughput accounting (zero for --udp): events
+  // executed over the whole scenario and the wall-clock seconds spent
+  // driving them. bench/scale_sweep derives events/sec from these.
+  uint64_t sim_events = 0;
+  double wall_s = 0;
   // Chord metrics.
   size_t lookups_issued = 0;
   size_t lookups_completed = 0;
@@ -117,13 +122,17 @@ class ScenarioNet {
   void Run(double seconds);
   double Now() const;
 
+  // Simulator events executed so far (0 for the udp backend).
+  uint64_t SimEventsRun() const;
+
   // Simulates a crash of endpoint i: its socket/registration goes away and
   // datagrams addressed to it vanish. Destroy the node using the transport
   // first.
   void Kill(size_t i);
 
   // Recreates a killed endpoint at the same address/topology slot (churn
-  // replacement). Sim backend only.
+  // replacement). Under udp the original port is re-bound, so peers keep
+  // addressing the revived node at the address they already know.
   void Revive(size_t i);
 
   // Non-null only when the fleet runs with reliable = true.

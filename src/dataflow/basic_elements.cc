@@ -76,44 +76,96 @@ void TimedPullPush::RunOnce() {
     return;
   }
   // Continuous mode: drain a bounded batch, then yield to the loop so one
-  // busy flow cannot starve timers.
+  // busy flow cannot starve timers. The batch goes downstream through one
+  // PushMany so the demultiplexer can partition it per strand instead of
+  // re-dispatching tuple by tuple.
   constexpr int kBatch = 64;
+  batch_.clear();
+  bool blocked = false;
   for (int i = 0; i < kBatch; ++i) {
     TuplePtr t = PullIn(0, [this]() { Arm(0); });
     if (t == nullptr) {
-      return;  // Blocked; pull callback re-arms us.
+      blocked = true;  // Pull callback re-arms us once data returns.
+      break;
     }
-    int ok = PushOut(0, t, [this]() { Arm(0); });
+    batch_.push_back(std::move(t));
+  }
+  if (!batch_.empty()) {
+    int ok = PushOutMany(0, batch_, [this]() { Arm(0); });
+    batch_.clear();
     if (ok == 0) {
       return;  // Downstream congested; push callback re-arms us.
     }
   }
-  Arm(0);
+  if (!blocked) {
+    Arm(0);
+  }
 }
 
 // --- DemuxByName ---
 
 int DemuxByName::PortFor(const std::string& tuple_name) {
-  auto it = routes_.find(tuple_name);
-  if (it != routes_.end()) {
-    return it->second;
+  SchemaId schema = InternSchema(tuple_name);
+  if (schema >= routes_.size()) {
+    routes_.resize(schema + 1, -1);
+  }
+  if (routes_[schema] >= 0) {
+    return routes_[schema];
   }
   int port = next_port_++;
-  routes_.emplace(tuple_name, port);
+  routes_[schema] = port;
   return port;
 }
 
 int DemuxByName::Push(int port, const TuplePtr& t, const Callback& cb) {
   P2_CHECK(port == 0);
-  auto it = routes_.find(t->name());
-  if (it != routes_.end()) {
-    return PushOut(it->second, t, cb);
+  int out = RouteFor(t->schema());
+  if (out >= 0) {
+    return PushOut(out, t, cb);
   }
   if (default_port_ >= 0) {
     return PushOut(default_port_, t, cb);
   }
   ++unroutable_;
   return 1;
+}
+
+int DemuxByName::PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb) {
+  P2_CHECK(port == 0);
+  if (batch_buckets_.size() < static_cast<size_t>(next_port_)) {
+    batch_buckets_.resize(next_port_);
+  }
+  int signal = 1;
+  for (const TuplePtr& t : ts) {
+    int out = RouteFor(t->schema());
+    if (out < 0) {
+      if (default_port_ < 0) {
+        ++unroutable_;
+        continue;
+      }
+      out = default_port_;
+      if (batch_buckets_.size() <= static_cast<size_t>(out)) {
+        batch_buckets_.resize(out + 1);
+      }
+    }
+    batch_buckets_[out].push_back(t);
+  }
+  for (size_t p = 0; p < batch_buckets_.size(); ++p) {
+    std::vector<TuplePtr>& bucket = batch_buckets_[p];
+    if (bucket.empty()) {
+      continue;
+    }
+    switch (bucket.size()) {
+      case 1:
+        signal &= PushOut(static_cast<int>(p), bucket[0], cb);
+        break;
+      default:
+        signal &= PushOutMany(static_cast<int>(p), bucket, cb);
+        break;
+    }
+    bucket.clear();
+  }
+  return signal;
 }
 
 // --- DupElement ---
@@ -128,11 +180,26 @@ int DupElement::Push(int port, const TuplePtr& t, const Callback& cb) {
   return signal;
 }
 
+int DupElement::PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb) {
+  P2_CHECK(port == 0);
+  (void)cb;
+  int signal = 1;
+  for (size_t i = 0; i < num_outputs(); ++i) {
+    signal &= PushOutMany(static_cast<int>(i), ts);
+  }
+  return signal;
+}
+
 // --- MuxElement ---
 
 int MuxElement::Push(int port, const TuplePtr& t, const Callback& cb) {
   (void)port;
   return PushOut(0, t, cb);
+}
+
+int MuxElement::PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb) {
+  (void)port;
+  return PushOutMany(0, ts, cb);
 }
 
 // --- CallbackSink ---

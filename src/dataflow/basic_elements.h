@@ -56,10 +56,13 @@ class TimedPullPush : public Element {
   double period_;
   bool armed_ = false;
   TimerId timer_ = kInvalidTimer;
+  std::vector<TuplePtr> batch_;  // continuous-mode drain buffer, reused
 };
 
-// Routes tuples to an output port chosen by tuple name; unmatched tuples go
-// to the default port if one was set, else are counted and dropped.
+// Routes tuples to an output port chosen by tuple name. Dispatch is a
+// SchemaId jump table (a flat vector indexed by the tuple's interned
+// schema), not a string lookup. Unmatched tuples go to the default port if
+// one was set, else are counted and dropped.
 class DemuxByName : public Element {
  public:
   explicit DemuxByName(std::string name) : Element(std::move(name)) {}
@@ -69,14 +72,25 @@ class DemuxByName : public Element {
   void SetDefaultPort(int port) { default_port_ = port; }
 
   int Push(int port, const TuplePtr& t, const Callback& cb) override;
+  // Batched dispatch: partitions the batch by output port, then forwards
+  // one sub-batch per port so downstream fan-out strands amortize
+  // signaling overhead.
+  int PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb) override;
 
   uint64_t unroutable() const { return unroutable_; }
 
  private:
-  std::unordered_map<std::string, int> routes_;
+  // Jump table indexed by SchemaId; -1 = no route.
+  int RouteFor(SchemaId schema) const {
+    return schema < routes_.size() ? routes_[schema] : -1;
+  }
+
+  std::vector<int> routes_;
   int next_port_ = 0;
   int default_port_ = -1;
   uint64_t unroutable_ = 0;
+  // Per-port partition buffers reused across PushMany calls.
+  std::vector<std::vector<TuplePtr>> batch_buckets_;
 };
 
 // Duplicates each input tuple to every connected output port.
@@ -84,6 +98,7 @@ class DupElement : public Element {
  public:
   explicit DupElement(std::string name) : Element(std::move(name)) {}
   int Push(int port, const TuplePtr& t, const Callback& cb) override;
+  int PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb) override;
 };
 
 // Many push inputs, one push output.
@@ -91,6 +106,7 @@ class MuxElement : public Element {
  public:
   explicit MuxElement(std::string name) : Element(std::move(name)) {}
   int Push(int port, const TuplePtr& t, const Callback& cb) override;
+  int PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb) override;
 };
 
 // Terminal sink invoking a C++ callback (used for watch directives, app

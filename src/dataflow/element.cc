@@ -11,6 +11,14 @@ int Element::Push(int port, const TuplePtr& t, const Callback& cb) {
   P2_FATAL("element '%s' has no push input", name_.c_str());
 }
 
+int Element::PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb) {
+  int signal = 1;
+  for (const TuplePtr& t : ts) {
+    signal &= Push(port, t, cb);
+  }
+  return signal;
+}
+
 TuplePtr Element::Pull(int port, const Callback& cb) {
   (void)port;
   (void)cb;
@@ -38,6 +46,15 @@ int Element::PushOut(int out_port, const TuplePtr& t, const Callback& cb) {
   }
   PortRef& ref = outputs_[out_port];
   return ref.element->Push(ref.port, t, cb);
+}
+
+int Element::PushOutMany(int out_port, const std::vector<TuplePtr>& ts, const Callback& cb) {
+  if (static_cast<size_t>(out_port) >= outputs_.size() ||
+      outputs_[out_port].element == nullptr) {
+    return 1;  // Unconnected output: drop.
+  }
+  PortRef& ref = outputs_[out_port];
+  return ref.element->PushMany(ref.port, ts, cb);
 }
 
 TuplePtr Element::PullIn(int in_port, const Callback& cb) {

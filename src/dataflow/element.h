@@ -39,6 +39,13 @@ class Element {
   // inputs). Returns 1 = keep pushing, 0 = wait for cb.
   virtual int Push(int port, const TuplePtr& t, const Callback& cb);
 
+  // Batched push: receives `ts` in order on input `port`. Elements that can
+  // amortize per-tuple dispatch (demux partitioning, fan-out duplication)
+  // override this; the default delivers tuple-by-tuple. Returns the AND of
+  // the per-tuple signals (0 = congested, wait for cb — the tuples are
+  // still accepted, matching Push semantics).
+  virtual int PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb);
+
   // Produces a tuple from output `port`, or nullptr if blocked (cb will be
   // invoked when a retry may succeed). Default: fatal.
   virtual TuplePtr Pull(int port, const Callback& cb);
@@ -58,6 +65,9 @@ class Element {
   // Forwards downstream from `out_port`; returns the destination's signal,
   // or 1 if the port is unconnected (tuple is dropped).
   int PushOut(int out_port, const TuplePtr& t, const Callback& cb = nullptr);
+  // Batched forward; one virtual dispatch for the whole vector.
+  int PushOutMany(int out_port, const std::vector<TuplePtr>& ts,
+                  const Callback& cb = nullptr);
   // Pulls from the upstream bound to input `in_port`.
   TuplePtr PullIn(int in_port, const Callback& cb = nullptr);
 

@@ -61,7 +61,7 @@ int ExtendElement::Push(int port, const TuplePtr& t, const Callback& cb) {
   Value v = vm_.Eval(program_, t.get());
   std::vector<Value> fields = t->fields();
   fields.push_back(std::move(v));
-  return PushOut(0, Tuple::Make(t->name(), std::move(fields)), cb);
+  return PushOut(0, Tuple::Make(t->schema(), std::move(fields)), cb);
 }
 
 // --- ProjectElement ---
@@ -73,7 +73,7 @@ int ProjectElement::Push(int port, const TuplePtr& t, const Callback& cb) {
   for (const PelProgram& p : field_programs_) {
     fields.push_back(vm_.Eval(p, t.get()));
   }
-  return PushOut(0, Tuple::Make(out_name_, std::move(fields)), cb);
+  return PushOut(0, Tuple::Make(out_schema_, std::move(fields)), cb);
 }
 
 // --- JoinElement ---
@@ -84,7 +84,7 @@ JoinElement::JoinElement(std::string name, PelEnv env, Table* table, std::vector
       vm_(env),
       table_(table),
       keys_(std::move(keys)),
-      out_name_(std::move(out_name)) {
+      out_schema_(InternSchema(out_name)) {
   for (const JoinKey& k : keys_) {
     key_cols_.push_back(k.table_col);
   }
@@ -106,9 +106,11 @@ int JoinElement::Push(int port, const TuplePtr& t, const Callback& cb) {
                                       : table_->LookupByCols(key_cols_, key_vals);
   int signal = 1;
   for (const TuplePtr& row : matches) {
-    std::vector<Value> fields = t->fields();
+    std::vector<Value> fields;
+    fields.reserve(t->size() + row->size());
+    fields.insert(fields.end(), t->fields().begin(), t->fields().end());
     fields.insert(fields.end(), row->fields().begin(), row->fields().end());
-    signal &= PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+    signal &= PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
   }
   return signal;
 }
@@ -193,7 +195,7 @@ AggWrapElement::AggWrapElement(std::string name, PelEnv env, AggKind kind, size_
       vm_(env),
       kind_(kind),
       agg_position_(agg_position),
-      out_name_(std::move(out_name)),
+      out_schema_(InternSchema(out_name)),
       emit_empty_(emit_empty),
       empty_field_programs_(std::move(empty_field_programs)) {}
 
@@ -249,7 +251,7 @@ void AggWrapElement::Flush() {
           fields.push_back(vm_.Eval(empty_field_programs_[pi], current_event_.get()));
         }
       }
-      PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+      PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
     }
     current_event_ = nullptr;
     return;
@@ -258,7 +260,7 @@ void AggWrapElement::Flush() {
   if (kind_ == AggKind::kCount || kind_ == AggKind::kSum || kind_ == AggKind::kAvg) {
     fields[agg_position_] = AggFinal(kind_, acc_, count_);
   }
-  PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+  PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
   best_ = nullptr;
   current_event_ = nullptr;
 }
@@ -291,7 +293,7 @@ TableAggWatcher::TableAggWatcher(std::string name, Table* table, std::vector<siz
       group_cols_(std::move(group_cols)),
       kind_(kind),
       agg_col_(agg_col),
-      out_name_(std::move(out_name)) {}
+      out_schema_(InternSchema(out_name)) {}
 
 void TableAggWatcher::Attach() {
   table_->AddDeltaListener([this](const TuplePtr&) { Recompute(); });
@@ -333,7 +335,7 @@ void TableAggWatcher::Recompute() {
     if (kind_ == AggKind::kCount) {
       std::vector<Value> fields = it->first;
       fields.push_back(Value::Int(0));
-      PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+      PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
     }
     it = last_.erase(it);
   }
@@ -346,7 +348,7 @@ void TableAggWatcher::Recompute() {
     last_[key] = final_v;
     std::vector<Value> fields = key;
     fields.push_back(final_v);
-    PushOut(0, Tuple::Make(out_name_, std::move(fields)));
+    PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
   }
   recomputing_ = false;
 }

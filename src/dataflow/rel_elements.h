@@ -49,13 +49,13 @@ class ProjectElement : public Element {
                  std::vector<PelProgram> field_programs)
       : Element(std::move(name)),
         vm_(env),
-        out_name_(std::move(out_name)),
+        out_schema_(InternSchema(out_name)),
         field_programs_(std::move(field_programs)) {}
   int Push(int port, const TuplePtr& t, const Callback& cb) override;
 
  private:
   PelVm vm_;
-  std::string out_name_;
+  SchemaId out_schema_;  // interned once; tuple construction skips the string
   std::vector<PelProgram> field_programs_;
 };
 
@@ -81,7 +81,7 @@ class JoinElement : public Element {
   Table* table_;
   std::vector<JoinKey> keys_;
   std::vector<size_t> key_cols_;
-  std::string out_name_;
+  SchemaId out_schema_;
 };
 
 // Anti-join (OverLog "not"): passes the input through unchanged iff the
@@ -159,7 +159,7 @@ class AggWrapElement : public Element {
   PelVm vm_;
   AggKind kind_;
   size_t agg_position_;
-  std::string out_name_;
+  SchemaId out_schema_;
   bool emit_empty_;
   std::vector<PelProgram> empty_field_programs_;
   TuplePtr current_event_;
@@ -215,7 +215,7 @@ class TableAggWatcher : public Element {
   std::vector<size_t> group_cols_;
   AggKind kind_;
   size_t agg_col_;
-  std::string out_name_;
+  SchemaId out_schema_;
   bool recomputing_ = false;  // Scan() can purge rows and re-enter via the
                               // removal listener
   std::unordered_map<std::vector<Value>, Value, ValueVecHash, ValueVecEq> last_;

@@ -52,14 +52,12 @@ TimerId UdpLoop::ScheduleAfter(double delay, Task task) {
   if (delay < 0) {
     delay = 0;
   }
-  TimerId id = ++next_id_;
-  timers_.push(TimerEntry{Now() + delay, next_seq_++, id, std::move(task)});
-  return id;
+  return timers_.Schedule(Now() + delay, std::move(task));
 }
 
 void UdpLoop::Cancel(TimerId id) {
   if (id != kInvalidTimer) {
-    cancelled_.insert(id);
+    timers_.Cancel(id);
   }
 }
 
@@ -89,25 +87,19 @@ void UdpLoop::RegisterFd(int fd, UdpTransport* t) { fds_[fd] = t; }
 void UdpLoop::UnregisterFd(int fd) { fds_.erase(fd); }
 
 void UdpLoop::RunDueTimers() {
-  double now = Now();
-  while (!timers_.empty() && timers_.top().at <= now) {
-    TimerEntry e = std::move(const_cast<TimerEntry&>(timers_.top()));
-    timers_.pop();
-    if (cancelled_.erase(e.id) > 0) {
-      continue;
-    }
-    e.task();
-    now = Now();
+  double at;
+  Task task;
+  // Now() advances as handlers run; re-evaluate the deadline per pop.
+  while (timers_.PopDue(Now(), &at, &task)) {
+    task();
   }
 }
 
 void UdpLoop::PollOnce(double max_wait_s) {
   double wait = max_wait_s;
-  if (!timers_.empty()) {
-    double until = timers_.top().at - Now();
-    if (until < wait) {
-      wait = until;
-    }
+  double hint = timers_.NextDueHint();
+  if (hint - Now() < wait) {
+    wait = hint - Now();
   }
   if (wait < 0) {
     wait = 0;

@@ -8,17 +8,15 @@
 #ifndef P2_NET_UDP_LOOP_H_
 #define P2_NET_UDP_LOOP_H_
 
-#include <map>
 #include <memory>
-#include <queue>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/harness/metrics.h"
 #include "src/net/transport.h"
 #include "src/runtime/executor.h"
+#include "src/runtime/timer_wheel.h"
 
 namespace p2 {
 
@@ -49,27 +47,9 @@ class UdpLoop : public Executor {
   void PollOnce(double max_wait_s);
   void RunDueTimers();
 
-  struct TimerEntry {
-    double at;
-    uint64_t seq;
-    TimerId id;
-    Task task;
-  };
-  struct Later {
-    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
   double t0_;
-  TimerId next_id_ = 1;
-  uint64_t next_seq_ = 1;
   bool stopping_ = false;
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, Later> timers_;
-  std::unordered_set<TimerId> cancelled_;
+  TimerWheel timers_;  // O(1) schedule/cancel, (deadline, FIFO) firing order
   std::unordered_map<int, UdpTransport*> fds_;
 };
 

@@ -96,6 +96,23 @@ void PathVectorNode::RemoveLink(const std::string& to) {
   node_.GetTable("plink")->DeleteByKey({Value::Addr(to)});
 }
 
+void PathVectorNode::WithdrawRoutesVia(const std::string& next_hop) {
+  Value hop = Value::Addr(next_hop);
+  // route is keyed on (destination, next hop); bestRoute on destination.
+  Table* route = node_.GetTable("route");
+  for (const TuplePtr& row : route->Scan()) {
+    if (row->size() >= 4 && (row->field(2) == hop || row->field(1) == hop)) {
+      route->DeleteByKey({row->field(1), row->field(2)});
+    }
+  }
+  Table* best = node_.GetTable("bestRoute");
+  for (const TuplePtr& row : best->Scan()) {
+    if (row->size() >= 4 && (row->field(2) == hop || row->field(1) == hop)) {
+      best->DeleteByKey({row->field(1)});
+    }
+  }
+}
+
 std::vector<RouteEntry> PathVectorNode::BestRoutes() {
   std::vector<RouteEntry> out;
   for (const TuplePtr& row : node_.GetTable("bestRoute")->Scan()) {

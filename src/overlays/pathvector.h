@@ -45,6 +45,13 @@ class PathVectorNode {
   void AddLink(const std::string& to, int64_t cost);
   void RemoveLink(const std::string& to);
 
+  // Withdraws every candidate and best route whose next hop is `next_hop`
+  // (and any route to it as a destination). Called by the churn harness
+  // when a neighbor dies: soft-state TTLs would eventually age the routes
+  // out, but explicit withdrawal re-converges the fleet within one
+  // advertisement round instead of one route lifetime.
+  void WithdrawRoutesVia(const std::string& next_hop);
+
   // Current best route per destination.
   std::vector<RouteEntry> BestRoutes();
   // All candidate routes (per destination and next hop).

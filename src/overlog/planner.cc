@@ -124,7 +124,7 @@ class PlanBuilder {
       }
       auto table = std::make_unique<Table>(spec, node_->executor_);
       Table* raw = table.get();
-      node_->tables_.emplace(m.name, std::move(table));
+      node_->AddTable(m.name, std::move(table));
       // Tuples named after a table that arrive as events (from the network
       // or local loop-back) are stored: demux route -> insert element.
       auto* ins = graph_.Add<InsertElement>(Gensym("insert:" + m.name), raw);

@@ -105,7 +105,20 @@ void P2Node::Subscribe(const std::string& name, TupleFn fn) {
     it->second->AddDeltaListener(std::move(fn));
     return;
   }
-  watchers_[name].push_back(std::move(fn));
+  SchemaId schema = InternSchema(name);
+  if (watchers_by_schema_.size() <= schema) {
+    watchers_by_schema_.resize(schema + 1);
+  }
+  watchers_by_schema_[schema].push_back(std::move(fn));
+}
+
+void P2Node::AddTable(const std::string& name, std::unique_ptr<Table> table) {
+  SchemaId schema = InternSchema(name);
+  if (tables_by_schema_.size() <= schema) {
+    tables_by_schema_.resize(schema + 1, nullptr);
+  }
+  tables_by_schema_[schema] = table.get();
+  tables_.emplace(name, std::move(table));
 }
 
 Table* P2Node::GetTable(const std::string& name) {
@@ -131,9 +144,9 @@ size_t P2Node::ApproxMemoryBytes() const {
 }
 
 void P2Node::DeliverLocal(const TuplePtr& t) {
-  auto w = watchers_.find(t->name());
-  if (w != watchers_.end()) {
-    for (const TupleFn& fn : w->second) {
+  SchemaId schema = t->schema();
+  if (schema < watchers_by_schema_.size()) {
+    for (const TupleFn& fn : watchers_by_schema_[schema]) {
       fn(t);
     }
   }
@@ -149,9 +162,8 @@ void P2Node::RouteTuple(const TuplePtr& t) {
   const std::string& dest = t->field(0).AsAddr();
   if (dest == addr_) {
     ++stats_.local_loopbacks;
-    auto it = tables_.find(t->name());
-    if (it != tables_.end()) {
-      it->second->Insert(t);  // Synchronous store + delta propagation.
+    if (Table* table = TableForSchema(t->schema())) {
+      table->Insert(t);  // Synchronous store + delta propagation.
     } else {
       DeliverLocal(t);
     }

@@ -85,6 +85,12 @@ class P2Node {
   friend class Planner;
   friend class PlanBuilder;
 
+  // Registers a table and its SchemaId dispatch slot (planner only).
+  void AddTable(const std::string& name, std::unique_ptr<Table> table);
+  Table* TableForSchema(SchemaId schema) const {
+    return schema < tables_by_schema_.size() ? tables_by_schema_[schema] : nullptr;
+  }
+
   // Delivers a tuple into local processing: watchers, then input queue.
   void DeliverLocal(const TuplePtr& t);
   // Routes a rule-head tuple by its location specifier (field 0).
@@ -100,7 +106,11 @@ class P2Node {
   NodeStats stats_;
 
   Graph graph_;
-  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // ownership
+  // SchemaId jump tables for the hot routing paths (RouteTuple /
+  // DeliverLocal): no string hashing per tuple.
+  std::vector<Table*> tables_by_schema_;
+  std::vector<std::vector<TupleFn>> watchers_by_schema_;
   QueueElement* input_queue_ = nullptr;
   TimedPullPush* driver_ = nullptr;
   DemuxByName* demux_ = nullptr;
@@ -109,7 +119,6 @@ class P2Node {
   std::vector<PeriodicSource*> periodics_;
   std::unordered_map<std::string, DupElement*> event_dups_;
   std::vector<std::pair<std::string, RuleDriver*>> rule_drivers_;
-  std::unordered_map<std::string, std::vector<TupleFn>> watchers_;
   bool started_ = false;
   bool installed_ = false;
 };

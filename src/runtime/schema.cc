@@ -1,0 +1,51 @@
+#include "src/runtime/schema.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+struct AtomTable {
+  // deque: references to stored names stay stable as the table grows.
+  std::deque<std::string> names;
+  // Keys view into `names`, so each spelling is stored exactly once.
+  std::unordered_map<std::string_view, SchemaId> ids;
+};
+
+AtomTable& Atoms() {
+  static AtomTable* table = new AtomTable();  // leaked: process lifetime
+  return *table;
+}
+
+}  // namespace
+
+SchemaId InternSchema(std::string_view name) {
+  AtomTable& t = Atoms();
+  auto it = t.ids.find(name);
+  if (it != t.ids.end()) {
+    return it->second;
+  }
+  SchemaId id = static_cast<SchemaId>(t.names.size());
+  t.names.emplace_back(name);
+  t.ids.emplace(std::string_view(t.names.back()), id);
+  return id;
+}
+
+SchemaId FindSchema(std::string_view name) {
+  AtomTable& t = Atoms();
+  auto it = t.ids.find(name);
+  return it == t.ids.end() ? kInvalidSchema : it->second;
+}
+
+const std::string& SchemaName(SchemaId id) {
+  AtomTable& t = Atoms();
+  P2_CHECK(id < t.names.size());
+  return t.names[id];
+}
+
+size_t SchemaCount() { return Atoms().names.size(); }
+
+}  // namespace p2

@@ -1,0 +1,293 @@
+#include "src/runtime/timer_wheel.h"
+
+#include <algorithm>
+
+#include "src/runtime/logging.h"
+
+namespace p2 {
+namespace {
+
+// Min-heap comparator over (deadline, schedule order). Templated so it can
+// apply to TimerWheel's private Node type via deduction.
+struct TimerWheelReadyAfter {
+  template <typename NodeT>
+  bool operator()(const NodeT* a, const NodeT* b) const {
+    if (a->at != b->at) {
+      return a->at > b->at;
+    }
+    return a->seq > b->seq;
+  }
+};
+
+}  // namespace
+
+TimerWheel::TimerWheel(double tick_seconds) : tick_(tick_seconds), inv_tick_(1.0 / tick_seconds) {
+  P2_CHECK(tick_seconds > 0);
+}
+
+TimerWheel::Node* TimerWheel::Alloc() {
+  if (!free_.empty()) {
+    Node* n = &pool_[free_.back()];
+    free_.pop_back();
+    return n;
+  }
+  pool_.emplace_back();
+  Node* n = &pool_.back();
+  n->index = static_cast<uint32_t>(pool_.size() - 1);
+  return n;
+}
+
+void TimerWheel::Release(Node* n) {
+  n->task = Task();  // drop the closure now, not at reuse time
+  n->live = false;
+  n->cancelled = false;
+  n->prev = nullptr;
+  n->next = nullptr;
+  ++n->generation;  // stale TimerIds (fired / double cancel) stop matching
+  free_.push_back(n->index);
+}
+
+uint64_t TimerWheel::TickOf(double at) const {
+  if (!(at > 0)) {
+    return 0;
+  }
+  double ticks = at * inv_tick_;
+  // Clamp absurd deadlines (e.g. sentinel "never" timers) to the far
+  // future instead of overflowing the conversion.
+  if (ticks >= 9.0e18) {
+    return static_cast<uint64_t>(9.0e18);
+  }
+  return static_cast<uint64_t>(ticks);
+}
+
+TimerId TimerWheel::Schedule(double at, Task task) {
+  Node* n = Alloc();
+  n->at = at;
+  n->seq = next_seq_++;
+  n->task = std::move(task);
+  n->live = true;
+  n->cancelled = false;
+  ++live_;
+  if (TickOf(at) <= current_tick_) {
+    PushReady(n);
+  } else {
+    InsertIntoWheel(n);
+  }
+  return (static_cast<TimerId>(n->generation) << 32) | n->index;
+}
+
+void TimerWheel::PushReady(Node* n) {
+  n->level = -1;
+  n->slot = -1;
+  ready_.push_back(n);
+  std::push_heap(ready_.begin(), ready_.end(), TimerWheelReadyAfter());
+}
+
+void TimerWheel::InsertIntoWheel(Node* n) {
+  uint64_t tick = TickOf(n->at);
+  uint64_t delta = tick - current_tick_;
+  int level = 0;
+  while (level < kLevels - 1 && delta >= (1ull << (kSlotBits * (level + 1)))) {
+    ++level;
+  }
+  // Beyond the top-level horizon: park in the farthest top slot; every
+  // cascade re-files it until the real tick comes within range.
+  uint64_t horizon = 1ull << (kSlotBits * kLevels);
+  uint64_t eff_tick = delta >= horizon
+                          ? current_tick_ + horizon - (1ull << (kSlotBits * (kLevels - 1)))
+                          : tick;
+  int slot = static_cast<int>((eff_tick >> (kSlotBits * level)) & kSlotMask);
+  n->level = static_cast<int16_t>(level);
+  n->slot = static_cast<int16_t>(slot);
+  n->prev = nullptr;
+  n->next = slots_[level][slot];
+  if (n->next != nullptr) {
+    n->next->prev = n;
+  }
+  slots_[level][slot] = n;
+  bitmap_[level][slot >> 6] |= 1ull << (slot & 63);
+  ++level_population_[level];
+}
+
+void TimerWheel::UnlinkFromSlot(Node* n) {
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else {
+    slots_[n->level][n->slot] = n->next;
+    if (n->next == nullptr) {
+      bitmap_[n->level][n->slot >> 6] &= ~(1ull << (n->slot & 63));
+    }
+  }
+  if (n->next != nullptr) {
+    n->next->prev = n->prev;
+  }
+  n->prev = nullptr;
+  n->next = nullptr;
+  --level_population_[n->level];
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  uint32_t index = static_cast<uint32_t>(id & 0xFFFFFFFFu);
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (index >= pool_.size()) {
+    return false;
+  }
+  Node* n = &pool_[index];
+  if (n->generation != generation || !n->live) {
+    return false;
+  }
+  --live_;
+  if (n->level < 0) {
+    // In the due heap: mark and let PopDue reclaim it lazily (heap
+    // extraction from the middle is not O(1); the bucket is tiny anyway).
+    n->live = false;
+    n->cancelled = true;
+    return true;
+  }
+  UnlinkFromSlot(n);
+  Release(n);
+  return true;
+}
+
+void TimerWheel::CascadeSlot(int level, int slot) {
+  Node* n = slots_[level][slot];
+  slots_[level][slot] = nullptr;
+  bitmap_[level][slot >> 6] &= ~(1ull << (slot & 63));
+  while (n != nullptr) {
+    Node* next = n->next;
+    n->prev = nullptr;
+    n->next = nullptr;
+    --level_population_[level];
+    if (TickOf(n->at) <= current_tick_) {
+      PushReady(n);
+    } else {
+      InsertIntoWheel(n);
+    }
+    n = next;
+  }
+}
+
+int TimerWheel::NextOccupiedDistance(int level, int from_pos) const {
+  if (level_population_[level] == 0) {
+    return 0;
+  }
+  auto find_from = [this, level](int start) -> int {
+    int w = start >> 6;
+    uint64_t word = bitmap_[level][w] & (~0ull << (start & 63));
+    for (;;) {
+      if (word != 0) {
+        return (w << 6) + __builtin_ctzll(word);
+      }
+      if (++w >= kBitmapWords) {
+        return -1;
+      }
+      word = bitmap_[level][w];
+    }
+  };
+  if (from_pos + 1 < kSlots) {
+    int pos = find_from(from_pos + 1);
+    if (pos >= 0) {
+      return pos - from_pos;
+    }
+  }
+  int pos = find_from(0);
+  if (pos >= 0) {
+    return pos + kSlots - from_pos;
+  }
+  return 0;
+}
+
+bool TimerWheel::NextCandidateTick(uint64_t* out) const {
+  bool found = false;
+  uint64_t best = 0;
+  for (int level = 0; level < kLevels; ++level) {
+    int shift = kSlotBits * level;
+    int pos = static_cast<int>((current_tick_ >> shift) & kSlotMask);
+    int dist = NextOccupiedDistance(level, pos);
+    if (dist == 0) {
+      continue;
+    }
+    // Level 0 slots name their exact fire tick; upper levels come due at
+    // the aligned boundary where their slot cascades.
+    uint64_t candidate =
+        level == 0 ? current_tick_ + static_cast<uint64_t>(dist)
+                   : ((current_tick_ >> shift) + static_cast<uint64_t>(dist)) << shift;
+    if (!found || candidate < best) {
+      found = true;
+      best = candidate;
+    }
+  }
+  if (found) {
+    *out = best;
+  }
+  return found;
+}
+
+void TimerWheel::AdvanceTo(uint64_t tick) {
+  current_tick_ = tick;
+  // Cascade top-down: a tick that is (say) a level-2 boundary drops its
+  // slot into level 1 first, whose own boundary slot then feeds level 0.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    uint64_t span = 1ull << (kSlotBits * level);
+    if ((tick & (span - 1)) == 0 && level_population_[level] > 0) {
+      CascadeSlot(level, static_cast<int>((tick >> (kSlotBits * level)) & kSlotMask));
+    }
+  }
+  int slot = static_cast<int>(tick & kSlotMask);
+  if (slots_[0][slot] != nullptr) {
+    CascadeSlot(0, slot);  // level-0 re-file lands everything in ready_
+  }
+}
+
+void TimerWheel::PurgeCancelledReady() {
+  while (!ready_.empty() && ready_.front()->cancelled) {
+    std::pop_heap(ready_.begin(), ready_.end(), TimerWheelReadyAfter());
+    Release(ready_.back());
+    ready_.pop_back();
+  }
+}
+
+double TimerWheel::NextDueHint() {
+  PurgeCancelledReady();
+  if (!ready_.empty()) {
+    return ready_.front()->at;
+  }
+  uint64_t tick;
+  if (live_ > 0 && NextCandidateTick(&tick)) {
+    return static_cast<double>(tick) * tick_;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+bool TimerWheel::PopDue(double deadline, double* at, Task* task) {
+  for (;;) {
+    PurgeCancelledReady();
+    if (!ready_.empty()) {
+      Node* n = ready_.front();
+      if (n->at > deadline) {
+        return false;
+      }
+      std::pop_heap(ready_.begin(), ready_.end(), TimerWheelReadyAfter());
+      ready_.pop_back();
+      --live_;
+      *at = n->at;
+      *task = std::move(n->task);
+      Release(n);
+      return true;
+    }
+    if (live_ == 0) {
+      return false;
+    }
+    uint64_t tick;
+    if (!NextCandidateTick(&tick)) {
+      return false;  // unreachable while live_ > 0; defensive
+    }
+    // Entries in that slot fire no earlier than the slot's base time.
+    if (static_cast<double>(tick) * tick_ > deadline) {
+      return false;
+    }
+    AdvanceTo(tick);
+  }
+}
+
+}  // namespace p2

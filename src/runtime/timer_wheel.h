@@ -1,0 +1,128 @@
+// Hierarchical timer wheel: O(1) schedule and cancel for the executor
+// backends.
+//
+// Both event loops (the virtual-time simulator and the poll()-based UDP
+// loop) used to keep timers in a binary heap, where schedule is O(log n)
+// and cancel leaves a tombstone that is popped later. At 1k-node scale the
+// reliable transport stack alone arms and cancels one retransmit and one
+// delayed-ACK timer per live peer per round trip, so timer-queue churn
+// grows with the fleet. The wheel replaces the heap: four levels of 256
+// slots each (Varghese & Lauck's hashed hierarchical wheel), a bitmap per
+// level to find the next occupied slot in a few word scans, and intrusive
+// doubly-linked slot lists so cancellation unlinks in O(1).
+//
+// Timer nodes live in a generation-tagged pool: a TimerId encodes
+// (generation, pool index), so schedule/cancel allocate nothing in steady
+// state and id lookup is an array index — no per-timer heap traffic, and a
+// stale cancel (after fire or double-cancel) is a generation mismatch, not
+// a hash probe.
+//
+// Semantics are exactly those of the heap implementation:
+//  - timers fire in (deadline, schedule-order) order — FIFO among equal
+//    deadlines — even when two deadlines fall into the same wheel tick
+//    (the due bucket is a tiny (at, seq) heap, so intra-tick order is by
+//    exact deadline, not arrival);
+//  - deadlines are exact doubles; the tick granularity only decides
+//    bucketing, never the reported fire time;
+//  - far-future timers beyond the wheel horizon (~2^32 ticks) are parked
+//    in the top level and re-cascaded, so nothing is ever dropped.
+#ifndef P2_RUNTIME_TIMER_WHEEL_H_
+#define P2_RUNTIME_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "src/runtime/executor.h"
+
+namespace p2 {
+
+class TimerWheel {
+ public:
+  // 1/1024 s ticks: finer than any protocol timer in the system, and a
+  // power of two so tick arithmetic stays exact for typical deadlines.
+  explicit TimerWheel(double tick_seconds = 1.0 / 1024.0);
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Registers `task` to fire at absolute time `at` (seconds). Returns a
+  // generation-tagged id (never kInvalidTimer).
+  TimerId Schedule(double at, Task task);
+
+  // O(1). Returns true iff the timer was still pending.
+  bool Cancel(TimerId id);
+
+  // Live (scheduled, uncancelled, unfired) timers.
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  // Lower bound on the earliest pending deadline (exact once the next
+  // timer's slot has been reached); +infinity when empty. Event loops use
+  // it to size their poll timeout / next virtual-time jump.
+  double NextDueHint();
+
+  // Extracts the earliest timer with deadline <= `deadline`, honoring
+  // (deadline, schedule-order). Returns false if none is due. The caller
+  // runs the task, so handler re-entry into Schedule/Cancel is safe.
+  bool PopDue(double deadline, double* at, Task* task);
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;  // 256 per level
+  static constexpr uint64_t kSlotMask = kSlots - 1;
+  static constexpr int kBitmapWords = kSlots / 64;
+
+  struct Node {
+    double at = 0;
+    uint64_t seq = 0;
+    uint32_t index = 0;       // own position in the pool
+    uint32_t generation = 1;  // bumped on every release; stale ids mismatch
+    Task task;
+    Node* prev = nullptr;
+    Node* next = nullptr;
+    int16_t level = -1;  // -1: in the due heap (or free)
+    int16_t slot = -1;
+    bool live = false;
+    bool cancelled = false;  // in the due heap, awaiting lazy reclamation
+  };
+
+  Node* Alloc();
+  // Returns the node to the free list and invalidates its id.
+  void Release(Node* n);
+  uint64_t TickOf(double at) const;
+  void InsertIntoWheel(Node* n);
+  void UnlinkFromSlot(Node* n);
+  void PushReady(Node* n);
+  void PurgeCancelledReady();
+  // Empties `level`/`slot` and re-files every node relative to
+  // current_tick_ (level 0 slots re-file straight into the due heap).
+  void CascadeSlot(int level, int slot);
+  // First occupied slot strictly after `from_pos` (circular). Returns the
+  // distance in [1, kSlots], or 0 when the level is empty.
+  int NextOccupiedDistance(int level, int from_pos) const;
+  // Smallest tick at which any wheel slot needs attention (fire or
+  // cascade); false when the wheel body is empty.
+  bool NextCandidateTick(uint64_t* out) const;
+  // Jumps the wheel to `tick`, cascading the upper-level slots that come
+  // due there and promoting the level-0 slot into the due heap.
+  void AdvanceTo(uint64_t tick);
+
+  double tick_;
+  double inv_tick_;
+  uint64_t current_tick_ = 0;
+  uint64_t next_seq_ = 1;
+  size_t live_ = 0;
+
+  Node* slots_[kLevels][kSlots] = {};
+  uint64_t bitmap_[kLevels][kBitmapWords] = {};
+  size_t level_population_[kLevels] = {};  // fast skip of empty levels
+  std::vector<Node*> ready_;               // (at, seq) min-heap: the due bucket
+  std::deque<Node> pool_;                  // stable addresses; nodes recycled
+  std::vector<uint32_t> free_;
+};
+
+}  // namespace p2
+
+#endif  // P2_RUNTIME_TIMER_WHEEL_H_

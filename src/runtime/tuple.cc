@@ -2,6 +2,15 @@
 
 namespace p2 {
 
+Tuple::Tuple(SchemaId schema, std::vector<Value> fields)
+    : schema_(schema), fields_(std::move(fields)) {
+  size_t h = 0x9E3779B97F4A7C15ull ^ schema_;
+  for (const Value& v : fields_) {
+    h = h * 1099511628211ull + v.HashValue();
+  }
+  hash_ = h;
+}
+
 std::vector<Value> Tuple::KeyOf(const std::vector<size_t>& positions) const {
   std::vector<Value> key;
   key.reserve(positions.size());
@@ -12,7 +21,13 @@ std::vector<Value> Tuple::KeyOf(const std::vector<size_t>& positions) const {
 }
 
 bool Tuple::SameAs(const Tuple& o) const {
-  if (name_ != o.name_ || fields_.size() != o.fields_.size()) {
+  if (this == &o) {
+    return true;
+  }
+  // No hash short-circuit: cross-type numeric equality (Int(1) ==
+  // Double(1.0)) means equal tuples can hash differently, and a refresh
+  // spuriously flagged as "changed" would churn the table indices.
+  if (schema_ != o.schema_ || fields_.size() != o.fields_.size()) {
     return false;
   }
   for (size_t i = 0; i < fields_.size(); ++i) {
@@ -24,7 +39,7 @@ bool Tuple::SameAs(const Tuple& o) const {
 }
 
 std::string Tuple::ToString() const {
-  std::string out = name_ + "(";
+  std::string out = name() + "(";
   for (size_t i = 0; i < fields_.size(); ++i) {
     if (i > 0) {
       out += ", ";

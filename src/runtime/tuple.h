@@ -4,6 +4,10 @@
 // and then shared by reference between dataflow elements (§3.3: "tuples in
 // P2 are completely immutable once they are created ... reference-counted
 // and passed between P2 elements by reference").
+//
+// The tuple name is interned into a SchemaId at construction: all dispatch
+// (demux routing, table/watcher lookup, identity checks) compares small
+// integers, and the whole-tuple hash is computed once and cached.
 #ifndef P2_RUNTIME_TUPLE_H_
 #define P2_RUNTIME_TUPLE_H_
 
@@ -11,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/schema.h"
 #include "src/runtime/value.h"
 
 namespace p2 {
@@ -20,17 +25,25 @@ using TuplePtr = std::shared_ptr<const Tuple>;
 
 class Tuple {
  public:
-  Tuple(std::string name, std::vector<Value> fields)
-      : name_(std::move(name)), fields_(std::move(fields)) {}
+  Tuple(std::string_view name, std::vector<Value> fields)
+      : Tuple(InternSchema(name), std::move(fields)) {}
+  Tuple(SchemaId schema, std::vector<Value> fields);
 
-  static TuplePtr Make(std::string name, std::vector<Value> fields) {
-    return std::make_shared<const Tuple>(std::move(name), std::move(fields));
+  static TuplePtr Make(std::string_view name, std::vector<Value> fields) {
+    return std::make_shared<const Tuple>(name, std::move(fields));
+  }
+  static TuplePtr Make(SchemaId schema, std::vector<Value> fields) {
+    return std::make_shared<const Tuple>(schema, std::move(fields));
   }
 
-  const std::string& name() const { return name_; }
+  SchemaId schema() const { return schema_; }
+  const std::string& name() const { return SchemaName(schema_); }
   size_t size() const { return fields_.size(); }
   const Value& field(size_t i) const { return fields_[i]; }
   const std::vector<Value>& fields() const { return fields_; }
+
+  // Hash over (schema, fields), folded once at construction.
+  size_t hash() const { return hash_; }
 
   // By OverLog convention the first field of every tuple carries the
   // location specifier (the address the tuple lives at / is destined for).
@@ -39,12 +52,14 @@ class Tuple {
   // Projects the key columns (0-based positions) out of this tuple.
   std::vector<Value> KeyOf(const std::vector<size_t>& positions) const;
 
+  // Content equality; short-circuits on schema and cached hash.
   bool SameAs(const Tuple& o) const;
 
   std::string ToString() const;
 
  private:
-  std::string name_;
+  SchemaId schema_;
+  size_t hash_;
   std::vector<Value> fields_;
 };
 

@@ -23,16 +23,27 @@ bool IsNumeric(ValueType t) {
 
 }  // namespace
 
+Value::StrRep::StrRep(std::string str)
+    : s(std::move(str)), hash(std::hash<std::string>()(s)) {}
+
+Value::ListRep::ListRep(ValueList list) : items(std::move(list)) {
+  size_t h = 0x51ED270Bu;
+  for (const Value& v : items) {
+    h = h * 1099511628211ull + v.HashValue();
+  }
+  hash = h;
+}
+
 Value Value::Str(std::string s) {
-  return Value(Payload(std::make_shared<const std::string>(std::move(s))));
+  return Value(Payload(std::make_shared<const StrRep>(std::move(s))));
 }
 
 Value Value::Addr(std::string a) {
-  return Value(Payload(AddrTag{std::make_shared<const std::string>(std::move(a))}));
+  return Value(Payload(AddrTag{std::make_shared<const StrRep>(std::move(a))}));
 }
 
 Value Value::List(ValueList items) {
-  return Value(Payload(std::make_shared<const ValueList>(std::move(items))));
+  return Value(Payload(std::make_shared<const ListRep>(std::move(items))));
 }
 
 bool Value::AsBool() const {
@@ -78,7 +89,7 @@ const std::string& Value::AsStr() const {
   if (type() != ValueType::kStr) {
     P2_FATAL("Value::AsStr on %s", ToString().c_str());
   }
-  return *std::get<std::shared_ptr<const std::string>>(v_);
+  return std::get<std::shared_ptr<const StrRep>>(v_)->s;
 }
 
 const Uint160& Value::AsId() const {
@@ -92,14 +103,14 @@ const std::string& Value::AsAddr() const {
   if (type() != ValueType::kAddr) {
     P2_FATAL("Value::AsAddr on %s", ToString().c_str());
   }
-  return *std::get<AddrTag>(v_).s;
+  return std::get<AddrTag>(v_).s->s;
 }
 
 const ValueList& Value::AsList() const {
   if (type() != ValueType::kList) {
     P2_FATAL("Value::AsList on %s", ToString().c_str());
   }
-  return *std::get<std::shared_ptr<const ValueList>>(v_);
+  return std::get<std::shared_ptr<const ListRep>>(v_)->items;
 }
 
 int Value::Compare(const Value& a, const Value& b) {
@@ -220,20 +231,64 @@ size_t Value::HashValue() const {
     case ValueType::kDouble:
       return std::hash<double>()(std::get<double>(v_));
     case ValueType::kStr:
-      return std::hash<std::string>()(AsStr());
+      return std::get<std::shared_ptr<const StrRep>>(v_)->hash;
     case ValueType::kId:
       return AsId().HashValue();
     case ValueType::kAddr:
-      return std::hash<std::string>()(AsAddr()) ^ 0xA5A5A5A5u;
-    case ValueType::kList: {
-      size_t h = 0x51ED270Bu;
-      for (const Value& v : AsList()) {
-        h = h * 1099511628211ull + v.HashValue();
-      }
-      return h;
-    }
+      return std::get<AddrTag>(v_).s->hash ^ 0xA5A5A5A5u;
+    case ValueType::kList:
+      return std::get<std::shared_ptr<const ListRep>>(v_)->hash;
   }
   return 0;
+}
+
+bool Value::operator==(const Value& o) const {
+  ValueType t = type();
+  if (t != o.type()) {
+    // Only numeric types compare equal across types.
+    return IsNumeric(t) && IsNumeric(o.type()) && AsDouble() == o.AsDouble();
+  }
+  switch (t) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return std::get<bool>(v_) == std::get<bool>(o.v_);
+    case ValueType::kInt:
+      return std::get<int64_t>(v_) == std::get<int64_t>(o.v_);
+    case ValueType::kDouble:
+      return std::get<double>(v_) == std::get<double>(o.v_);
+    case ValueType::kStr: {
+      const auto& a = std::get<std::shared_ptr<const StrRep>>(v_);
+      const auto& b = std::get<std::shared_ptr<const StrRep>>(o.v_);
+      return a == b || (a->hash == b->hash && a->s == b->s);
+    }
+    case ValueType::kId:
+      return std::get<Uint160>(v_) == std::get<Uint160>(o.v_);
+    case ValueType::kAddr: {
+      const auto& a = std::get<AddrTag>(v_).s;
+      const auto& b = std::get<AddrTag>(o.v_).s;
+      return a == b || (a->hash == b->hash && a->s == b->s);
+    }
+    case ValueType::kList: {
+      const auto& a = std::get<std::shared_ptr<const ListRep>>(v_);
+      const auto& b = std::get<std::shared_ptr<const ListRep>>(o.v_);
+      if (a == b) {
+        return true;
+      }
+      // No hash short-circuit here: cross-type numeric equality (Int(1) ==
+      // Double(1.0)) means Compare-equal lists can hash differently.
+      if (a->items.size() != b->items.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a->items.size(); ++i) {
+        if (a->items[i] != b->items[i]) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Value::ToString() const {

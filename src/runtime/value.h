@@ -62,8 +62,11 @@ class Value {
   // Total order over all values: by type rank, then within type; int and
   // double compare numerically against each other. Returns <0, 0, >0.
   static int Compare(const Value& a, const Value& b);
-  bool operator==(const Value& o) const { return Compare(*this, o) == 0; }
-  bool operator!=(const Value& o) const { return Compare(*this, o) != 0; }
+  // Equality short-circuits on type, then shared-payload identity and the
+  // cached hash, before falling back to content comparison. Agrees with
+  // Compare(a, b) == 0 on every input.
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
   bool operator<(const Value& o) const { return Compare(*this, o) < 0; }
   bool operator<=(const Value& o) const { return Compare(*this, o) <= 0; }
   bool operator>(const Value& o) const { return Compare(*this, o) > 0; }
@@ -82,16 +85,32 @@ class Value {
   static Value Mod(const Value& a, const Value& b);
   static Value Shl(const Value& a, const Value& b);
 
+  // O(1): scalar hashes are computed inline; string/addr/list hashes are
+  // computed once at construction and cached in the shared payload.
   size_t HashValue() const;
   std::string ToString() const;
 
  private:
+  // Shared string payload with its hash precomputed at construction, so
+  // hashing an Addr/Str value on every table probe costs a load, not a
+  // string traversal.
+  struct StrRep {
+    explicit StrRep(std::string str);
+    std::string s;
+    size_t hash;
+  };
+  // Shared list payload; hash folded over the element hashes once.
+  struct ListRep {
+    explicit ListRep(ValueList list);
+    ValueList items;
+    size_t hash;
+  };
   struct AddrTag {
-    std::shared_ptr<const std::string> s;
+    std::shared_ptr<const StrRep> s;
   };
   using Payload = std::variant<std::monostate, bool, int64_t, double,
-                               std::shared_ptr<const std::string>, Uint160, AddrTag,
-                               std::shared_ptr<const ValueList>>;
+                               std::shared_ptr<const StrRep>, Uint160, AddrTag,
+                               std::shared_ptr<const ListRep>>;
   explicit Value(Payload p) : v_(std::move(p)) {}
 
   Payload v_;

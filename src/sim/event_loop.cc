@@ -1,6 +1,7 @@
 #include "src/sim/event_loop.h"
 
-#include "src/runtime/logging.h"
+#include <algorithm>
+#include <limits>
 
 namespace p2 {
 
@@ -8,32 +9,22 @@ TimerId SimEventLoop::ScheduleAfter(double delay, Task task) {
   if (delay < 0) {
     delay = 0;
   }
-  TimerId id = ++next_id_;
-  heap_.push(Entry{now_ + delay, next_seq_++, id, std::move(task)});
-  return id;
+  return wheel_.Schedule(now_ + delay, std::move(task));
 }
 
 void SimEventLoop::Cancel(TimerId id) {
   if (id != kInvalidTimer) {
-    cancelled_.insert(id);
+    wheel_.Cancel(id);
   }
 }
 
 void SimEventLoop::RunUntil(double deadline) {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (top.at > deadline) {
-      break;
-    }
-    if (cancelled_.erase(top.id) > 0) {
-      heap_.pop();
-      continue;
-    }
-    Entry e = std::move(const_cast<Entry&>(top));
-    heap_.pop();
-    now_ = e.at;
+  double at;
+  Task task;
+  while (wheel_.PopDue(deadline, &at, &task)) {
+    now_ = std::max(now_, at);
     ++events_run_;
-    e.task();
+    task();
   }
   if (now_ < deadline) {
     now_ = deadline;
@@ -41,17 +32,12 @@ void SimEventLoop::RunUntil(double deadline) {
 }
 
 void SimEventLoop::RunAll() {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (cancelled_.erase(top.id) > 0) {
-      heap_.pop();
-      continue;
-    }
-    Entry e = std::move(const_cast<Entry&>(top));
-    heap_.pop();
-    now_ = e.at;
+  double at;
+  Task task;
+  while (wheel_.PopDue(std::numeric_limits<double>::infinity(), &at, &task)) {
+    now_ = std::max(now_, at);
     ++events_run_;
-    e.task();
+    task();
   }
 }
 

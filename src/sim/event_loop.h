@@ -3,17 +3,16 @@
 #define P2_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
 #include "src/runtime/executor.h"
+#include "src/runtime/timer_wheel.h"
 
 namespace p2 {
 
 // A virtual-time Executor. Time advances instantaneously to the next
 // scheduled event; handlers run to completion in timestamp order (FIFO
-// among equal timestamps).
+// among equal timestamps). Events live on a hierarchical timer wheel, so
+// schedule and cancel are O(1) regardless of how many are pending.
 class SimEventLoop : public Executor {
  public:
   SimEventLoop() = default;
@@ -35,30 +34,12 @@ class SimEventLoop : public Executor {
 
   // Number of events executed so far (for tests / benchmarks).
   uint64_t events_run() const { return events_run_; }
-  size_t pending() const { return heap_.size() - cancelled_.size(); }
+  size_t pending() const { return wheel_.size(); }
 
  private:
-  struct Entry {
-    double at;
-    uint64_t seq;  // tie-break: FIFO among same-time events
-    TimerId id;
-    Task task;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
   double now_ = 0.0;
-  uint64_t next_seq_ = 1;
-  TimerId next_id_ = 1;
   uint64_t events_run_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<TimerId> cancelled_;
+  TimerWheel wheel_;
 };
 
 }  // namespace p2

@@ -1,5 +1,6 @@
 #include "src/table/table.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/runtime/logging.h"
@@ -10,20 +11,17 @@ Table::Table(TableSpec spec, Executor* executor) : spec_(std::move(spec)), execu
   P2_CHECK(executor_ != nullptr);
 }
 
+Table::~Table() {
+  if (expiry_timer_ != kInvalidTimer) {
+    executor_->Cancel(expiry_timer_);
+  }
+}
+
 std::vector<Value> Table::PrimaryKeyOf(const Tuple& t) const {
   if (spec_.key_positions.empty()) {
     return t.fields();
   }
   return t.KeyOf(spec_.key_positions);
-}
-
-std::string Table::ColsKey(const std::vector<size_t>& cols) {
-  std::string k;
-  for (size_t c : cols) {
-    k += std::to_string(c);
-    k.push_back(',');
-  }
-  return k;
 }
 
 void Table::PurgeExpired() {
@@ -34,6 +32,35 @@ void Table::PurgeExpired() {
   while (!rows_.empty() && rows_.front().expires_at <= now) {
     EraseRow(rows_.begin(), /*notify_removal=*/true);
   }
+}
+
+void Table::ArmExpiryTimer() {
+  if (!std::isfinite(spec_.lifetime_s)) {
+    return;
+  }
+  if (rows_.empty()) {
+    if (expiry_timer_ != kInvalidTimer) {
+      executor_->Cancel(expiry_timer_);
+      expiry_timer_ = kInvalidTimer;
+      expiry_armed_at_ = std::numeric_limits<double>::infinity();
+    }
+    return;
+  }
+  double due = rows_.front().expires_at;
+  if (expiry_timer_ != kInvalidTimer && due >= expiry_armed_at_) {
+    return;  // the armed timer fires no later than needed
+  }
+  if (expiry_timer_ != kInvalidTimer) {
+    executor_->Cancel(expiry_timer_);
+  }
+  expiry_armed_at_ = due;
+  expiry_timer_ = executor_->ScheduleAfter(
+      std::max(0.0, due - executor_->Now()), [this]() {
+        expiry_timer_ = kInvalidTimer;
+        expiry_armed_at_ = std::numeric_limits<double>::infinity();
+        PurgeExpired();
+        ArmExpiryTimer();
+      });
 }
 
 void Table::EraseRow(RowList::iterator it, bool notify_removal) {
@@ -49,21 +76,26 @@ void Table::EraseRow(RowList::iterator it, bool notify_removal) {
 }
 
 void Table::IndexInsert(RowList::iterator it) {
-  for (auto& [name, idx] : secondary_) {
-    (void)name;
-    idx.map.emplace(it->tuple->KeyOf(idx.cols), it);
+  for (SecondaryIndex& idx : secondary_) {
+    idx.map[it->tuple->KeyOf(idx.cols)].push_back(it);
   }
 }
 
 void Table::IndexErase(RowList::iterator it) {
-  for (auto& [name, idx] : secondary_) {
-    (void)name;
-    auto range = idx.map.equal_range(it->tuple->KeyOf(idx.cols));
-    for (auto i = range.first; i != range.second; ++i) {
-      if (i->second == it) {
-        idx.map.erase(i);
+  for (SecondaryIndex& idx : secondary_) {
+    auto bucket = idx.map.find(it->tuple->KeyOf(idx.cols));
+    if (bucket == idx.map.end()) {
+      continue;
+    }
+    std::vector<RowList::iterator>& rows = bucket->second;
+    for (auto i = rows.begin(); i != rows.end(); ++i) {
+      if (*i == it) {
+        rows.erase(i);
         break;
       }
+    }
+    if (rows.empty()) {
+      idx.map.erase(bucket);
     }
   }
 }
@@ -83,19 +115,32 @@ bool Table::Insert(const TuplePtr& t) {
   auto found = primary_.find(key);
   bool changed = true;
   if (found != primary_.end()) {
-    changed = !found->second->tuple->SameAs(*t);
-    // Refresh: move to the back (newest), update content + expiry. This is
-    // a replacement, not a removal — removal listeners stay silent.
-    EraseRow(found->second, /*notify_removal=*/false);
+    // Refresh: splice the row to the back (newest) in place. The list node
+    // survives, so the primary entry and every secondary-index entry
+    // pointing at it stay valid — no hash-map churn on the refresh path.
+    RowList::iterator it = found->second;
+    changed = !it->tuple->SameAs(*t);
+    rows_.splice(rows_.end(), rows_, it);
+    if (changed) {
+      // Non-key fields may differ: secondary entries are keyed on them.
+      IndexErase(it);
+      it->tuple = t;
+      IndexInsert(it);
+    } else {
+      it->tuple = t;
+    }
+    it->expires_at = expires;
+  } else {
+    rows_.push_back(Row{t, expires});
+    auto it = std::prev(rows_.end());
+    primary_.emplace(std::move(key), it);
+    IndexInsert(it);
+    // FIFO eviction beyond capacity.
+    while (rows_.size() > spec_.max_size) {
+      EraseRow(rows_.begin(), /*notify_removal=*/true);
+    }
   }
-  rows_.push_back(Row{t, expires});
-  auto it = std::prev(rows_.end());
-  primary_.emplace(std::move(key), it);
-  IndexInsert(it);
-  // FIFO eviction beyond capacity.
-  while (rows_.size() > spec_.max_size) {
-    EraseRow(rows_.begin(), /*notify_removal=*/true);
-  }
+  ArmExpiryTimer();
   // Listeners fire on every insertion, including TTL refreshes of identical
   // rows. Refresh visibility matters: e.g. Chord's ping-response rule
   // re-inserts successors, which must re-derive pingNode entries before
@@ -122,35 +167,62 @@ bool Table::DeleteMatching(const Tuple& derived) {
 }
 
 void Table::AddIndex(const std::vector<size_t>& cols) {
-  std::string key = ColsKey(cols);
-  if (secondary_.count(key) > 0) {
+  if (HasIndex(cols)) {
     return;
   }
   SecondaryIndex idx;
   idx.cols = cols;
   for (auto it = rows_.begin(); it != rows_.end(); ++it) {
-    idx.map.emplace(it->tuple->KeyOf(cols), it);
+    idx.map[it->tuple->KeyOf(cols)].push_back(it);
   }
-  secondary_.emplace(std::move(key), std::move(idx));
+  secondary_.push_back(std::move(idx));
+  // Any scan statistics for this column set are moot now.
+  scan_stats_.erase(
+      std::remove_if(scan_stats_.begin(), scan_stats_.end(),
+                     [&cols](const ScanStat& s) { return s.cols == cols; }),
+      scan_stats_.end());
 }
 
 bool Table::HasIndex(const std::vector<size_t>& cols) const {
-  return secondary_.count(ColsKey(cols)) > 0;
+  for (const SecondaryIndex& idx : secondary_) {
+    if (idx.cols == cols) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<TuplePtr> Table::LookupByCols(const std::vector<size_t>& cols,
                                           const std::vector<Value>& vals) {
   PurgeExpired();
   std::vector<TuplePtr> out;
-  auto idx_it = secondary_.find(ColsKey(cols));
-  if (idx_it != secondary_.end()) {
-    auto range = idx_it->second.map.equal_range(vals);
-    for (auto i = range.first; i != range.second; ++i) {
-      out.push_back(i->second->tuple);
+  for (const SecondaryIndex& idx : secondary_) {
+    if (idx.cols != cols) {
+      continue;
+    }
+    auto bucket = idx.map.find(vals);
+    if (bucket == idx.map.end()) {
+      return out;
+    }
+    out.reserve(bucket->second.size());
+    for (RowList::iterator row : bucket->second) {
+      out.push_back(row->tuple);
     }
     return out;
   }
-  // No index: scan.
+  // No index: scan, and materialize an index for column sets probed often
+  // (repeated scans are the signature of a join the planner could not
+  // pre-index, e.g. app-level lookups or late-bound key expressions).
+  auto stat = std::find_if(scan_stats_.begin(), scan_stats_.end(),
+                           [&cols](const ScanStat& s) { return s.cols == cols; });
+  if (stat == scan_stats_.end()) {
+    scan_stats_.push_back(ScanStat{cols, 0});
+    stat = std::prev(scan_stats_.end());
+  }
+  if (++stat->scans >= kAutoIndexScans) {
+    AddIndex(cols);
+    return LookupByCols(cols, vals);
+  }
   for (const Row& row : rows_) {
     bool match = true;
     for (size_t i = 0; i < cols.size(); ++i) {
@@ -194,8 +266,7 @@ size_t Table::ApproxBytes() const {
     bytes += sizeof(Row) + sizeof(Tuple) + row.tuple->size() * (sizeof(Value) + 16);
   }
   bytes += primary_.size() * 48;
-  for (const auto& [name, idx] : secondary_) {
-    (void)name;
+  for (const SecondaryIndex& idx : secondary_) {
     bytes += idx.map.size() * 48;
   }
   return bytes;

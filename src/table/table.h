@@ -3,9 +3,19 @@
 // A Table stores tuples subject to a lifetime (expiry) and a maximum size,
 // with a primary key and optional secondary indices. Insertion replaces the
 // row with the same primary key; when the table overflows, the oldest row
-// is evicted (FIFO). Expiry is enforced lazily: expired rows are purged at
-// the start of every public operation (the list is kept in
-// refresh/insertion order, so expiry sweeps from the front).
+// is evicted (FIFO). Expiry is enforced two ways: lazily at the start of
+// every public operation (the row list is kept in refresh/insertion order,
+// so the sweep works from the front), and eagerly through a single
+// executor timer armed for the oldest row's deadline — so removal
+// listeners (table aggregates, delta-triggered rules) observe expiry when
+// it happens, not when the table is next touched. The timer is O(1) to
+// (re)arm on the executor's timer wheel and there is at most one per
+// table, so timer pressure does not scale with row count.
+//
+// All index structures are hash-based over the Values' cached hashes:
+// primary lookups, secondary probes and refreshes are O(1) per row.
+// LookupByCols auto-materializes a secondary index for any column set it
+// is asked to scan for repeatedly.
 //
 // Tables are node-local; partitioning across nodes is expressed by OverLog
 // location specifiers, not by the table layer.
@@ -15,7 +25,6 @@
 #include <functional>
 #include <limits>
 #include <list>
-#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +64,9 @@ class Table {
   using RemoveFn = std::function<void(const TuplePtr&)>;
 
   Table(TableSpec spec, Executor* executor);
+  ~Table();
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   const std::string& name() const { return spec_.name; }
   const TableSpec& spec() const { return spec_; }
@@ -73,7 +85,9 @@ class Table {
   bool HasIndex(const std::vector<size_t>& cols) const;
 
   // All rows whose `cols` fields equal `vals`. Uses a secondary index when
-  // one exists, otherwise scans. Purges expired rows first.
+  // one exists, otherwise scans — and materializes an index automatically
+  // once the same column set has been scanned kAutoIndexScans times.
+  // Purges expired rows first.
   std::vector<TuplePtr> LookupByCols(const std::vector<size_t>& cols,
                                      const std::vector<Value>& vals);
 
@@ -94,8 +108,12 @@ class Table {
   // footprint experiment (E9).
   size_t ApproxBytes() const;
 
-  // Purges expired rows now (also runs implicitly before every query).
+  // Purges expired rows now (also runs implicitly before every query and
+  // on the expiry timer).
   void PurgeExpired();
+
+  // Scans of one column set before LookupByCols materializes an index.
+  static constexpr int kAutoIndexScans = 3;
 
  private:
   struct Row {
@@ -110,7 +128,8 @@ class Table {
   void EraseRow(RowList::iterator it, bool notify_removal);
   void IndexInsert(RowList::iterator it);
   void IndexErase(RowList::iterator it);
-  static std::string ColsKey(const std::vector<size_t>& cols);
+  // Re-arms the single expiry timer for the current oldest row.
+  void ArmExpiryTimer();
 
   TableSpec spec_;
   Executor* executor_;
@@ -118,11 +137,26 @@ class Table {
   KeyMap primary_;
   struct SecondaryIndex {
     std::vector<size_t> cols;
-    std::unordered_multimap<std::vector<Value>, RowList::iterator, ValueVecHash, ValueVecEq> map;
+    // Key -> all matching rows. One bucket per distinct key means a probe
+    // pays one hash + one key comparison however many rows match, and the
+    // match count is known up front (CHR-style constraint-store indexing).
+    std::unordered_map<std::vector<Value>, std::vector<RowList::iterator>, ValueVecHash,
+                       ValueVecEq>
+        map;
   };
-  std::map<std::string, SecondaryIndex> secondary_;
+  // Flat: tables carry at most a handful of indices, and probing a vector
+  // by column-set equality beats a map keyed on stringified signatures.
+  std::vector<SecondaryIndex> secondary_;
+  // Unindexed column sets seen by LookupByCols, with scan counts.
+  struct ScanStat {
+    std::vector<size_t> cols;
+    int scans = 0;
+  };
+  std::vector<ScanStat> scan_stats_;
   std::vector<DeltaFn> listeners_;
   std::vector<RemoveFn> remove_listeners_;
+  TimerId expiry_timer_ = kInvalidTimer;
+  double expiry_armed_at_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace p2

@@ -104,6 +104,31 @@ TEST_F(ElementsTest, DemuxRoutesByName) {
   EXPECT_EQ(demux->PortFor("alpha"), demux->PortFor("alpha"));  // idempotent
 }
 
+TEST_F(ElementsTest, DemuxPushManyPartitionsByPortInOrder) {
+  auto* demux = graph_.Add<DemuxByName>("demux");
+  std::vector<TuplePtr> a;
+  std::vector<TuplePtr> b;
+  std::vector<TuplePtr> fallback;
+  graph_.Connect(demux, demux->PortFor("alpha"), Sink(&a), 0);
+  graph_.Connect(demux, demux->PortFor("beta"), Sink(&b), 0);
+  int dflt = demux->PortFor("other");
+  demux->SetDefaultPort(dflt);
+  graph_.Connect(demux, dflt, Sink(&fallback), 0);
+  std::vector<TuplePtr> batch{T("alpha", {Value::Int(1)}), T("beta", {Value::Int(2)}),
+                              T("alpha", {Value::Int(3)}), T("gamma", {Value::Int(4)}),
+                              T("beta", {Value::Int(5)})};
+  EXPECT_EQ(demux->PushMany(0, batch, nullptr), 1);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0]->field(0).AsInt(), 1);  // intra-name order preserved
+  EXPECT_EQ(a[1]->field(0).AsInt(), 3);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0]->field(0).AsInt(), 2);
+  EXPECT_EQ(b[1]->field(0).AsInt(), 5);
+  ASSERT_EQ(fallback.size(), 1u);  // unknown name takes the default port
+  EXPECT_EQ(fallback[0]->field(0).AsInt(), 4);
+  EXPECT_EQ(demux->unroutable(), 0u);
+}
+
 TEST_F(ElementsTest, DupFansOutToAllOutputs) {
   auto* dup = graph_.Add<DupElement>("dup");
   std::vector<TuplePtr> a;
