@@ -23,6 +23,39 @@ TuplePtr BenchTuple() {
                                 Value::Addr("n1"), Value::Id(Uint160(42))});
 }
 
+// --- Value representation ---
+
+// Scalar copies are the fast path the 16-byte tagged union buys: two word
+// stores, no dispatch, no refcount.
+void BM_ValueCopyScalar(benchmark::State& state) {
+  Value v = Value::Int(123456789);
+  for (auto _ : state) {
+    Value c = v;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ValueCopyScalar);
+
+// Shared-payload copies bump a plain (non-atomic) refcount.
+void BM_ValueCopyShared(benchmark::State& state) {
+  Value v = Value::Id(Uint160::HashOf("node"));
+  for (auto _ : state) {
+    Value c = v;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ValueCopyShared);
+
+// What ExtendElement/JoinElement do per tuple: copy the whole field vector.
+void BM_TupleFieldsCopy(benchmark::State& state) {
+  TuplePtr t = BenchTuple();
+  for (auto _ : state) {
+    std::vector<Value> fields = t->fields();
+    benchmark::DoNotOptimize(fields);
+  }
+}
+BENCHMARK(BM_TupleFieldsCopy);
+
 // --- Element handoff ---
 
 void BM_PushHandoff(benchmark::State& state) {

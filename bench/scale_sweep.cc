@@ -14,8 +14,14 @@
 // perf smoke: it fails on non-convergence and prints events/sec for trend
 // tracking.
 //
+// With --json PATH the sweep additionally writes one machine-readable
+// record per run (overlay, nodes, reliable, loss, convergence, events,
+// events/sec, lookup consistency) — the perf-trajectory artifact CI
+// uploads as BENCH_scale.json so throughput regressions are diffable
+// across PRs instead of anecdotal.
+//
 //   scale_sweep [--nodes 64,256,1024] [--loss 0.2] [--lookups 20]
-//               [--seed 1] [--mode both|reliable|plain]
+//               [--seed 1] [--mode both|reliable|plain] [--json PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   bool run_plain = true;
   bool run_reliable = true;
+  const char* json_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -75,6 +82,8 @@ int main(int argc, char** argv) {
       const char* mode = need("--mode");
       run_plain = std::strcmp(mode, "reliable") != 0;
       run_reliable = std::strcmp(mode, "plain") != 0;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_path = need("--json");
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg);
       return 2;
@@ -91,6 +100,8 @@ int main(int argc, char** argv) {
               "virt_s", "events", "wall_s", "events/sec", "lookups");
 
   bool gated_ok = true;
+  std::string json = "[\n";
+  bool json_first = true;
   for (size_t n : node_counts) {
     for (int reliable = 0; reliable <= 1; ++reliable) {
       if ((reliable == 0 && !run_plain) || (reliable == 1 && !run_reliable)) {
@@ -115,11 +126,42 @@ int main(int argc, char** argv) {
                   report.wall_s, evps, report.lookups_consistent, report.lookups_issued);
       std::fflush(stdout);
 
+      if (json_path != nullptr) {
+        char row[512];
+        std::snprintf(row, sizeof(row),
+                      "  {\"overlay\": \"chord\", \"nodes\": %zu, \"reliable\": %s, "
+                      "\"loss\": %.3f, \"seed\": %llu, \"converged\": %s, "
+                      "\"virtual_s\": %.1f, \"events\": %llu, \"wall_s\": %.2f, "
+                      "\"events_per_sec\": %.0f, \"lookups_issued\": %zu, "
+                      "\"lookups_consistent\": %zu}",
+                      n, reliable ? "true" : "false", loss,
+                      static_cast<unsigned long long>(seed),
+                      report.converged ? "true" : "false", report.ran_for_s,
+                      static_cast<unsigned long long>(report.sim_events), report.wall_s,
+                      evps, report.lookups_issued, report.lookups_consistent);
+        if (!json_first) {
+          json += ",\n";
+        }
+        json_first = false;
+        json += row;
+      }
+
       bool expected_to_converge = reliable == 1 || loss == 0;
       if (expected_to_converge && !report.converged) {
         gated_ok = false;
       }
     }
+  }
+  if (json_path != nullptr) {
+    json += "\n]\n";
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
   }
   std::printf(gated_ok ? "SWEEP OK\n" : "SWEEP FAILED\n");
   return gated_ok ? 0 : 1;

@@ -86,6 +86,7 @@ JoinElement::JoinElement(std::string name, PelEnv env, Table* table, std::vector
       keys_(std::move(keys)),
       out_schema_(InternSchema(out_name)) {
   for (const JoinKey& k : keys_) {
+    k.expr.Lower();
     key_cols_.push_back(k.table_col);
   }
   if (!key_cols_.empty()) {
@@ -121,6 +122,7 @@ AntiJoinElement::AntiJoinElement(std::string name, PelEnv env, Table* table,
                                  std::vector<JoinKey> keys)
     : Element(std::move(name)), vm_(env), table_(table), keys_(std::move(keys)) {
   for (const JoinKey& k : keys_) {
+    k.expr.Lower();
     key_cols_.push_back(k.table_col);
   }
   if (!key_cols_.empty()) {
@@ -197,7 +199,11 @@ AggWrapElement::AggWrapElement(std::string name, PelEnv env, AggKind kind, size_
       agg_position_(agg_position),
       out_schema_(InternSchema(out_name)),
       emit_empty_(emit_empty),
-      empty_field_programs_(std::move(empty_field_programs)) {}
+      empty_field_programs_(std::move(empty_field_programs)) {
+  for (const PelProgram& p : empty_field_programs_) {
+    p.Lower();
+  }
+}
 
 void AggWrapElement::Begin(const TuplePtr& event) {
   current_event_ = event;

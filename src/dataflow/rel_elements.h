@@ -21,7 +21,9 @@ namespace p2 {
 class FilterElement : public Element {
  public:
   FilterElement(std::string name, PelEnv env, PelProgram program)
-      : Element(std::move(name)), vm_(env), program_(std::move(program)) {}
+      : Element(std::move(name)), vm_(env), program_(std::move(program)) {
+    program_.Lower();  // compile to register form once, at plan time
+  }
   int Push(int port, const TuplePtr& t, const Callback& cb) override;
 
  private:
@@ -34,7 +36,9 @@ class FilterElement : public Element {
 class ExtendElement : public Element {
  public:
   ExtendElement(std::string name, PelEnv env, PelProgram program)
-      : Element(std::move(name)), vm_(env), program_(std::move(program)) {}
+      : Element(std::move(name)), vm_(env), program_(std::move(program)) {
+    program_.Lower();
+  }
   int Push(int port, const TuplePtr& t, const Callback& cb) override;
 
  private:
@@ -50,7 +54,11 @@ class ProjectElement : public Element {
       : Element(std::move(name)),
         vm_(env),
         out_schema_(InternSchema(out_name)),
-        field_programs_(std::move(field_programs)) {}
+        field_programs_(std::move(field_programs)) {
+    for (const PelProgram& p : field_programs_) {
+      p.Lower();
+    }
+  }
   int Push(int port, const TuplePtr& t, const Callback& cb) override;
 
  private:

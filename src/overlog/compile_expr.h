@@ -1,4 +1,11 @@
 // Expression compiler: OverLog expression ASTs -> PEL byte code.
+//
+// Emission is in postfix stack form (the natural shape of an AST walk,
+// with constants deduplicated into the program's pool); PelProgram::Lower
+// then compiles it once into the register form the VM executes, fusing
+// constant/field loads into the instructions that consume them. The
+// dataflow elements trigger lowering at plan time, so no per-tuple work
+// remains.
 #ifndef P2_OVERLOG_COMPILE_EXPR_H_
 #define P2_OVERLOG_COMPILE_EXPR_H_
 

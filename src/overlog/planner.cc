@@ -172,7 +172,10 @@ class PlanBuilder {
     chain->tail = el;
   }
 
-  // Compiles `expr` against `env` into a standalone program.
+  // Compiles `expr` against `env` into a standalone program (stack form;
+  // the receiving element lowers it to register code at construction, so
+  // every program in the plan is register-compiled before the first tuple
+  // flows).
   bool Compile(const Expr& expr, const VarEnv& env, PelProgram* prog, std::string* err) {
     return CompileExpr(expr, env, prog, err);
   }

@@ -1,4 +1,13 @@
-// The PEL virtual machine: a simple but fast stack interpreter.
+// The PEL virtual machine.
+//
+// PelVm::Eval runs the lowered register form of a program: one flat
+// dispatch loop over a preallocated register file, each instruction reading
+// its operands (registers, pooled constants, input-tuple fields) in place.
+// The original stack interpreter is retained as EvalStack — it is the
+// golden reference the randomized equivalence test checks the lowering
+// against, and configuring with -DP2_PEL_STACK_VM=ON routes Eval through it
+// so the two execution engines can be A/B benchmarked. It will be removed
+// once the register VM has soaked.
 #ifndef P2_PEL_VM_H_
 #define P2_PEL_VM_H_
 
@@ -24,16 +33,24 @@ class PelVm {
   explicit PelVm(PelEnv env) : env_(env) {}
 
   // Evaluates `prog` against `input` (may be null if the program reads no
-  // fields) and returns the single value left on the stack. Aborts on
-  // malformed programs (planner bug, not user input).
+  // fields) and returns its result. Aborts on malformed programs (planner
+  // bug, not user input).
   Value Eval(const PelProgram& prog, const Tuple* input);
 
   // Evaluates a boolean-valued program; non-bool results coerce via AsBool.
   bool EvalBool(const PelProgram& prog, const Tuple* input);
 
+  // Reference implementation: interprets the postfix stack form directly.
+  // Kept only for golden-equivalence testing against Eval (and as the Eval
+  // body under P2_PEL_STACK_VM).
+  Value EvalStack(const PelProgram& prog, const Tuple* input);
+
  private:
+  Value EvalRegs(const PelProgram& prog, const Tuple* input);
+
   PelEnv env_;
-  std::vector<Value> stack_;  // reused across calls to avoid reallocation
+  std::vector<Value> regs_;   // register file, reused across calls
+  std::vector<Value> stack_;  // stack-VM scratch, reused across calls
 };
 
 }  // namespace p2

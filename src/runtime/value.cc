@@ -3,10 +3,36 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 
 #include "src/runtime/logging.h"
 
 namespace p2 {
+
+// Heap payload reps. All are born with refs == 1 (owned by the Value that
+// created them) and carry their content hash, computed exactly once.
+struct Value::StrRep : Value::Rep {
+  explicit StrRep(std::string str)
+      : Rep(1, std::hash<std::string>()(str)), s(std::move(str)) {}
+  std::string s;
+};
+
+struct Value::IdRep : Value::Rep {
+  explicit IdRep(const Uint160& v) : Rep(1, v.HashValue()), id(v) {}
+  Uint160 id;
+};
+
+struct Value::ListRep : Value::Rep {
+  explicit ListRep(ValueList list) : Rep(1, 0), items(std::move(list)) {
+    size_t h = 0x51ED270Bu;
+    for (const Value& v : items) {
+      h = h * 1099511628211ull + v.HashValue();
+    }
+    hash = h;
+  }
+  ValueList items;
+};
+
 namespace {
 
 // Coerces a numeric-ish value to an Id for ring arithmetic.
@@ -21,101 +47,183 @@ bool IsNumeric(ValueType t) {
   return t == ValueType::kBool || t == ValueType::kInt || t == ValueType::kDouble;
 }
 
+// Integer arithmetic wraps mod 2^64, explicitly: PEL is a ring language and
+// its integer ops must be total (and sanitizer-clean) on every input, so the
+// computation runs in unsigned space where wraparound is defined.
+int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+}
+int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+}
+int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
+}
+
+// IdRep recycling: ring arithmetic produces a fresh Id per result (Chord's
+// distance computation "K - B - 1" runs on every lookup hop), and IdRep is
+// fixed-size, so dead reps go through a freelist instead of the allocator.
+// Single-threaded like the refcounts; leaked (never destroyed) on purpose so
+// Values held by static-storage objects can release safely during exit.
+constexpr size_t kIdRepPoolMax = 8192;
+
+std::vector<void*>& IdRepPool() {
+  static std::vector<void*>* pool = new std::vector<void*>();
+  return *pool;
+}
+
 }  // namespace
 
-Value::StrRep::StrRep(std::string str)
-    : s(std::move(str)), hash(std::hash<std::string>()(s)) {}
+const Value::StrRep* Value::str_rep() const {
+  return static_cast<const StrRep*>(u_.rep);
+}
+const Value::IdRep* Value::id_rep() const {
+  return static_cast<const IdRep*>(u_.rep);
+}
+const Value::ListRep* Value::list_rep() const {
+  return static_cast<const ListRep*>(u_.rep);
+}
 
-Value::ListRep::ListRep(ValueList list) : items(std::move(list)) {
-  size_t h = 0x51ED270Bu;
-  for (const Value& v : items) {
-    h = h * 1099511628211ull + v.HashValue();
+void Value::Destroy() {
+  switch (tag_) {
+    case ValueType::kStr:
+    case ValueType::kAddr:
+      delete str_rep();
+      break;
+    case ValueType::kId: {
+      const IdRep* r = id_rep();
+      r->~IdRep();
+      std::vector<void*>& pool = IdRepPool();
+      if (pool.size() < kIdRepPoolMax) {
+        pool.push_back(const_cast<IdRep*>(r));
+      } else {
+        ::operator delete(const_cast<IdRep*>(r));
+      }
+      break;
+    }
+    case ValueType::kList:
+      delete list_rep();
+      break;
+    default:
+      break;
   }
-  hash = h;
 }
 
 Value Value::Str(std::string s) {
-  return Value(Payload(std::make_shared<const StrRep>(std::move(s))));
+  Value v(ValueType::kStr);
+  v.u_.rep = new StrRep(std::move(s));
+  return v;
+}
+
+Value Value::Id(const Uint160& id) {
+  Value v(ValueType::kId);
+  std::vector<void*>& pool = IdRepPool();
+  void* mem;
+  if (!pool.empty()) {
+    mem = pool.back();
+    pool.pop_back();
+  } else {
+    mem = ::operator new(sizeof(IdRep));
+  }
+  v.u_.rep = new (mem) IdRep(id);
+  return v;
 }
 
 Value Value::Addr(std::string a) {
-  return Value(Payload(AddrTag{std::make_shared<const StrRep>(std::move(a))}));
+  Value v(ValueType::kAddr);
+  v.u_.rep = new StrRep(std::move(a));
+  return v;
 }
 
 Value Value::List(ValueList items) {
-  return Value(Payload(std::make_shared<const ListRep>(std::move(items))));
+  Value v(ValueType::kList);
+  v.u_.rep = new ListRep(std::move(items));
+  return v;
 }
 
 bool Value::AsBool() const {
-  switch (type()) {
+  switch (tag_) {
     case ValueType::kBool:
-      return std::get<bool>(v_);
+      return u_.b;
     case ValueType::kInt:
-      return std::get<int64_t>(v_) != 0;
+      return u_.i != 0;
     case ValueType::kDouble:
-      return std::get<double>(v_) != 0.0;
+      return u_.d != 0.0;
     default:
       P2_FATAL("Value::AsBool on %s", ToString().c_str());
   }
 }
 
 int64_t Value::AsInt() const {
-  switch (type()) {
+  switch (tag_) {
     case ValueType::kBool:
-      return std::get<bool>(v_) ? 1 : 0;
+      return u_.b ? 1 : 0;
     case ValueType::kInt:
-      return std::get<int64_t>(v_);
-    case ValueType::kDouble:
-      return static_cast<int64_t>(std::get<double>(v_));
+      return u_.i;
+    case ValueType::kDouble: {
+      // Saturating conversion: a double outside int64 range (or NaN) must
+      // not hit the UB cast — PEL coercions are total.
+      double d = u_.d;
+      if (std::isnan(d)) {
+        return 0;
+      }
+      if (d >= 9223372036854775808.0) {
+        return INT64_MAX;
+      }
+      if (d <= -9223372036854775808.0) {
+        return INT64_MIN;
+      }
+      return static_cast<int64_t>(d);
+    }
     default:
       P2_FATAL("Value::AsInt on %s", ToString().c_str());
   }
 }
 
 double Value::AsDouble() const {
-  switch (type()) {
+  switch (tag_) {
     case ValueType::kBool:
-      return std::get<bool>(v_) ? 1.0 : 0.0;
+      return u_.b ? 1.0 : 0.0;
     case ValueType::kInt:
-      return static_cast<double>(std::get<int64_t>(v_));
+      return static_cast<double>(u_.i);
     case ValueType::kDouble:
-      return std::get<double>(v_);
+      return u_.d;
     default:
       P2_FATAL("Value::AsDouble on %s", ToString().c_str());
   }
 }
 
 const std::string& Value::AsStr() const {
-  if (type() != ValueType::kStr) {
+  if (tag_ != ValueType::kStr) {
     P2_FATAL("Value::AsStr on %s", ToString().c_str());
   }
-  return std::get<std::shared_ptr<const StrRep>>(v_)->s;
+  return str_rep()->s;
 }
 
 const Uint160& Value::AsId() const {
-  if (type() != ValueType::kId) {
+  if (tag_ != ValueType::kId) {
     P2_FATAL("Value::AsId on %s", ToString().c_str());
   }
-  return std::get<Uint160>(v_);
+  return id_rep()->id;
 }
 
 const std::string& Value::AsAddr() const {
-  if (type() != ValueType::kAddr) {
+  if (tag_ != ValueType::kAddr) {
     P2_FATAL("Value::AsAddr on %s", ToString().c_str());
   }
-  return std::get<AddrTag>(v_).s->s;
+  return str_rep()->s;
 }
 
 const ValueList& Value::AsList() const {
-  if (type() != ValueType::kList) {
+  if (tag_ != ValueType::kList) {
     P2_FATAL("Value::AsList on %s", ToString().c_str());
   }
-  return std::get<std::shared_ptr<const ListRep>>(v_)->items;
+  return list_rep()->items;
 }
 
 int Value::Compare(const Value& a, const Value& b) {
-  ValueType ta = a.type();
-  ValueType tb = b.type();
+  ValueType ta = a.tag_;
+  ValueType tb = b.tag_;
   // Cross-type numeric comparison.
   if (IsNumeric(ta) && IsNumeric(tb) && ta != tb) {
     double da = a.AsDouble();
@@ -129,29 +237,28 @@ int Value::Compare(const Value& a, const Value& b) {
     case ValueType::kNull:
       return 0;
     case ValueType::kBool: {
-      bool x = std::get<bool>(a.v_);
-      bool y = std::get<bool>(b.v_);
+      bool x = a.u_.b;
+      bool y = b.u_.b;
       return x == y ? 0 : (x < y ? -1 : 1);
     }
     case ValueType::kInt: {
-      int64_t x = std::get<int64_t>(a.v_);
-      int64_t y = std::get<int64_t>(b.v_);
+      int64_t x = a.u_.i;
+      int64_t y = b.u_.i;
       return x == y ? 0 : (x < y ? -1 : 1);
     }
     case ValueType::kDouble: {
-      double x = std::get<double>(a.v_);
-      double y = std::get<double>(b.v_);
+      double x = a.u_.d;
+      double y = b.u_.d;
       return x == y ? 0 : (x < y ? -1 : 1);
     }
     case ValueType::kStr:
-      return a.AsStr().compare(b.AsStr());
+    case ValueType::kAddr:
+      return a.str_rep()->s.compare(b.str_rep()->s);
     case ValueType::kId: {
       const Uint160& x = a.AsId();
       const Uint160& y = b.AsId();
       return x == y ? 0 : (x < y ? -1 : 1);
     }
-    case ValueType::kAddr:
-      return a.AsAddr().compare(b.AsAddr());
     case ValueType::kList: {
       const ValueList& x = a.AsList();
       const ValueList& y = b.AsList();
@@ -169,47 +276,57 @@ int Value::Compare(const Value& a, const Value& b) {
 }
 
 Value Value::Add(const Value& a, const Value& b) {
-  if (a.type() == ValueType::kId || b.type() == ValueType::kId) {
+  if (a.tag_ == ValueType::kId || b.tag_ == ValueType::kId) {
     return Id(ToId(a) + ToId(b));
   }
-  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+  if (a.tag_ == ValueType::kDouble || b.tag_ == ValueType::kDouble) {
     return Double(a.AsDouble() + b.AsDouble());
   }
-  if (a.type() == ValueType::kStr && b.type() == ValueType::kStr) {
+  if (a.tag_ == ValueType::kStr && b.tag_ == ValueType::kStr) {
     return Str(a.AsStr() + b.AsStr());
   }
-  return Int(a.AsInt() + b.AsInt());
+  return Int(WrapAdd(a.AsInt(), b.AsInt()));
 }
 
 Value Value::Sub(const Value& a, const Value& b) {
-  if (a.type() == ValueType::kId || b.type() == ValueType::kId) {
+  if (a.tag_ == ValueType::kId || b.tag_ == ValueType::kId) {
     return Id(ToId(a) - ToId(b));
   }
-  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+  if (a.tag_ == ValueType::kDouble || b.tag_ == ValueType::kDouble) {
     return Double(a.AsDouble() - b.AsDouble());
   }
-  return Int(a.AsInt() - b.AsInt());
+  return Int(WrapSub(a.AsInt(), b.AsInt()));
 }
 
 Value Value::Mul(const Value& a, const Value& b) {
-  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+  if (a.tag_ == ValueType::kDouble || b.tag_ == ValueType::kDouble) {
     return Double(a.AsDouble() * b.AsDouble());
   }
-  return Int(a.AsInt() * b.AsInt());
+  return Int(WrapMul(a.AsInt(), b.AsInt()));
 }
 
 Value Value::Div(const Value& a, const Value& b) {
-  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+  if (a.tag_ == ValueType::kDouble || b.tag_ == ValueType::kDouble) {
     double d = b.AsDouble();
     return Double(d == 0.0 ? 0.0 : a.AsDouble() / d);
   }
   int64_t d = b.AsInt();
-  return Int(d == 0 ? 0 : a.AsInt() / d);
+  if (d == 0) {
+    return Int(0);
+  }
+  int64_t n = a.AsInt();
+  if (d == -1) {
+    return Int(WrapSub(0, n));  // INT64_MIN / -1 overflows; wrap like Sub
+  }
+  return Int(n / d);
 }
 
 Value Value::Mod(const Value& a, const Value& b) {
   int64_t d = b.AsInt();
-  return Int(d == 0 ? 0 : a.AsInt() % d);
+  if (d == 0 || d == -1) {
+    return Int(0);  // n % -1 == 0, but INT64_MIN % -1 traps in hardware
+  }
+  return Int(a.AsInt() % d);
 }
 
 Value Value::Shl(const Value& a, const Value& b) {
@@ -221,57 +338,54 @@ Value Value::Shl(const Value& a, const Value& b) {
 }
 
 size_t Value::HashValue() const {
-  switch (type()) {
+  switch (tag_) {
     case ValueType::kNull:
       return 0x9E3779B9u;
     case ValueType::kBool:
-      return std::get<bool>(v_) ? 0x1234567u : 0x7654321u;
+      return u_.b ? 0x1234567u : 0x7654321u;
     case ValueType::kInt:
-      return std::hash<int64_t>()(std::get<int64_t>(v_));
+      return std::hash<int64_t>()(u_.i);
     case ValueType::kDouble:
-      return std::hash<double>()(std::get<double>(v_));
+      return std::hash<double>()(u_.d);
     case ValueType::kStr:
-      return std::get<std::shared_ptr<const StrRep>>(v_)->hash;
     case ValueType::kId:
-      return AsId().HashValue();
-    case ValueType::kAddr:
-      return std::get<AddrTag>(v_).s->hash ^ 0xA5A5A5A5u;
     case ValueType::kList:
-      return std::get<std::shared_ptr<const ListRep>>(v_)->hash;
+      return u_.rep->hash;
+    case ValueType::kAddr:
+      return u_.rep->hash ^ 0xA5A5A5A5u;
   }
   return 0;
 }
 
 bool Value::operator==(const Value& o) const {
-  ValueType t = type();
-  if (t != o.type()) {
+  ValueType t = tag_;
+  if (t != o.tag_) {
     // Only numeric types compare equal across types.
-    return IsNumeric(t) && IsNumeric(o.type()) && AsDouble() == o.AsDouble();
+    return IsNumeric(t) && IsNumeric(o.tag_) && AsDouble() == o.AsDouble();
   }
   switch (t) {
     case ValueType::kNull:
       return true;
     case ValueType::kBool:
-      return std::get<bool>(v_) == std::get<bool>(o.v_);
+      return u_.b == o.u_.b;
     case ValueType::kInt:
-      return std::get<int64_t>(v_) == std::get<int64_t>(o.v_);
+      return u_.i == o.u_.i;
     case ValueType::kDouble:
-      return std::get<double>(v_) == std::get<double>(o.v_);
-    case ValueType::kStr: {
-      const auto& a = std::get<std::shared_ptr<const StrRep>>(v_);
-      const auto& b = std::get<std::shared_ptr<const StrRep>>(o.v_);
+      return u_.d == o.u_.d;
+    case ValueType::kStr:
+    case ValueType::kAddr: {
+      const StrRep* a = str_rep();
+      const StrRep* b = o.str_rep();
       return a == b || (a->hash == b->hash && a->s == b->s);
     }
-    case ValueType::kId:
-      return std::get<Uint160>(v_) == std::get<Uint160>(o.v_);
-    case ValueType::kAddr: {
-      const auto& a = std::get<AddrTag>(v_).s;
-      const auto& b = std::get<AddrTag>(o.v_).s;
-      return a == b || (a->hash == b->hash && a->s == b->s);
+    case ValueType::kId: {
+      const IdRep* a = id_rep();
+      const IdRep* b = o.id_rep();
+      return a == b || (a->hash == b->hash && a->id == b->id);
     }
     case ValueType::kList: {
-      const auto& a = std::get<std::shared_ptr<const ListRep>>(v_);
-      const auto& b = std::get<std::shared_ptr<const ListRep>>(o.v_);
+      const ListRep* a = list_rep();
+      const ListRep* b = o.list_rep();
       if (a == b) {
         return true;
       }
@@ -292,16 +406,16 @@ bool Value::operator==(const Value& o) const {
 }
 
 std::string Value::ToString() const {
-  switch (type()) {
+  switch (tag_) {
     case ValueType::kNull:
       return "null";
     case ValueType::kBool:
-      return std::get<bool>(v_) ? "true" : "false";
+      return u_.b ? "true" : "false";
     case ValueType::kInt:
-      return std::to_string(std::get<int64_t>(v_));
+      return std::to_string(u_.i);
     case ValueType::kDouble: {
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v_));
+      std::snprintf(buf, sizeof(buf), "%.6g", u_.d);
       return buf;
     }
     case ValueType::kStr:

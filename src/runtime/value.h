@@ -3,15 +3,22 @@
 // A Value is the unit of information passed around the system (§3.1 of the
 // paper): strings, integers, doubles, timestamps, 160-bit identifiers,
 // network addresses, and lists. Values are immutable; heavyweight payloads
-// (strings, lists) are shared via reference counting so copies are cheap.
+// (strings, identifiers, lists) are shared via reference counting so copies
+// are cheap.
+//
+// Representation: a hand-rolled 16-byte tagged union — one byte of tag plus
+// an 8-byte payload word. Scalars (null/bool/int/double) live inline and
+// copy with two word stores, no branches on dispatch tables; Str/Addr/Id/
+// List hold a pointer to an intrusively refcounted rep that also caches the
+// payload's hash, so table probes cost a load instead of a traversal. The
+// runtime is single-threaded (both executors are one-thread event loops),
+// so the refcount is a plain integer, not an atomic.
 #ifndef P2_RUNTIME_VALUE_H_
 #define P2_RUNTIME_VALUE_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <string_view>
-#include <variant>
 #include <vector>
 
 #include "src/runtime/uint160.h"
@@ -34,19 +41,65 @@ using ValueList = std::vector<Value>;
 
 class Value {
  public:
-  Value() : v_(std::monostate{}) {}
+  Value() : tag_(ValueType::kNull) { u_.i = 0; }
+  Value(const Value& o) : u_(o.u_), tag_(o.tag_) {
+    if (IsHeap(tag_)) {
+      ++u_.rep->refs;
+    }
+  }
+  Value(Value&& o) noexcept : u_(o.u_), tag_(o.tag_) {
+    o.tag_ = ValueType::kNull;
+    o.u_.i = 0;
+  }
+  Value& operator=(const Value& o) {
+    // Read the source into locals and retain its rep BEFORE Release(): `o`
+    // may be *this, or live inside this value's own list payload, which
+    // Release() can free.
+    Payload u = o.u_;
+    ValueType t = o.tag_;
+    if (IsHeap(t)) {
+      ++u.rep->refs;
+    }
+    Release();
+    u_ = u;
+    tag_ = t;
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      Release();
+      tag_ = o.tag_;
+      u_ = o.u_;
+      o.tag_ = ValueType::kNull;
+      o.u_.i = 0;
+    }
+    return *this;
+  }
+  ~Value() { Release(); }
 
   static Value Null() { return Value(); }
-  static Value Bool(bool b) { return Value(Payload(b)); }
-  static Value Int(int64_t i) { return Value(Payload(i)); }
-  static Value Double(double d) { return Value(Payload(d)); }
+  static Value Bool(bool b) {
+    Value v(ValueType::kBool);
+    v.u_.b = b;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v(ValueType::kInt);
+    v.u_.i = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v(ValueType::kDouble);
+    v.u_.d = d;
+    return v;
+  }
   static Value Str(std::string s);
-  static Value Id(const Uint160& id) { return Value(Payload(id)); }
+  static Value Id(const Uint160& id);
   static Value Addr(std::string a);
   static Value List(ValueList items);
 
-  ValueType type() const { return static_cast<ValueType>(v_.index()); }
-  bool is_null() const { return type() == ValueType::kNull; }
+  ValueType type() const { return tag_; }
+  bool is_null() const { return tag_ == ValueType::kNull; }
 
   // Typed accessors. Numeric accessors coerce between bool/int/double;
   // everything else requires an exact type match and aborts otherwise
@@ -75,7 +128,9 @@ class Value {
   // Arithmetic with P2 coercion rules:
   //  - if either operand is an Id, compute mod 2^160 on the ring;
   //  - else if either is a double, compute in double;
-  //  - else integer arithmetic.
+  //  - else integer arithmetic, wrapping mod 2^64 (totality: PEL programs
+  //    run on wire data, so no input may trap — division guards the
+  //    INT64_MIN/-1 corner and double→int conversion saturates).
   // Shl ("<<") always yields an Id: its sole use in OverLog programs is
   // constructing ring offsets (1 << I), which must not truncate at 64 bits.
   static Value Add(const Value& a, const Value& b);
@@ -85,36 +140,51 @@ class Value {
   static Value Mod(const Value& a, const Value& b);
   static Value Shl(const Value& a, const Value& b);
 
-  // O(1): scalar hashes are computed inline; string/addr/list hashes are
-  // computed once at construction and cached in the shared payload.
+  // O(1): scalar hashes are computed inline; Str/Addr/Id/List hashes are
+  // computed once at construction and cached in the shared rep.
   size_t HashValue() const;
   std::string ToString() const;
 
  private:
-  // Shared string payload with its hash precomputed at construction, so
-  // hashing an Addr/Str value on every table probe costs a load, not a
-  // string traversal.
-  struct StrRep {
-    explicit StrRep(std::string str);
-    std::string s;
+  // Intrusive refcount header shared by all heap payloads. The hash lives
+  // here so every probe of a shared value is a single load.
+  struct Rep {
+    mutable uint32_t refs;
     size_t hash;
+    Rep(uint32_t r, size_t h) : refs(r), hash(h) {}
   };
-  // Shared list payload; hash folded over the element hashes once.
-  struct ListRep {
-    explicit ListRep(ValueList list);
-    ValueList items;
-    size_t hash;
-  };
-  struct AddrTag {
-    std::shared_ptr<const StrRep> s;
-  };
-  using Payload = std::variant<std::monostate, bool, int64_t, double,
-                               std::shared_ptr<const StrRep>, Uint160, AddrTag,
-                               std::shared_ptr<const ListRep>>;
-  explicit Value(Payload p) : v_(std::move(p)) {}
+  struct StrRep;   // Str and Addr payloads
+  struct IdRep;    // Uint160 payload (20 bytes — too big to inline)
+  struct ListRep;  // ValueList payload
 
-  Payload v_;
+  union Payload {
+    bool b;
+    int64_t i;
+    double d;
+    const Rep* rep;
+  };
+
+  explicit Value(ValueType t) : tag_(t) { u_.i = 0; }
+
+  static bool IsHeap(ValueType t) {
+    return static_cast<uint8_t>(t) >= static_cast<uint8_t>(ValueType::kStr);
+  }
+  void Release() {
+    if (IsHeap(tag_) && --u_.rep->refs == 0) {
+      Destroy();
+    }
+  }
+  void Destroy();  // deletes u_.rep through its concrete type
+
+  const StrRep* str_rep() const;
+  const IdRep* id_rep() const;
+  const ListRep* list_rep() const;
+
+  Payload u_;
+  ValueType tag_;
 };
+
+static_assert(sizeof(Value) == 16, "Value must stay a 16-byte tagged union");
 
 // Hash functor for use in unordered containers keyed by Value vectors.
 struct ValueVecHash {

@@ -1,0 +1,368 @@
+// Golden equivalence between the two PEL execution engines.
+//
+// The register VM (PelVm::Eval) must agree byte-for-byte with the legacy
+// stack interpreter (PelVm::EvalStack) on every program the lowering
+// accepts. A few deterministic lowering shape checks pin the field-load
+// fusion, then a randomized generator builds thousands of well-typed stack
+// programs (type-tracked so no P2_FATAL coercion path fires) and runs both
+// engines on identical environments, including the stochastic builtins
+// (identically seeded Rngs draw identical streams because both engines
+// evaluate the same op sequence eagerly).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/pel/vm.h"
+#include "src/sim/event_loop.h"
+
+namespace p2 {
+namespace {
+
+// --- Lowering shape ---
+
+TEST(PelLowering, FusesFieldAndConstLoads) {
+  // D := K - B - 1, the Chord distance computation: five stack ops must
+  // lower to exactly two register instructions reading fields/consts
+  // in place.
+  PelProgram prog;
+  prog.Emit(PelOp::kPushField, 1);
+  prog.Emit(PelOp::kPushField, 3);
+  prog.Emit(PelOp::kSub);
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Int(1)));
+  prog.Emit(PelOp::kSub);
+  ASSERT_EQ(prog.reg_code().size(), 2u);
+  EXPECT_EQ(prog.num_regs(), 1);
+  const PelRegInstr& i0 = prog.reg_code()[0];
+  EXPECT_EQ(i0.op, PelOp::kSub);
+  EXPECT_EQ(i0.a.kind, PelSrcKind::kField);
+  EXPECT_EQ(i0.a.index, 1);
+  EXPECT_EQ(i0.b.kind, PelSrcKind::kField);
+  EXPECT_EQ(i0.b.index, 3);
+  const PelRegInstr& i1 = prog.reg_code()[1];
+  EXPECT_EQ(i1.op, PelOp::kSub);
+  EXPECT_EQ(i1.a.kind, PelSrcKind::kReg);
+  EXPECT_EQ(i1.b.kind, PelSrcKind::kConst);
+}
+
+TEST(PelLowering, LonePushMaterializesIntoRegisterZero) {
+  PelProgram prog;
+  prog.Emit(PelOp::kPushField, 2);
+  ASSERT_EQ(prog.reg_code().size(), 1u);
+  EXPECT_EQ(prog.reg_code()[0].op, PelOp::kMove);
+  EXPECT_EQ(prog.num_regs(), 1);
+
+  PelVm vm(PelEnv{});
+  TuplePtr t = Tuple::Make("t", {Value::Int(0), Value::Int(1), Value::Str("x")});
+  EXPECT_EQ(vm.Eval(prog, t.get()), Value::Str("x"));
+}
+
+TEST(PelLowering, RangeTestUsesThreeOperands) {
+  PelProgram prog;  // K in (N, S]
+  prog.Emit(PelOp::kPushField, 0);
+  prog.Emit(PelOp::kPushField, 1);
+  prog.Emit(PelOp::kPushField, 2);
+  prog.Emit(PelOp::kInOC);
+  ASSERT_EQ(prog.reg_code().size(), 1u);
+  EXPECT_EQ(prog.reg_code()[0].c.kind, PelSrcKind::kField);
+  EXPECT_EQ(prog.reg_code()[0].c.index, 2);
+}
+
+TEST(PelLowering, EmitAfterLoweringInvalidatesCache) {
+  PelProgram prog;
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Int(7)));
+  ASSERT_EQ(prog.reg_code().size(), 1u);  // lowers the lone push
+  prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Int(1)));
+  prog.Emit(PelOp::kAdd);
+  PelVm vm(PelEnv{});
+  EXPECT_EQ(vm.Eval(prog, nullptr).AsInt(), 8);
+}
+
+// --- Randomized equivalence ---
+
+// Coarse PEL type lattice used to keep generated programs on defined
+// coercion paths (numeric accessors abort on Str/Addr/List by design).
+enum class Ty { kBool, kInt, kDouble, kStr, kId, kAddr, kList };
+
+bool IsNum(Ty t) { return t == Ty::kBool || t == Ty::kInt || t == Ty::kDouble; }
+bool IsRingArith(Ty t) { return IsNum(t) || t == Ty::kId; }
+
+struct GenState {
+  std::mt19937_64 prng;
+  PelProgram prog;
+  std::vector<Ty> stack;
+  const std::vector<Ty>* field_types;
+
+  explicit GenState(uint64_t seed, const std::vector<Ty>* fields)
+      : prng(seed), field_types(fields) {}
+
+  size_t Pick(size_t n) { return std::uniform_int_distribution<size_t>(0, n - 1)(prng); }
+
+  Value RandomConst(Ty t) {
+    switch (t) {
+      case Ty::kBool:
+        return Value::Bool(Pick(2) == 0);
+      case Ty::kInt: {
+        // Mix of small, negative, and extreme magnitudes.
+        static const int64_t kEdges[] = {0, 1, -1, 7, -42, 1 << 20, INT64_MAX, INT64_MIN};
+        return Value::Int(kEdges[Pick(8)]);
+      }
+      case Ty::kDouble: {
+        static const double kEdges[] = {0.0, 0.5, -1.25, 3.14159, 1e18, -7.0};
+        return Value::Double(kEdges[Pick(6)]);
+      }
+      case Ty::kStr:
+        return Value::Str(std::string(1 + Pick(4), static_cast<char>('a' + Pick(26))));
+      case Ty::kId: {
+        static const Uint160 kEdges[] = {Uint160(), Uint160(1), Uint160::Max(),
+                                         Uint160::HashOf("x"), Uint160(5, 6, 7)};
+        return Value::Id(kEdges[Pick(5)]);
+      }
+      case Ty::kAddr:
+        return Value::Addr("n" + std::to_string(Pick(16)));
+      case Ty::kList:
+        return Value::List({Value::Int(static_cast<int64_t>(Pick(3))),
+                            Value::Str(Pick(2) == 0 ? "p" : "q")});
+    }
+    return Value::Null();
+  }
+
+  void PushLeaf() {
+    // Bias towards fields: field fusion is what the lowering optimizes.
+    if (!field_types->empty() && Pick(2) == 0) {
+      size_t i = Pick(field_types->size());
+      prog.Emit(PelOp::kPushField, static_cast<uint32_t>(i));
+      stack.push_back((*field_types)[i]);
+      return;
+    }
+    Ty t = static_cast<Ty>(Pick(7));
+    prog.Emit(PelOp::kPushConst, prog.AddConst(RandomConst(t)));
+    stack.push_back(t);
+  }
+
+  // Attempts one random operation legal for the current stack types;
+  // returns false if it chose to push a leaf instead.
+  void Step() {
+    size_t depth = stack.size();
+    // Candidate ops, filtered by operand types.
+    std::vector<int> ops;
+    if (depth >= 2) {
+      Ty b = stack[depth - 1];
+      Ty a = stack[depth - 2];
+      if ((IsRingArith(a) && IsRingArith(b)) || (a == Ty::kStr && b == Ty::kStr)) {
+        ops.push_back(static_cast<int>(PelOp::kAdd));
+      }
+      if (IsRingArith(a) && IsRingArith(b)) {
+        ops.push_back(static_cast<int>(PelOp::kSub));
+      }
+      if (IsNum(a) && IsNum(b)) {
+        for (PelOp op : {PelOp::kMul, PelOp::kDiv, PelOp::kMod, PelOp::kAnd, PelOp::kOr}) {
+          ops.push_back(static_cast<int>(op));
+        }
+      }
+      if (IsRingArith(a) && IsNum(b)) {
+        ops.push_back(static_cast<int>(PelOp::kShl));
+      }
+      for (PelOp op : {PelOp::kEq, PelOp::kNe, PelOp::kLt, PelOp::kLe, PelOp::kGt,
+                       PelOp::kGe}) {
+        ops.push_back(static_cast<int>(op));
+      }
+    }
+    if (depth >= 1) {
+      Ty a = stack[depth - 1];
+      if (IsNum(a)) {
+        ops.push_back(static_cast<int>(PelOp::kNot));
+        ops.push_back(static_cast<int>(PelOp::kCoinFlip));
+      }
+      if (IsRingArith(a)) {
+        ops.push_back(static_cast<int>(PelOp::kNeg));
+      }
+      ops.push_back(static_cast<int>(PelOp::kHash));
+    }
+    if (depth >= 3) {
+      for (PelOp op : {PelOp::kInOO, PelOp::kInOC, PelOp::kInCO, PelOp::kInCC}) {
+        ops.push_back(static_cast<int>(op));
+      }
+    }
+    for (PelOp op : {PelOp::kNow, PelOp::kRand, PelOp::kRandInt, PelOp::kLocalAddr}) {
+      ops.push_back(static_cast<int>(op));
+    }
+    // Grow with leaves more often than we shrink, until deep enough.
+    if (depth < 2 || (depth < 5 && Pick(3) == 0)) {
+      PushLeaf();
+      return;
+    }
+    PelOp op = static_cast<PelOp>(ops[Pick(ops.size())]);
+    prog.Emit(op);
+    ApplyTypes(op);
+  }
+
+  void ApplyTypes(PelOp op) {
+    auto pop = [this]() {
+      Ty t = stack.back();
+      stack.pop_back();
+      return t;
+    };
+    switch (op) {
+      case PelOp::kAdd:
+      case PelOp::kSub: {
+        Ty b = pop();
+        Ty a = pop();
+        if (a == Ty::kId || b == Ty::kId) {
+          stack.push_back(Ty::kId);
+        } else if (a == Ty::kDouble || b == Ty::kDouble) {
+          stack.push_back(Ty::kDouble);
+        } else if (a == Ty::kStr) {
+          stack.push_back(Ty::kStr);
+        } else {
+          stack.push_back(Ty::kInt);
+        }
+        break;
+      }
+      case PelOp::kMul:
+      case PelOp::kDiv: {
+        Ty b = pop();
+        Ty a = pop();
+        stack.push_back(a == Ty::kDouble || b == Ty::kDouble ? Ty::kDouble : Ty::kInt);
+        break;
+      }
+      case PelOp::kMod:
+        pop();
+        pop();
+        stack.push_back(Ty::kInt);
+        break;
+      case PelOp::kShl:
+        pop();
+        pop();
+        stack.push_back(Ty::kId);
+        break;
+      case PelOp::kEq:
+      case PelOp::kNe:
+      case PelOp::kLt:
+      case PelOp::kLe:
+      case PelOp::kGt:
+      case PelOp::kGe:
+      case PelOp::kAnd:
+      case PelOp::kOr:
+        pop();
+        pop();
+        stack.push_back(Ty::kBool);
+        break;
+      case PelOp::kNot:
+      case PelOp::kCoinFlip:
+        pop();
+        stack.push_back(Ty::kBool);
+        break;
+      case PelOp::kNeg: {
+        Ty a = pop();
+        stack.push_back(a == Ty::kId ? Ty::kId : (a == Ty::kDouble ? Ty::kDouble : Ty::kInt));
+        break;
+      }
+      case PelOp::kInOO:
+      case PelOp::kInOC:
+      case PelOp::kInCO:
+      case PelOp::kInCC:
+        pop();
+        pop();
+        pop();
+        stack.push_back(Ty::kBool);
+        break;
+      case PelOp::kHash:
+        pop();
+        stack.push_back(Ty::kId);
+        break;
+      case PelOp::kNow:
+      case PelOp::kRand:
+        stack.push_back(Ty::kDouble);
+        break;
+      case PelOp::kRandInt:
+        stack.push_back(Ty::kInt);
+        break;
+      case PelOp::kLocalAddr:
+        stack.push_back(Ty::kAddr);
+        break;
+      case PelOp::kPushConst:
+      case PelOp::kPushField:
+      case PelOp::kMove:
+        FAIL() << "generator applied a non-operator";
+    }
+  }
+
+  // Reduce the stack to one entry with comparisons (legal on any types).
+  void Finish() {
+    while (stack.size() > 1) {
+      prog.Emit(PelOp::kEq);
+      ApplyTypes(PelOp::kEq);
+    }
+  }
+};
+
+TEST(PelEquivalence, RandomProgramsAgreeAcrossEngines) {
+  SimEventLoop loop;
+  std::string addr = "n3:1234";
+
+  std::vector<Ty> field_types = {Ty::kAddr, Ty::kId, Ty::kInt, Ty::kDouble,
+                                 Ty::kStr,  Ty::kBool, Ty::kList};
+  TuplePtr input = Tuple::Make(
+      "in", {Value::Addr("n3:1234"), Value::Id(Uint160::HashOf("key")), Value::Int(-17),
+             Value::Double(2.5), Value::Str("s"), Value::Bool(true),
+             Value::List({Value::Int(1), Value::Int(2)})});
+
+  constexpr int kPrograms = 4000;
+  for (int i = 0; i < kPrograms; ++i) {
+    GenState gen(0x5EED0000u + static_cast<uint64_t>(i), &field_types);
+    int steps = 3 + static_cast<int>(gen.Pick(20));
+    for (int s = 0; s < steps; ++s) {
+      gen.Step();
+    }
+    gen.Finish();
+
+    // Identically seeded stochastic environments: both engines evaluate the
+    // same op sequence eagerly, so they draw identical streams.
+    Rng rng_a(42 + i);
+    Rng rng_b(42 + i);
+    PelVm vm_a(PelEnv{&loop, &rng_a, &addr});
+    PelVm vm_b(PelEnv{&loop, &rng_b, &addr});
+    Value reg = vm_a.Eval(gen.prog, input.get());
+    Value stk = vm_b.EvalStack(gen.prog, input.get());
+
+    ASSERT_EQ(reg.type(), stk.type())
+        << "program " << i << ":\n"
+        << gen.prog.Disassemble() << "-- lowered --\n"
+        << gen.prog.DisassembleRegs() << "reg=" << reg.ToString()
+        << " stack=" << stk.ToString();
+    ASSERT_EQ(Value::Compare(reg, stk), 0)
+        << "program " << i << ":\n"
+        << gen.prog.Disassemble() << "-- lowered --\n"
+        << gen.prog.DisassembleRegs() << "reg=" << reg.ToString()
+        << " stack=" << stk.ToString();
+    ASSERT_EQ(reg.HashValue(), stk.HashValue()) << "program " << i;
+  }
+}
+
+// The engines must also agree on programs that read no input at all.
+TEST(PelEquivalence, NoInputPrograms) {
+  SimEventLoop loop;
+  std::string addr = "n0";
+  std::vector<Ty> no_fields;
+  for (int i = 0; i < 500; ++i) {
+    GenState gen(0xF00D + static_cast<uint64_t>(i), &no_fields);
+    int steps = 2 + static_cast<int>(gen.Pick(10));
+    for (int s = 0; s < steps; ++s) {
+      gen.Step();
+    }
+    gen.Finish();
+    Rng rng_a(7 + i);
+    Rng rng_b(7 + i);
+    PelVm vm_a(PelEnv{&loop, &rng_a, &addr});
+    PelVm vm_b(PelEnv{&loop, &rng_b, &addr});
+    Value reg = vm_a.Eval(gen.prog, nullptr);
+    Value stk = vm_b.EvalStack(gen.prog, nullptr);
+    ASSERT_EQ(reg.type(), stk.type()) << gen.prog.Disassemble();
+    ASSERT_EQ(Value::Compare(reg, stk), 0) << gen.prog.Disassemble();
+  }
+}
+
+}  // namespace
+}  // namespace p2

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
 namespace p2 {
 namespace {
 
@@ -116,6 +119,107 @@ TEST(Value, HashConsistentWithEquality) {
   EXPECT_EQ(Value::Str("abc").HashValue(), Value::Str("abc").HashValue());
   EXPECT_EQ(Value::Int(5).HashValue(), Value::Int(5).HashValue());
   EXPECT_NE(Value::Str("n1").HashValue(), Value::Addr("n1").HashValue());
+}
+
+// --- Coercion edges ---
+
+TEST(Value, IdModRingWraparound) {
+  // Crossing 2^160 in either direction must wrap, from every operand mix.
+  EXPECT_TRUE(Value::Add(Value::Id(Uint160::Max()), Value::Id(Uint160(1))).AsId().IsZero());
+  EXPECT_EQ(Value::Add(Value::Id(Uint160::Max()), Value::Int(2)).AsId(), Uint160(1));
+  EXPECT_EQ(Value::Sub(Value::Id(Uint160()), Value::Int(1)).AsId(), Uint160::Max());
+  EXPECT_EQ(Value::Sub(Value::Int(0), Value::Id(Uint160(1))).AsId(), Uint160::Max());
+  // Bool coerces onto the ring like an int.
+  EXPECT_TRUE(Value::Add(Value::Id(Uint160::Max()), Value::Bool(true)).AsId().IsZero());
+  // A negative int coerces through uint64, not sign-extended to 160 bits.
+  EXPECT_EQ(Value::Add(Value::Id(Uint160(0)), Value::Int(-1)).AsId(),
+            Uint160(UINT64_MAX));
+}
+
+TEST(Value, ShlProducesIdsBeyond64Bits) {
+  // 1 << I is how OverLog builds finger offsets; it must not truncate.
+  Value r64 = Value::Shl(Value::Int(1), Value::Int(64));
+  ASSERT_EQ(r64.type(), ValueType::kId);
+  EXPECT_EQ(r64.AsId(), Uint160(0, 1, 0));
+  Value r159 = Value::Shl(Value::Int(1), Value::Int(159));
+  EXPECT_EQ(r159.AsId(), Uint160(0x80000000ull, 0, 0));
+  // Id operands shift on the ring too, and out-of-range shifts vanish.
+  EXPECT_EQ(Value::Shl(Value::Id(Uint160(3)), Value::Int(1)).AsId(), Uint160(6));
+  EXPECT_TRUE(Value::Shl(Value::Int(1), Value::Int(160)).AsId().IsZero());
+  EXPECT_EQ(Value::Shl(Value::Int(5), Value::Int(-3)).AsId(), Uint160(5));  // clamps to 0
+}
+
+TEST(Value, IntegerArithmeticWrapsTotal) {
+  // Ring semantics: extremes wrap mod 2^64 instead of trapping.
+  EXPECT_EQ(Value::Add(Value::Int(INT64_MAX), Value::Int(1)).AsInt(), INT64_MIN);
+  EXPECT_EQ(Value::Sub(Value::Int(INT64_MIN), Value::Int(1)).AsInt(), INT64_MAX);
+  EXPECT_EQ(Value::Mul(Value::Int(INT64_MIN), Value::Int(-1)).AsInt(), INT64_MIN);
+  EXPECT_EQ(Value::Div(Value::Int(INT64_MIN), Value::Int(-1)).AsInt(), INT64_MIN);
+  EXPECT_EQ(Value::Mod(Value::Int(INT64_MIN), Value::Int(-1)).AsInt(), 0);
+  EXPECT_EQ(Value::Mod(Value::Int(7), Value::Int(-1)).AsInt(), 0);
+}
+
+TEST(Value, DoubleToIntConversionSaturates) {
+  EXPECT_EQ(Value::Double(1e300).AsInt(), INT64_MAX);
+  EXPECT_EQ(Value::Double(-1e300).AsInt(), INT64_MIN);
+  EXPECT_EQ(Value::Double(std::nan("")).AsInt(), 0);
+  EXPECT_EQ(Value::Double(1e6).AsInt(), 1000000);
+}
+
+TEST(Value, CrossTypeCompareTotality) {
+  // Int/double comparisons are numeric in both argument orders, and
+  // equality agrees with Compare == 0 in every mix.
+  EXPECT_EQ(Value::Compare(Value::Bool(true), Value::Int(1)), 0);
+  EXPECT_EQ(Value::Compare(Value::Bool(false), Value::Double(0.0)), 0);
+  EXPECT_EQ(Value::Compare(Value::Double(2.5), Value::Int(2)), 1);
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Double(2.5)), -1);
+  EXPECT_TRUE(Value::Int(1) == Value::Double(1.0));
+  EXPECT_TRUE(Value::Bool(true) == Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Str("1"));
+  // Antisymmetry on a sample grid of numeric values.
+  const Value vals[] = {Value::Bool(false), Value::Bool(true), Value::Int(-3),
+                        Value::Int(0),      Value::Int(2),     Value::Double(-3.0),
+                        Value::Double(0.5), Value::Double(2.0)};
+  for (const Value& a : vals) {
+    for (const Value& b : vals) {
+      EXPECT_EQ(Value::Compare(a, b), -Value::Compare(b, a))
+          << a.ToString() << " vs " << b.ToString();
+      EXPECT_EQ(a == b, Value::Compare(a, b) == 0)
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+  // Very large int64s survive the cross-type path (both map to the same
+  // double; Compare treats them equal — pinned so a change is deliberate).
+  EXPECT_EQ(Value::Compare(Value::Int(INT64_MAX), Value::Double(9.2233720368547758e18)), 0);
+}
+
+TEST(Value, SharedRepCopySemantics) {
+  // Copies of heap-backed values share one rep; content survives the
+  // original's destruction (refcount, not borrowing).
+  Value copy;
+  {
+    Value s = Value::Str("shared-payload");
+    copy = s;
+    EXPECT_EQ(&copy.AsStr(), &s.AsStr());
+  }
+  EXPECT_EQ(copy.AsStr(), "shared-payload");
+  // Moved-from values are null, not dangling.
+  Value id = Value::Id(Uint160(7));
+  Value stolen = std::move(id);
+  EXPECT_TRUE(id.is_null());  // NOLINT(bugprone-use-after-move): pinned semantics
+  EXPECT_EQ(stolen.AsId(), Uint160(7));
+}
+
+TEST(Value, AssignFromOwnListElement) {
+  // The source of an assignment may live inside the destination's own
+  // payload; releasing the old payload first would free it under us.
+  Value v = Value::List({Value::Str("inner"), Value::Int(2)});
+  v = v.AsList()[0];
+  EXPECT_EQ(v.AsStr(), "inner");
+  Value self = Value::Id(Uint160(9));
+  Value& alias = self;  // sidesteps clang's -Wself-assign-overloaded
+  self = alias;
+  EXPECT_EQ(self.AsId(), Uint160(9));
 }
 
 TEST(ValueVec, HashAndEqFunctors) {
