@@ -20,8 +20,16 @@
 // uploads as BENCH_scale.json so throughput regressions are diffable
 // across PRs instead of anecdotal.
 //
-//   scale_sweep [--nodes 64,256,1024] [--loss 0.2] [--lookups 20]
-//               [--seed 1] [--mode both|reliable|plain] [--json PATH]
+// The sweep also carries a shard dimension: --shards 1,8 runs every
+// (nodes, reliable) cell once per shard count, reporting events/sec per
+// cell, so the share-nothing sharding lever is diffable the same way the
+// spine optimizations are. A fixed seed produces identical event counts at
+// every shard count (conservative-window determinism) — the sweep prints
+// the event total so a mismatch is immediately visible.
+//
+//   scale_sweep [--nodes 64,256,1024] [--shards 1] [--loss 0.2]
+//               [--lookups 20] [--seed 1] [--mode both|reliable|plain]
+//               [--json PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +40,7 @@
 
 namespace {
 
-std::vector<size_t> ParseNodeList(const char* arg) {
+std::vector<size_t> ParseSizeList(const char* arg, long min_value) {
   std::vector<size_t> out;
   std::string s(arg);
   size_t pos = 0;
@@ -42,7 +50,7 @@ std::vector<size_t> ParseNodeList(const char* arg) {
       comma = s.size();
     }
     long n = std::strtol(s.substr(pos, comma - pos).c_str(), nullptr, 10);
-    if (n >= 2) {
+    if (n >= min_value) {
       out.push_back(static_cast<size_t>(n));
     }
     pos = comma + 1;
@@ -54,6 +62,7 @@ std::vector<size_t> ParseNodeList(const char* arg) {
 
 int main(int argc, char** argv) {
   std::vector<size_t> node_counts{64, 256, 1024};
+  std::vector<size_t> shard_counts{1};
   double loss = 0.2;
   int lookups = 20;
   uint64_t seed = 1;
@@ -71,7 +80,9 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--nodes") == 0) {
-      node_counts = ParseNodeList(need("--nodes"));
+      node_counts = ParseSizeList(need("--nodes"), /*min_value=*/2);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      shard_counts = ParseSizeList(need("--shards"), /*min_value=*/1);
     } else if (std::strcmp(arg, "--loss") == 0) {
       loss = std::atof(need("--loss"));
     } else if (std::strcmp(arg, "--lookups") == 0) {
@@ -93,11 +104,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--nodes parsed to an empty list\n");
     return 2;
   }
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "--shards parsed to an empty list\n");
+    return 2;
+  }
 
   std::printf("# chord scale sweep: loss=%.2f lookups=%d seed=%llu\n", loss, lookups,
               static_cast<unsigned long long>(seed));
-  std::printf("%7s %9s %10s %9s %12s %8s %12s %s\n", "nodes", "reliable", "converged",
-              "virt_s", "events", "wall_s", "events/sec", "lookups");
+  std::printf("%7s %7s %9s %10s %9s %12s %8s %12s %s\n", "nodes", "shards", "reliable",
+              "converged", "virt_s", "events", "wall_s", "events/sec", "lookups");
 
   bool gated_ok = true;
   std::string json = "[\n";
@@ -107,48 +122,53 @@ int main(int argc, char** argv) {
       if ((reliable == 0 && !run_plain) || (reliable == 1 && !run_reliable)) {
         continue;
       }
-      p2::ScenarioConfig cfg;
-      cfg.overlay = p2::OverlayKind::kChord;
-      cfg.backend = p2::BackendKind::kSim;
-      cfg.nodes = n;
-      cfg.seed = seed;
-      cfg.lookups = lookups;
-      cfg.loss_rate = loss;
-      cfg.reliable = reliable == 1;
-      p2::ScenarioReport report = p2::RunScenario(cfg);
+      for (size_t shards : shard_counts) {
+        p2::ScenarioConfig cfg;
+        cfg.overlay = p2::OverlayKind::kChord;
+        cfg.backend = p2::BackendKind::kSim;
+        cfg.nodes = n;
+        cfg.seed = seed;
+        cfg.shards = shards;
+        cfg.lookups = lookups;
+        cfg.loss_rate = loss;
+        cfg.reliable = reliable == 1;
+        p2::ScenarioReport report = p2::RunScenario(cfg);
 
-      double evps = report.wall_s > 0
-                        ? static_cast<double>(report.sim_events) / report.wall_s
-                        : 0;
-      std::printf("%7zu %9s %10s %9.0f %12llu %8.1f %12.0f %zu/%zu\n", n,
-                  reliable ? "on" : "off", report.converged ? "yes" : "NO",
-                  report.ran_for_s, static_cast<unsigned long long>(report.sim_events),
-                  report.wall_s, evps, report.lookups_consistent, report.lookups_issued);
-      std::fflush(stdout);
+        double evps = report.wall_s > 0
+                          ? static_cast<double>(report.sim_events) / report.wall_s
+                          : 0;
+        std::printf("%7zu %7zu %9s %10s %9.0f %12llu %8.1f %12.0f %zu/%zu\n", n,
+                    report.shards, reliable ? "on" : "off",
+                    report.converged ? "yes" : "NO", report.ran_for_s,
+                    static_cast<unsigned long long>(report.sim_events), report.wall_s,
+                    evps, report.lookups_consistent, report.lookups_issued);
+        std::fflush(stdout);
 
-      if (json_path != nullptr) {
-        char row[512];
-        std::snprintf(row, sizeof(row),
-                      "  {\"overlay\": \"chord\", \"nodes\": %zu, \"reliable\": %s, "
-                      "\"loss\": %.3f, \"seed\": %llu, \"converged\": %s, "
-                      "\"virtual_s\": %.1f, \"events\": %llu, \"wall_s\": %.2f, "
-                      "\"events_per_sec\": %.0f, \"lookups_issued\": %zu, "
-                      "\"lookups_consistent\": %zu}",
-                      n, reliable ? "true" : "false", loss,
-                      static_cast<unsigned long long>(seed),
-                      report.converged ? "true" : "false", report.ran_for_s,
-                      static_cast<unsigned long long>(report.sim_events), report.wall_s,
-                      evps, report.lookups_issued, report.lookups_consistent);
-        if (!json_first) {
-          json += ",\n";
+        if (json_path != nullptr) {
+          char row[512];
+          std::snprintf(row, sizeof(row),
+                        "  {\"overlay\": \"chord\", \"nodes\": %zu, \"shards\": %zu, "
+                        "\"reliable\": %s, "
+                        "\"loss\": %.3f, \"seed\": %llu, \"converged\": %s, "
+                        "\"virtual_s\": %.1f, \"events\": %llu, \"wall_s\": %.2f, "
+                        "\"events_per_sec\": %.0f, \"lookups_issued\": %zu, "
+                        "\"lookups_consistent\": %zu}",
+                        n, report.shards, reliable ? "true" : "false", loss,
+                        static_cast<unsigned long long>(seed),
+                        report.converged ? "true" : "false", report.ran_for_s,
+                        static_cast<unsigned long long>(report.sim_events), report.wall_s,
+                        evps, report.lookups_issued, report.lookups_consistent);
+          if (!json_first) {
+            json += ",\n";
+          }
+          json_first = false;
+          json += row;
         }
-        json_first = false;
-        json += row;
-      }
 
-      bool expected_to_converge = reliable == 1 || loss == 0;
-      if (expected_to_converge && !report.converged) {
-        gated_ok = false;
+        bool expected_to_converge = reliable == 1 || loss == 0;
+        if (expected_to_converge && !report.converged) {
+          gated_ok = false;
+        }
       }
     }
   }

@@ -50,7 +50,7 @@ int main() {
   std::vector<std::unique_ptr<ChordNode>> nodes;
   for (size_t i = 0; i < kNodes; ++i) {
     P2NodeConfig cfg;
-    cfg.executor = net.executor();
+    cfg.executor = net.executor(i);
     cfg.transport = net.transport(i);
     cfg.seed = 1000 + i;
     nodes.push_back(std::make_unique<ChordNode>(cfg, chord, i == 0 ? "" : net.addr(0),

@@ -23,7 +23,7 @@ int main() {
   std::vector<std::unique_ptr<NaradaNode>> nodes;
   for (size_t i = 0; i < kNodes; ++i) {
     P2NodeConfig cfg;
-    cfg.executor = net.executor();
+    cfg.executor = net.executor(i);
     cfg.transport = net.transport(i);
     cfg.seed = 2000 + i;
     std::vector<std::string> seeds;

@@ -47,7 +47,7 @@ int main() {
   std::vector<std::unique_ptr<P2Node>> nodes;
   for (size_t i = 0; i < kNodes; ++i) {
     P2NodeConfig cfg;
-    cfg.executor = net.executor();
+    cfg.executor = net.executor(i);
     cfg.transport = net.transport(i);
     cfg.seed = 100 + i;
     nodes.push_back(std::make_unique<P2Node>(cfg));

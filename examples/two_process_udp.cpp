@@ -35,7 +35,7 @@ int RunNode(uint16_t port, const char* peer_port, double seconds) {
   GossipConfig cfg;
   cfg.gossip_period_s = 1.0;
   P2NodeConfig nc;
-  nc.executor = net.executor();
+  nc.executor = net.executor(0);
   nc.transport = net.transport(0);
   nc.seed = static_cast<uint64_t>(port) * 2654435761u + 1;
   std::vector<std::string> seeds;
@@ -69,11 +69,11 @@ int RunBothInProcess() {
   GossipConfig cfg;
   cfg.gossip_period_s = 0.5;
   P2NodeConfig ca;
-  ca.executor = net.executor();
+  ca.executor = net.executor(0);
   ca.transport = net.transport(0);
   ca.seed = 1;
   P2NodeConfig cb;
-  cb.executor = net.executor();
+  cb.executor = net.executor(1);
   cb.transport = net.transport(1);
   cb.seed = 2;
   GossipNode a(ca, cfg, {});

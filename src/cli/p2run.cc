@@ -38,6 +38,9 @@ void Usage(const char* argv0) {
       "  --reliable           layer the reliable transport stack (ACK/retry,\n"
       "                       RTT estimation, AIMD cwnd, bounded send queues)\n"
       "                       over every endpoint\n"
+      "  --shards <n>         sim: share-nothing simulator shards (threads);\n"
+      "                       same seed => identical per-node event order at\n"
+      "                       any shard count (default 1)\n"
       "  --port <base>        udp: first port to bind (default: kernel picks)\n"
       "  --seed <n>           RNG seed (default 1)\n"
       "  --verbose            info-level runtime logging\n",
@@ -123,6 +126,16 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--reliable") == 0) {
       config.reliable = true;
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      long shards = std::strtol(argv[++i], nullptr, 10);
+      if (shards < 1 || shards > 1024) {
+        std::fprintf(stderr, "--shards must be in [1, 1024], got %s\n", argv[i]);
+        return 2;
+      }
+      config.shards = static_cast<size_t>(shards);
     } else if (std::strcmp(arg, "--port") == 0) {
       if (!NeedValue(argc, argv, i)) {
         return 2;
@@ -163,6 +176,9 @@ int main(int argc, char** argv) {
   if (config.reliable) {
     std::printf(" reliable=on");
   }
+  if (config.shards > 1) {
+    std::printf(" shards=%zu", config.shards);
+  }
   std::printf("\n");
   std::fflush(stdout);
 
@@ -171,10 +187,20 @@ int main(int argc, char** argv) {
   std::printf("ran for %.1f %s seconds (seed=%llu)\n%s", report.ran_for_s,
               config.backend == p2::BackendKind::kSim ? "virtual" : "wall-clock",
               static_cast<unsigned long long>(config.seed), report.detail.c_str());
+  if (report.send_failures.total() > 0) {
+    std::printf("udp send failures: %llu (oversize %llu, transient %llu, short %llu, "
+                "other %llu)\n",
+                static_cast<unsigned long long>(report.send_failures.total()),
+                static_cast<unsigned long long>(report.send_failures.oversize),
+                static_cast<unsigned long long>(report.send_failures.transient),
+                static_cast<unsigned long long>(report.send_failures.short_writes),
+                static_cast<unsigned long long>(report.send_failures.other));
+  }
   if (report.sim_events > 0 && report.wall_s > 0) {
-    std::printf("sim: %llu events in %.1fs wall (%.0f events/sec)\n",
+    std::printf("sim: %llu events in %.1fs wall (%.0f events/sec, %zu shard%s)\n",
                 static_cast<unsigned long long>(report.sim_events), report.wall_s,
-                static_cast<double>(report.sim_events) / report.wall_s);
+                static_cast<double>(report.sim_events) / report.wall_s, report.shards,
+                report.shards == 1 ? "" : "s");
   }
   std::printf(report.converged ? "CONVERGED\n" : "DID NOT CONVERGE\n");
   return report.converged ? 0 : 1;

@@ -64,7 +64,7 @@ const char* BackendKindName(BackendKind kind) {
 
 ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
                          double loss_rate, uint16_t udp_base_port,
-                         bool reliable, ReliableConfig reliable_config)
+                         bool reliable, ReliableConfig reliable_config, size_t shards)
     : backend_(backend),
       seed_(seed),
       loss_rate_(loss_rate),
@@ -73,8 +73,8 @@ ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
   lossy_.resize(nodes);
   channels_.resize(nodes);
   if (backend_ == BackendKind::kSim) {
-    sim_loop_ = std::make_unique<SimEventLoop>();
-    sim_net_ = std::make_unique<SimNetwork>(sim_loop_.get(), Topology(TopologyConfig{}), seed);
+    sim_engine_ = std::make_unique<ShardedSim>(shards);
+    sim_net_ = std::make_unique<SimNetwork>(sim_engine_.get(), Topology(TopologyConfig{}), seed);
     sim_net_->set_loss_rate(loss_rate);
     for (size_t i = 0; i < nodes; ++i) {
       std::string addr = "n" + std::to_string(i);
@@ -130,15 +130,27 @@ void ScenarioNet::BuildStack(size_t i) {
   }
   if (reliable_) {
     // The epoch seed folds in the revive counter so a replacement endpoint
-    // reusing an address announces a fresh stream incarnation.
+    // reusing an address announces a fresh stream incarnation. The channel
+    // belongs to node i, so its timers arm on node i's shard executor.
     channels_[i] = std::make_unique<ReliableChannel>(
-        top, executor(), reliable_config_,
+        top, executor(i), reliable_config_,
         seed_ + 0xC4A271ULL + i + revive_counter_ * 1000003ULL);
   }
 }
 
-Executor* ScenarioNet::executor() {
-  return backend_ == BackendKind::kSim ? static_cast<Executor*>(sim_loop_.get())
+size_t ScenarioNet::shards() const {
+  return sim_engine_ != nullptr ? sim_engine_->num_shards() : 1;
+}
+
+Executor* ScenarioNet::executor(size_t i) {
+  if (backend_ != BackendKind::kSim) {
+    return udp_loop_.get();
+  }
+  return sim_engine_->shard(sim_net_->ShardOf(i));
+}
+
+Executor* ScenarioNet::control_executor() {
+  return backend_ == BackendKind::kSim ? sim_engine_->control()
                                        : static_cast<Executor*>(udp_loop_.get());
 }
 
@@ -156,18 +168,18 @@ Transport* ScenarioNet::transport(size_t i) {
 
 void ScenarioNet::Run(double seconds) {
   if (backend_ == BackendKind::kSim) {
-    sim_loop_->RunUntil(sim_loop_->Now() + seconds);
+    sim_engine_->RunFor(seconds);
   } else {
     udp_loop_->RunFor(seconds);
   }
 }
 
 double ScenarioNet::Now() const {
-  return backend_ == BackendKind::kSim ? sim_loop_->Now() : udp_loop_->Now();
+  return backend_ == BackendKind::kSim ? sim_engine_->Now() : udp_loop_->Now();
 }
 
 uint64_t ScenarioNet::SimEventsRun() const {
-  return sim_loop_ != nullptr ? sim_loop_->events_run() : 0;
+  return sim_engine_ != nullptr ? sim_engine_->events_run() : 0;
 }
 
 void ScenarioNet::Kill(size_t i) {
@@ -179,6 +191,9 @@ void ScenarioNet::Kill(size_t i) {
   if (backend_ == BackendKind::kSim) {
     sim_transports_[i].reset();
   } else {
+    if (udp_transports_[i] != nullptr) {
+      dead_send_failures_.MergeFrom(udp_transports_[i]->send_failures());
+    }
     udp_transports_[i].reset();
   }
 }
@@ -222,6 +237,16 @@ ReliableChannelStats ScenarioNet::TotalReliableStats() const {
   return total;
 }
 
+SendFailureCounters ScenarioNet::TotalSendFailures() const {
+  SendFailureCounters total = dead_send_failures_;
+  for (const auto& t : udp_transports_) {
+    if (t != nullptr) {
+      total.MergeFrom(t->send_failures());
+    }
+  }
+  return total;
+}
+
 // --- Per-overlay runners ---------------------------------------------------
 
 namespace {
@@ -255,8 +280,10 @@ FleetChurn StartFleetChurn(const ScenarioConfig& config, ScenarioNet* net,
     return churn;
   }
   auto salt = std::make_shared<uint64_t>(0);
+  // Churn callbacks destroy and rebuild nodes across the whole fleet, so
+  // they run on the control timeline (shards parked at a barrier).
   churn.target = std::make_unique<FunctionChurnTarget>(
-      net->executor(), net->size(),
+      net->control_executor(), net->size(),
       [net, salt, destroy = std::move(destroy_node),
        rebuild = std::move(rebuild_node)](size_t slot) {
         destroy(slot);
@@ -305,6 +332,7 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
   TestbedConfig cfg;
   cfg.num_nodes = config.nodes;
   cfg.seed = config.seed;
+  cfg.shards = config.shards;
   cfg.loss_rate = config.loss_rate;
   cfg.reliable = config.reliable;
   if (config.nodes > 64) {
@@ -398,7 +426,8 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
        << config.churn_session_mean_s << "s)\n";
   }
   FinishTransportReport(config, tb.TotalReliableStats(), &report, &os);
-  report.sim_events = tb.loop()->events_run();
+  report.shards = tb.engine()->num_shards();
+  report.sim_events = tb.EventsRun();
   report.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                 wall_start)
                       .count();
@@ -421,7 +450,7 @@ ScenarioReport RunChordUdp(const ScenarioConfig& config, ScenarioNet* net) {
   std::vector<std::unique_ptr<ChordNode>> nodes;
   for (size_t i = 0; i < net->size(); ++i) {
     P2NodeConfig nc;
-    nc.executor = net->executor();
+    nc.executor = net->executor(i);
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
     nodes.push_back(std::make_unique<ChordNode>(nc, chord,
@@ -495,7 +524,7 @@ ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
   std::vector<std::unique_ptr<GossipNode>> nodes;
   for (size_t i = 0; i < net->size(); ++i) {
     P2NodeConfig nc;
-    nc.executor = net->executor();
+    nc.executor = net->executor(i);
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
     // Chain seeding: node i only knows node i-1; convergence therefore
@@ -520,7 +549,7 @@ ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
       },
       [&](size_t slot, uint64_t salt) {
         P2NodeConfig nc;
-        nc.executor = net->executor();
+        nc.executor = net->executor(slot);
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
         std::vector<std::string> seeds{
@@ -578,7 +607,7 @@ ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
   std::vector<std::unique_ptr<NaradaNode>> nodes;
   for (size_t i = 0; i < net->size(); ++i) {
     P2NodeConfig nc;
-    nc.executor = net->executor();
+    nc.executor = net->executor(i);
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
     // Chain mesh: i <-> i+1; epidemic refresh must spread membership.
@@ -604,7 +633,7 @@ ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
       },
       [&](size_t slot, uint64_t salt) {
         P2NodeConfig nc;
-        nc.executor = net->executor();
+        nc.executor = net->executor(slot);
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
         std::vector<std::string> neighbors{
@@ -677,7 +706,7 @@ ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
   std::vector<std::unique_ptr<PathVectorNode>> nodes;
   for (size_t i = 0; i < net->size(); ++i) {
     P2NodeConfig nc;
-    nc.executor = net->executor();
+    nc.executor = net->executor(i);
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
     nodes.push_back(std::make_unique<PathVectorNode>(nc, pv, links_for(i)));
@@ -706,7 +735,7 @@ ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
       },
       [&](size_t slot, uint64_t salt) {
         P2NodeConfig nc;
-        nc.executor = net->executor();
+        nc.executor = net->executor(slot);
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
         nodes[slot] = std::make_unique<PathVectorNode>(nc, pv, links_for(slot));
@@ -768,6 +797,14 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
     report.detail = "chord churn profiles need --sim\n";
     return report;
   }
+  if (config.shards < 1) {
+    report.detail = "--shards must be >= 1\n";
+    return report;
+  }
+  if (config.shards > 1 && config.backend != BackendKind::kSim) {
+    report.detail = "--shards applies to the simulator backend only (use --sim)\n";
+    return report;
+  }
 
   if (config.overlay == OverlayKind::kChord && config.backend == BackendKind::kSim) {
     return RunChordSim(config);
@@ -775,7 +812,8 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
 
   auto wall_start = std::chrono::steady_clock::now();
   ScenarioNet net(config.backend, config.nodes, config.seed, config.loss_rate,
-                  config.udp_base_port, config.reliable);
+                  config.udp_base_port, config.reliable, ReliableConfig{},
+                  config.shards);
   if (!net.ok()) {
     report.detail = "failed to bring up transports (UDP bind failure?)\n";
     return report;
@@ -794,7 +832,9 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
       report = RunPathVector(config, &net);
       break;
   }
+  report.shards = net.shards();
   report.sim_events = net.SimEventsRun();
+  report.send_failures = net.TotalSendFailures();
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return report;

@@ -18,12 +18,14 @@
 #include <string>
 #include <vector>
 
+#include "src/harness/metrics.h"
 #include "src/net/stack/lossy.h"
 #include "src/net/stack/reliable_channel.h"
 #include "src/net/transport.h"
 #include "src/net/udp_loop.h"
 #include "src/runtime/executor.h"
 #include "src/sim/network.h"
+#include "src/sim/shard.h"
 
 namespace p2 {
 
@@ -59,6 +61,10 @@ struct ScenarioConfig {
   // Layer a ReliableChannel (ACK/retry, RTT estimation, AIMD congestion
   // control, bounded send queues) over every endpoint.
   bool reliable = false;
+  // Sim backend only: number of share-nothing simulator shards (threads)
+  // the fleet is partitioned across. 1 = single-threaded. A fixed seed
+  // produces identical per-node event orders at any shard count.
+  size_t shards = 1;
   // Udp backend only: first port to bind (node i gets base+i); 0 lets the
   // kernel pick free ports.
   uint16_t udp_base_port = 0;
@@ -68,6 +74,7 @@ struct ScenarioConfig {
 struct ScenarioReport {
   bool converged = false;
   size_t nodes = 0;
+  size_t shards = 1;     // simulator shards the run used (1 for --udp)
   double ran_for_s = 0;  // measurement phase actually driven
   // Simulator-backend throughput accounting (zero for --udp): events
   // executed over the whole scenario and the wall-clock seconds spent
@@ -87,6 +94,8 @@ struct ScenarioReport {
   // scenario ran with reliable = true).
   bool reliable = false;
   ReliableChannelStats transport_stats;
+  // Udp backend: ::sendto failures, explicitly merged across endpoints.
+  SendFailureCounters send_failures;
   // Human-readable per-overlay summary (multi-line, ready to print).
   std::string detail;
 };
@@ -96,14 +105,15 @@ struct ScenarioReport {
 ScenarioReport RunScenario(const ScenarioConfig& config);
 
 // ScenarioNet: the backend-owning node fabric that RunScenario and the
-// examples build fleets on. Owns one executor — a virtual-time SimEventLoop
-// or a poll()-based UdpLoop — plus `nodes` transports addressed "n0".."nK"
-// (sim) or "127.0.0.1:port" (udp).
+// examples build fleets on. Owns the executors — a (possibly sharded)
+// virtual-time ShardedSim or a poll()-based UdpLoop — plus `nodes`
+// transports addressed "n0".."nK" (sim) or "127.0.0.1:port" (udp).
 class ScenarioNet {
  public:
   ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
               double loss_rate = 0, uint16_t udp_base_port = 0,
-              bool reliable = false, ReliableConfig reliable_config = ReliableConfig{});
+              bool reliable = false, ReliableConfig reliable_config = ReliableConfig{},
+              size_t shards = 1);
   ~ScenarioNet();
   ScenarioNet(const ScenarioNet&) = delete;
   ScenarioNet& operator=(const ScenarioNet&) = delete;
@@ -113,7 +123,15 @@ class ScenarioNet {
 
   BackendKind backend() const { return backend_; }
   size_t size() const { return addrs_.size(); }
-  Executor* executor();
+  size_t shards() const;
+  // The executor node i must run on (its shard's loop under sim, the one
+  // UdpLoop under udp). Everything a node owns — its timers, its reliable
+  // channel — must be scheduled here.
+  Executor* executor(size_t i);
+  // The fleet-control executor: churn drivers and other cross-node actions
+  // schedule here so they run with every shard parked (the sharded engine's
+  // control timeline; the UdpLoop under udp).
+  Executor* control_executor();
   Transport* transport(size_t i);
   const std::string& addr(size_t i) const { return addrs_[i]; }
 
@@ -139,9 +157,13 @@ class ScenarioNet {
   ReliableChannel* channel(size_t i) { return channels_.empty() ? nullptr : channels_[i].get(); }
   // Summed reliable-transport counters (live endpoints + churned-out ones).
   ReliableChannelStats TotalReliableStats() const;
+  // Merged ::sendto failure counters (udp backend; all-zero under sim).
+  SendFailureCounters TotalSendFailures() const;
 
   // Non-null only for the sim backend (loss injection, delivery counters).
   SimNetwork* sim_network() { return sim_net_.get(); }
+  // Non-null only for the sim backend (events_run, shard access).
+  ShardedSim* sim_engine() { return sim_engine_.get(); }
 
  private:
   // Builds the per-endpoint decorator stack (loss filter, reliable channel)
@@ -157,8 +179,9 @@ class ScenarioNet {
   uint64_t revive_counter_ = 0;
   std::vector<std::string> addrs_;
   ReliableChannelStats dead_reliable_stats_;
+  SendFailureCounters dead_send_failures_;
   // Sim backend.
-  std::unique_ptr<SimEventLoop> sim_loop_;
+  std::unique_ptr<ShardedSim> sim_engine_;
   std::unique_ptr<SimNetwork> sim_net_;
   std::vector<std::unique_ptr<SimTransport>> sim_transports_;
   // Udp backend.

@@ -63,12 +63,21 @@ class RateSampler {
 // Datagram send-failure counters, fed by the UDP transport's ::sendto
 // result checking. Failed sends never reach the wire, so they are counted
 // here instead of in TrafficStats' bandwidth figures.
+// Each instance is written by exactly one endpoint on one event-loop
+// thread; fleet-level totals are produced by an explicit MergeFrom pass,
+// never by sharing a counter between writers.
 struct SendFailureCounters {
   uint64_t oversize = 0;      // EMSGSIZE: datagram too large for the stack
   uint64_t transient = 0;     // EAGAIN/EWOULDBLOCK/ENOBUFS/EINTR/ECONNREFUSED
   uint64_t other = 0;         // unexpected errno values
   uint64_t short_writes = 0;  // kernel accepted fewer bytes than the datagram
   uint64_t total() const { return oversize + transient + other + short_writes; }
+  void MergeFrom(const SendFailureCounters& o) {
+    oversize += o.oversize;
+    transient += o.transient;
+    other += o.other;
+    short_writes += o.short_writes;
+  }
 };
 
 // Cumulative counters for one ReliableChannel (src/net/stack/), summed

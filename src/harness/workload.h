@@ -5,6 +5,16 @@
 // uniform lookup workloads, and measures what the paper's evaluation
 // measures: hop counts, lookup latency, lookup consistency against a live
 // ground truth, and per-node maintenance bandwidth.
+//
+// The testbed runs on a ShardedSim: with config.shards > 1 the fleet is
+// partitioned across share-nothing shard threads (one event loop, timer
+// wheel and RNG lane per shard) under conservative time-window
+// synchronization, and a fixed seed produces the same per-node event
+// sequences at any shard count. Fleet-level actions — staggered joins,
+// churn replacement, bootstrap-snapshot refresh — run as control-timeline
+// tasks on the coordinator thread while shards are parked; measurement
+// hooks that fire on shard threads (lookup completions, hop counting)
+// write only per-shard state that is merged on the coordinator when read.
 #ifndef P2_HARNESS_WORKLOAD_H_
 #define P2_HARNESS_WORKLOAD_H_
 
@@ -19,6 +29,7 @@
 #include "src/net/stack/reliable_channel.h"
 #include "src/overlays/chord.h"
 #include "src/sim/network.h"
+#include "src/sim/shard.h"
 
 namespace p2 {
 
@@ -26,6 +37,9 @@ struct TestbedConfig {
   size_t num_nodes = 100;
   uint64_t seed = 42;
   bool use_baseline = false;  // false: P2 OverLog Chord; true: hand-coded
+  // Share-nothing simulator shards (1 = single-threaded). Parallelism is
+  // bounded by the topology's domain count: shards never split a domain.
+  size_t shards = 1;
   ChordConfig chord;
   BaselineChordConfig baseline;
   TopologyConfig topology;
@@ -36,6 +50,9 @@ struct TestbedConfig {
   // re-issue unanswered lookups until the timeout). 0 disables.
   double lookup_retry_s = 4.0;
   int lookup_max_retries = 4;
+  // Cadence of the control-timeline refresh of the bootstrap snapshot the
+  // per-node landmark providers draw from.
+  double bootstrap_refresh_s = 5.0;
   // Layer a ReliableChannel (ACK/retry, RTT estimation, AIMD congestion
   // control) between every node and its SimTransport.
   bool reliable = false;
@@ -47,7 +64,8 @@ class ChordTestbed : public ChurnTarget {
   struct LookupRecord {
     Uint160 key;
     Uint160 event;
-    std::string origin;  // issuing node's address
+    std::string origin;   // issuing node's address
+    size_t origin_slot = 0;
     double issued_at = 0;
     bool completed = false;
     double latency_s = 0;
@@ -65,14 +83,18 @@ class ChordTestbed : public ChurnTarget {
   void BuildAndSettle(double settle_deadline_s);
 
   void RunFor(double seconds);
-  SimEventLoop* loop() { return &loop_; }
-  double Now() const { return loop_.Now(); }
+  ShardedSim* engine() { return &engine_; }
+  double Now() const { return engine_.Now(); }
+  // Events executed across every shard (plus control tasks).
+  uint64_t EventsRun() const { return engine_.events_run(); }
 
   // Issues one lookup for a uniformly random key from a random live node.
   void IssueRandomLookup();
-  const std::vector<LookupRecord>& lookups() const { return lookups_; }
+  // Lookup history with hop counts finalized (merged across shards).
+  // Coordinator thread only, between runs.
+  const std::vector<LookupRecord>& lookups();
   // Drops lookup history (e.g. after warm-up).
-  void ClearLookups() { lookups_.clear(); }
+  void ClearLookups();
 
   // The live node whose identifier is the clockwise successor of `key`
   // (ground truth for consistency checking).
@@ -97,6 +119,12 @@ class ChordTestbed : public ChurnTarget {
   // all-zero when config.reliable is off.
   ReliableChannelStats TotalReliableStats() const;
 
+  // Per-slot state snapshots for the shard-determinism harness: the best
+  // successor address (empty if none) and datagrams delivered to the
+  // slot's current endpoint, indexed by slot.
+  std::vector<std::string> BestSuccessorByNode();
+  std::vector<uint64_t> DeliveredByNode() const;
+
   // --- Churn support ---
   // Kills the node in `slot` (transport unregistered; peers see silence)
   // and immediately replaces it with a fresh node that joins through a
@@ -105,8 +133,10 @@ class ChordTestbed : public ChurnTarget {
   size_t num_slots() const { return slots_.size(); }
   uint64_t KilledBytesMaint() const { return dead_maint_bytes_; }
 
-  // ChurnTarget implementation (the generic ChurnDriver interface).
-  Executor* churn_executor() override { return &loop_; }
+  // ChurnTarget implementation (the generic ChurnDriver interface). Churn
+  // runs on the control timeline: replacements mutate cross-shard state,
+  // so they execute at window barriers with every shard parked.
+  Executor* churn_executor() override { return engine_.control(); }
   size_t churn_slots() const override { return slots_.size(); }
   bool ChurnReplace(size_t slot) override { return ReplaceNode(slot); }
 
@@ -115,6 +145,8 @@ class ChordTestbed : public ChurnTarget {
     std::string addr;
     Uint160 id;
     size_t topo_index = 0;
+    size_t shard = 0;
+    std::unique_ptr<Rng> boot_rng;  // landmark-provider stream (shard thread)
     std::unique_ptr<SimTransport> transport;
     std::unique_ptr<ReliableChannel> channel;  // only when config.reliable
     std::unique_ptr<ChordNode> p2;
@@ -125,27 +157,48 @@ class ChordTestbed : public ChurnTarget {
   void MakeNode(size_t slot, const std::string& landmark);
   void HookMeasurement(size_t slot);
   void ScheduleLookupRetry(size_t record_index);
-  // A random live, preferably already-joined node other than `exclude`
-  // (bootstrap re-resolution for join retries).
-  std::string RandomBootstrap(const std::string& exclude);
-  void OnLookupResult(const Uint160& key, const std::string& result_addr,
+  // Landmark re-resolution for join retries. Runs on the caller's shard
+  // thread: draws from the slot's own RNG stream over the bootstrap
+  // snapshot (refreshed only at control barriers), so it is both race-free
+  // and shard-count-invariant.
+  std::string SnapshotBootstrap(size_t slot);
+  // Control timeline: re-scans which live nodes have joined the ring.
+  void RefreshJoinedSnapshot();
+  void ScheduleBootstrapRefresh();
+  void OnLookupResult(size_t shard, const Uint160& key, const std::string& result_addr,
                       const Uint160& event);
   std::string NextAddr();
 
   TestbedConfig config_;
-  SimEventLoop loop_;
+  ShardedSim engine_;
   SimNetwork network_;
   Rng rng_;
+  Rng boot_seed_rng_;  // seeds per-slot landmark-provider streams
   std::vector<Slot> slots_;
   size_t live_count_ = 0;
   uint64_t addr_counter_ = 0;
   uint64_t dead_maint_bytes_ = 0;
   uint64_t dead_lookup_bytes_ = 0;
   ReliableChannelStats dead_reliable_stats_;
+  bool refresh_scheduled_ = false;
+
+  // Bootstrap snapshot: written by control tasks at barriers, read by
+  // landmark providers on shard threads.
+  std::vector<std::string> snap_joined_;
+  std::vector<std::string> snap_live_;
 
   std::vector<LookupRecord> lookups_;
-  std::unordered_map<uint64_t, size_t> pending_;  // event id low64 -> index
-  std::unordered_map<uint64_t, int> hop_counts_;  // event id low64 -> arrivals
+  bool hops_finalized_ = true;
+  // Per-shard measurement lanes: each map is written only by its shard's
+  // thread (hooks) or by the coordinator while shards are parked.
+  // event id low64 -> record index (issued from a node on that shard).
+  std::vector<std::unordered_map<uint64_t, size_t>> pending_;
+  // event id low64 -> virtual times the lookup tuple arrived at nodes on
+  // that shard. Arrival *times* (not bare counts) so the merge can
+  // reproduce the single-loop semantics exactly: a record's hop count is
+  // the number of arrivals at or before its completion, which freezes the
+  // figure against straggling retry copies that keep hopping afterwards.
+  std::vector<std::unordered_map<uint64_t, std::vector<double>>> hop_arrivals_;
 };
 
 }  // namespace p2

@@ -10,10 +10,11 @@
 // into a register form that the VM (vm.h) actually executes: every
 // instruction names its operands directly (register, constant-pool slot, or
 // input-tuple field — "field-load fusion"), so the common rule expression
-// runs in a third of the instructions with no per-op stack traffic. The
-// legacy stack interpreter survives as PelVm::EvalStack, the golden
-// reference for the register lowering; building with -DP2_PEL_STACK_VM=ON
-// routes Eval through it for A/B measurement.
+// runs in a third of the instructions with no per-op stack traffic. (The
+// legacy stack interpreter that once served as the lowering's golden
+// reference soaked through a release cycle and has been deleted; its
+// randomized test programs remain as register-VM regression vectors in
+// tests/pel_equiv_test.cc.)
 #ifndef P2_PEL_PROGRAM_H_
 #define P2_PEL_PROGRAM_H_
 

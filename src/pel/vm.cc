@@ -49,11 +49,7 @@ Value HashToId(const Value& v) {
 }  // namespace
 
 Value PelVm::Eval(const PelProgram& prog, const Tuple* input) {
-#ifdef P2_PEL_STACK_VM
-  return EvalStack(prog, input);
-#else
   return EvalRegs(prog, input);
-#endif
 }
 
 Value PelVm::EvalRegs(const PelProgram& prog, const Tuple* input) {
@@ -170,155 +166,6 @@ Value PelVm::EvalRegs(const PelProgram& prog, const Tuple* input) {
     }
   }
   return regs_[0];
-}
-
-Value PelVm::EvalStack(const PelProgram& prog, const Tuple* input) {
-  stack_.clear();
-  const std::vector<Value>& consts = prog.consts();
-  for (const PelInstr& ins : prog.code()) {
-    switch (ins.op) {
-      case PelOp::kPushConst:
-        stack_.push_back(consts[ins.arg]);
-        break;
-      case PelOp::kPushField:
-        P2_CHECK(input != nullptr);
-        P2_CHECK(ins.arg < input->size());
-        stack_.push_back(input->field(ins.arg));
-        break;
-      case PelOp::kAdd:
-      case PelOp::kSub:
-      case PelOp::kMul:
-      case PelOp::kDiv:
-      case PelOp::kMod:
-      case PelOp::kShl:
-      case PelOp::kEq:
-      case PelOp::kNe:
-      case PelOp::kLt:
-      case PelOp::kLe:
-      case PelOp::kGt:
-      case PelOp::kGe:
-      case PelOp::kAnd:
-      case PelOp::kOr: {
-        P2_CHECK(stack_.size() >= 2);
-        Value b = std::move(stack_.back());
-        stack_.pop_back();
-        Value a = std::move(stack_.back());
-        stack_.pop_back();
-        Value r;
-        switch (ins.op) {
-          case PelOp::kAdd:
-            r = Value::Add(a, b);
-            break;
-          case PelOp::kSub:
-            r = Value::Sub(a, b);
-            break;
-          case PelOp::kMul:
-            r = Value::Mul(a, b);
-            break;
-          case PelOp::kDiv:
-            r = Value::Div(a, b);
-            break;
-          case PelOp::kMod:
-            r = Value::Mod(a, b);
-            break;
-          case PelOp::kShl:
-            r = Value::Shl(a, b);
-            break;
-          case PelOp::kEq:
-            r = Value::Bool(a == b);
-            break;
-          case PelOp::kNe:
-            r = Value::Bool(a != b);
-            break;
-          case PelOp::kLt:
-            r = Value::Bool(Value::Compare(a, b) < 0);
-            break;
-          case PelOp::kLe:
-            r = Value::Bool(Value::Compare(a, b) <= 0);
-            break;
-          case PelOp::kGt:
-            r = Value::Bool(Value::Compare(a, b) > 0);
-            break;
-          case PelOp::kGe:
-            r = Value::Bool(Value::Compare(a, b) >= 0);
-            break;
-          case PelOp::kAnd:
-            r = Value::Bool(a.AsBool() && b.AsBool());
-            break;
-          case PelOp::kOr:
-            r = Value::Bool(a.AsBool() || b.AsBool());
-            break;
-          default:
-            P2_FATAL("unreachable");
-        }
-        stack_.push_back(std::move(r));
-        break;
-      }
-      case PelOp::kNot: {
-        P2_CHECK(!stack_.empty());
-        Value a = std::move(stack_.back());
-        stack_.pop_back();
-        stack_.push_back(Value::Bool(!a.AsBool()));
-        break;
-      }
-      case PelOp::kNeg: {
-        P2_CHECK(!stack_.empty());
-        Value a = std::move(stack_.back());
-        stack_.pop_back();
-        stack_.push_back(Value::Sub(Value::Int(0), a));
-        break;
-      }
-      case PelOp::kInOO:
-      case PelOp::kInOC:
-      case PelOp::kInCO:
-      case PelOp::kInCC: {
-        P2_CHECK(stack_.size() >= 3);
-        Value hi = std::move(stack_.back());
-        stack_.pop_back();
-        Value lo = std::move(stack_.back());
-        stack_.pop_back();
-        Value x = std::move(stack_.back());
-        stack_.pop_back();
-        stack_.push_back(Value::Bool(RingInterval(ins.op, x, lo, hi)));
-        break;
-      }
-      case PelOp::kNow:
-        P2_CHECK(env_.executor != nullptr);
-        stack_.push_back(Value::Double(env_.executor->Now()));
-        break;
-      case PelOp::kRand:
-        P2_CHECK(env_.rng != nullptr);
-        stack_.push_back(Value::Double(env_.rng->NextDouble()));
-        break;
-      case PelOp::kRandInt:
-        P2_CHECK(env_.rng != nullptr);
-        stack_.push_back(Value::Int(static_cast<int64_t>(env_.rng->NextU64() >> 2)));
-        break;
-      case PelOp::kCoinFlip: {
-        P2_CHECK(env_.rng != nullptr);
-        P2_CHECK(!stack_.empty());
-        Value p = std::move(stack_.back());
-        stack_.pop_back();
-        stack_.push_back(Value::Bool(env_.rng->CoinFlip(p.AsDouble())));
-        break;
-      }
-      case PelOp::kHash: {
-        P2_CHECK(!stack_.empty());
-        Value v = std::move(stack_.back());
-        stack_.pop_back();
-        stack_.push_back(HashToId(v));
-        break;
-      }
-      case PelOp::kLocalAddr:
-        P2_CHECK(env_.local_addr != nullptr);
-        stack_.push_back(Value::Addr(*env_.local_addr));
-        break;
-      case PelOp::kMove:
-        P2_FATAL("kMove is register-form only");
-    }
-  }
-  P2_CHECK(stack_.size() == 1);
-  return std::move(stack_.back());
 }
 
 bool PelVm::EvalBool(const PelProgram& prog, const Tuple* input) {

@@ -3,11 +3,9 @@
 // PelVm::Eval runs the lowered register form of a program: one flat
 // dispatch loop over a preallocated register file, each instruction reading
 // its operands (registers, pooled constants, input-tuple fields) in place.
-// The original stack interpreter is retained as EvalStack — it is the
-// golden reference the randomized equivalence test checks the lowering
-// against, and configuring with -DP2_PEL_STACK_VM=ON routes Eval through it
-// so the two execution engines can be A/B benchmarked. It will be removed
-// once the register VM has soaked.
+// (The original stack interpreter served as the golden reference while the
+// register VM soaked and has since been deleted; the randomized programs
+// from that era live on in tests/pel_equiv_test.cc as regression vectors.)
 #ifndef P2_PEL_VM_H_
 #define P2_PEL_VM_H_
 
@@ -40,17 +38,11 @@ class PelVm {
   // Evaluates a boolean-valued program; non-bool results coerce via AsBool.
   bool EvalBool(const PelProgram& prog, const Tuple* input);
 
-  // Reference implementation: interprets the postfix stack form directly.
-  // Kept only for golden-equivalence testing against Eval (and as the Eval
-  // body under P2_PEL_STACK_VM).
-  Value EvalStack(const PelProgram& prog, const Tuple* input);
-
  private:
   Value EvalRegs(const PelProgram& prog, const Tuple* input);
 
   PelEnv env_;
-  std::vector<Value> regs_;   // register file, reused across calls
-  std::vector<Value> stack_;  // stack-VM scratch, reused across calls
+  std::vector<Value> regs_;  // register file, reused across calls
 };
 
 }  // namespace p2

@@ -25,6 +25,13 @@ class Executor {
   // Current time in seconds (virtual or wall-clock depending on backend).
   virtual double Now() const = 0;
 
+  // Shard affinity: which share-nothing simulator shard this executor
+  // drives. Everything scheduled on one executor runs on that shard's
+  // thread; components owned by one node must arm all their timers on the
+  // node's own executor. Single-loop backends (UdpLoop, a standalone
+  // SimEventLoop) are shard 0.
+  virtual size_t shard_index() const { return 0; }
+
   // Runs `task` after `delay` seconds (>= 0). Returns a cancellable id.
   virtual TimerId ScheduleAfter(double delay, Task task) = 0;
 

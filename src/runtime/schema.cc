@@ -1,6 +1,8 @@
 #include "src/runtime/schema.h"
 
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "src/runtime/logging.h"
@@ -9,6 +11,11 @@ namespace p2 {
 namespace {
 
 struct AtomTable {
+  // Guards the containers. Shard threads only ever hit the read paths in
+  // steady state (every schema is interned at plan/install time on the
+  // coordinator thread), so the shared lock is uncontended; the exclusive
+  // lock is taken only on a first-sight intern.
+  std::shared_mutex mu;
   // deque: references to stored names stay stable as the table grows.
   std::deque<std::string> names;
   // Keys view into `names`, so each spelling is stored exactly once.
@@ -24,7 +31,15 @@ AtomTable& Atoms() {
 
 SchemaId InternSchema(std::string_view name) {
   AtomTable& t = Atoms();
-  auto it = t.ids.find(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(t.mu);
+    auto it = t.ids.find(name);
+    if (it != t.ids.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(t.mu);
+  auto it = t.ids.find(name);  // raced with another interner?
   if (it != t.ids.end()) {
     return it->second;
   }
@@ -36,16 +51,22 @@ SchemaId InternSchema(std::string_view name) {
 
 SchemaId FindSchema(std::string_view name) {
   AtomTable& t = Atoms();
+  std::shared_lock<std::shared_mutex> lock(t.mu);
   auto it = t.ids.find(name);
   return it == t.ids.end() ? kInvalidSchema : it->second;
 }
 
 const std::string& SchemaName(SchemaId id) {
   AtomTable& t = Atoms();
+  std::shared_lock<std::shared_mutex> lock(t.mu);
   P2_CHECK(id < t.names.size());
-  return t.names[id];
+  return t.names[id];  // deque storage: stable after unlock
 }
 
-size_t SchemaCount() { return Atoms().names.size(); }
+size_t SchemaCount() {
+  AtomTable& t = Atoms();
+  std::shared_lock<std::shared_mutex> lock(t.mu);
+  return t.names.size();
+}
 
 }  // namespace p2

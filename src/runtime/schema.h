@@ -9,8 +9,11 @@
 //
 // The atom table is process-global and append-only: ids are dense
 // (0..SchemaCount()-1), never reused, and the returned name references are
-// stable for the process lifetime. Like the rest of the runtime it assumes
-// the single-threaded run-to-completion execution model.
+// stable for the process lifetime. Unlike per-node runtime state (which is
+// confined to one simulator shard), the atom table is shared by every
+// shard thread, so it is guarded by a shared_mutex: lookups take a shared
+// lock (the steady state — all names are interned at plan time), interning
+// a new spelling takes the exclusive lock.
 #ifndef P2_RUNTIME_SCHEMA_H_
 #define P2_RUNTIME_SCHEMA_H_
 

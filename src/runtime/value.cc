@@ -63,16 +63,42 @@ int64_t WrapMul(int64_t a, int64_t b) {
 // IdRep recycling: ring arithmetic produces a fresh Id per result (Chord's
 // distance computation "K - B - 1" runs on every lookup hop), and IdRep is
 // fixed-size, so dead reps go through a freelist instead of the allocator.
-// Single-threaded like the refcounts; leaked (never destroyed) on purpose so
-// Values held by static-storage objects can release safely during exit.
+// The pool is thread-local: each simulator shard thread recycles its own
+// reps (shards share no Values, so a rep is always allocated and freed on
+// the thread that owns its node — and even a rep that migrates with a
+// control-thread handoff just lands in the freeing thread's pool, since
+// pool entries are untyped fixed-size blocks). The main thread's pool is
+// leaked on purpose (recreated lazily if touched again) so Values held by
+// static-storage objects can release safely during exit; worker threads
+// call DrainThreadIdRepPool before exiting so their pools don't leak.
 constexpr size_t kIdRepPoolMax = 8192;
 
+std::vector<void*>*& IdRepPoolSlot() {
+  thread_local std::vector<void*>* pool = nullptr;
+  return pool;
+}
+
 std::vector<void*>& IdRepPool() {
-  static std::vector<void*>* pool = new std::vector<void*>();
-  return *pool;
+  std::vector<void*>*& slot = IdRepPoolSlot();
+  if (slot == nullptr) {
+    slot = new std::vector<void*>();
+  }
+  return *slot;
 }
 
 }  // namespace
+
+void DrainThreadIdRepPool() {
+  std::vector<void*>*& slot = IdRepPoolSlot();
+  if (slot == nullptr) {
+    return;
+  }
+  for (void* block : *slot) {
+    ::operator delete(block);
+  }
+  delete slot;
+  slot = nullptr;
+}
 
 const Value::StrRep* Value::str_rep() const {
   return static_cast<const StrRep*>(u_.rep);

@@ -11,8 +11,10 @@
 // copy with two word stores, no branches on dispatch tables; Str/Addr/Id/
 // List hold a pointer to an intrusively refcounted rep that also caches the
 // payload's hash, so table probes cost a load instead of a traversal. The
-// runtime is single-threaded (both executors are one-thread event loops),
-// so the refcount is a plain integer, not an atomic.
+// refcount is a plain integer, not an atomic: every Value is confined to
+// one simulator shard (shards share nothing — cross-shard tuples travel as
+// marshaled bytes), so a rep is only ever touched by the thread that owns
+// its node, or handed off whole across a shard barrier.
 #ifndef P2_RUNTIME_VALUE_H_
 #define P2_RUNTIME_VALUE_H_
 
@@ -185,6 +187,12 @@ class Value {
 };
 
 static_assert(sizeof(Value) == 16, "Value must stay a 16-byte tagged union");
+
+// Frees the calling thread's IdRep recycling pool. Simulator worker
+// threads call this before exiting so per-thread pools don't outlive their
+// thread as leaks; the pool is recreated lazily if the thread allocates
+// another Id afterwards. The main thread never needs to call it.
+void DrainThreadIdRepPool();
 
 // Hash functor for use in unordered containers keyed by Value vectors.
 struct ValueVecHash {

@@ -1,9 +1,16 @@
 #include "src/sim/event_loop.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace p2 {
+
+namespace {
+thread_local SimEventLoop* tls_running_loop = nullptr;
+}  // namespace
+
+SimEventLoop* SimEventLoop::Current() { return tls_running_loop; }
 
 TimerId SimEventLoop::ScheduleAfter(double delay, Task task) {
   if (delay < 0) {
@@ -18,27 +25,76 @@ void SimEventLoop::Cancel(TimerId id) {
   }
 }
 
-void SimEventLoop::RunUntil(double deadline) {
-  double at;
-  Task task;
-  while (wheel_.PopDue(deadline, &at, &task)) {
-    now_ = std::max(now_, at);
-    ++events_run_;
-    task();
+void SimEventLoop::EnqueueLocal(SimDelivery d) { msgs_.push(std::move(d)); }
+
+bool SimEventLoop::TryEnqueueRemote(SimDelivery& d) {
+  std::lock_guard<std::mutex> lock(mailbox_mu_);
+  if (mailbox_.size() >= mailbox_capacity_) {
+    return false;
   }
-  if (now_ < deadline) {
-    now_ = deadline;
+  mailbox_.push_back(std::move(d));
+  return true;
+}
+
+void SimEventLoop::DrainMailbox() {
+  std::vector<SimDelivery> drained;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mu_);
+    drained.swap(mailbox_);
+  }
+  for (SimDelivery& d : drained) {
+    msgs_.push(std::move(d));
   }
 }
 
-void SimEventLoop::RunAll() {
+size_t SimEventLoop::pending() const { return wheel_.size() + msgs_.size(); }
+
+void SimEventLoop::RunWindow(double end, bool inclusive) {
+  // Fold whatever the previous window's stragglers mailed us. Conservative
+  // sync guarantees none of it is due before this window starts, and only
+  // the owning thread ever folds, so the heap stays single-writer.
+  DrainMailbox();
+  // Strict "< end" on doubles: everything <= nextafter(end, -inf).
+  double cap = inclusive
+                   ? end
+                   : std::nextafter(end, -std::numeric_limits<double>::infinity());
+  SimEventLoop* prev = tls_running_loop;
+  tls_running_loop = this;
   double at;
   Task task;
-  while (wheel_.PopDue(std::numeric_limits<double>::infinity(), &at, &task)) {
-    now_ = std::max(now_, at);
-    ++events_run_;
-    task();
+  for (;;) {
+    // Timers before deliveries at equal instants (a fixed rule, so the
+    // interleaving never depends on which shard hosts the sender).
+    double msg_at =
+        msgs_.empty() ? std::numeric_limits<double>::infinity() : msgs_.top().at;
+    if (wheel_.PopDue(std::min(cap, msg_at), &at, &task)) {
+      now_ = std::max(now_, at);
+      ++events_run_;
+      task();
+      continue;
+    }
+    if (!msgs_.empty() && msg_at <= cap) {
+      SimDelivery d = std::move(const_cast<SimDelivery&>(msgs_.top()));
+      msgs_.pop();
+      now_ = std::max(now_, d.at);
+      ++events_run_;
+      if (deliver_) {
+        deliver_(d);
+      }
+      continue;
+    }
+    break;
   }
+  tls_running_loop = prev;
+  if (std::isfinite(end) && now_ < end) {
+    now_ = end;
+  }
+}
+
+void SimEventLoop::RunUntil(double deadline) { RunWindow(deadline, /*inclusive=*/true); }
+
+void SimEventLoop::RunAll() {
+  RunWindow(std::numeric_limits<double>::infinity(), /*inclusive=*/true);
 }
 
 }  // namespace p2

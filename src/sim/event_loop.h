@@ -1,20 +1,57 @@
-// Discrete-event simulation loop with virtual time.
+// Discrete-event simulation loop with virtual time: the per-shard loop of
+// the (optionally multi-threaded) simulator.
+//
+// The loop runs two event lanes:
+//
+//  - the timer wheel: everything scheduled through the Executor interface
+//    (protocol timers, deferred work). Fires in (deadline, FIFO) order.
+//  - the delivery lane: simulated datagrams, as already-marshaled bytes.
+//    Fires in (deadline, source, sequence) order — a total order derived
+//    from the *content* of the message stream, never from scheduling
+//    accidents, so a fleet partitioned across N shards delivers each
+//    node's datagrams in exactly the order the single-shard run would.
+//
+// At equal timestamps timers fire before deliveries. Cross-shard senders
+// push into the bounded MPSC mailbox; the owner (or the coordinator, at a
+// window barrier) folds the mailbox into the delivery heap with
+// DrainMailbox. Conservative-window synchronization (see src/sim/shard.h)
+// guarantees a message is always staged before its shard's clock reaches
+// its delivery time.
 #ifndef P2_SIM_EVENT_LOOP_H_
 #define P2_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
 
 #include "src/runtime/executor.h"
 #include "src/runtime/timer_wheel.h"
 
 namespace p2 {
 
+// One simulated datagram in flight. `src` is the sending endpoint's unique
+// incarnation ordinal and `seq` its per-endpoint send counter, which makes
+// (at, src, seq) a deterministic total order over all deliveries.
+struct SimDelivery {
+  double at = 0;
+  uint64_t src = 0;
+  uint64_t seq = 0;
+  std::string from;
+  std::string to;
+  std::vector<uint8_t> bytes;
+};
+
 // A virtual-time Executor. Time advances instantaneously to the next
-// scheduled event; handlers run to completion in timestamp order (FIFO
-// among equal timestamps). Events live on a hierarchical timer wheel, so
-// schedule and cancel are O(1) regardless of how many are pending.
+// scheduled event; handlers run to completion. Timer events live on a
+// hierarchical timer wheel, so schedule and cancel are O(1) regardless of
+// how many are pending.
 class SimEventLoop : public Executor {
  public:
+  // Handles a due datagram (the simulated network's delivery upcall).
+  using DeliverFn = std::function<void(const SimDelivery&)>;
+
   SimEventLoop() = default;
   SimEventLoop(const SimEventLoop&) = delete;
   SimEventLoop& operator=(const SimEventLoop&) = delete;
@@ -22,24 +59,75 @@ class SimEventLoop : public Executor {
   double Now() const override { return now_; }
   TimerId ScheduleAfter(double delay, Task task) override;
   void Cancel(TimerId id) override;
+  size_t shard_index() const override { return shard_index_; }
 
   // Runs events until the queue drains or `deadline` (virtual seconds) is
-  // reached; time is left at min(deadline, last event time). Events at
-  // exactly `deadline` do run.
+  // reached; time is left at `deadline` (or the last event time if later).
+  // Events at exactly `deadline` do run.
   void RunUntil(double deadline);
 
-  // Runs until the queue is completely empty. Only safe for programs
+  // Runs until both lanes are completely empty. Only safe for programs
   // without self-perpetuating timers.
   void RunAll();
 
-  // Number of events executed so far (for tests / benchmarks).
+  // Runs every event with time < `end` (<= `end` when `inclusive`), then
+  // advances the clock to `end`. The sharded coordinator drives windows
+  // through this; RunUntil is the single-loop convenience over it.
+  void RunWindow(double end, bool inclusive);
+
+  // --- Delivery lane -------------------------------------------------------
+
+  void SetDeliverFn(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  // Queues a datagram from this loop's own thread — or from the
+  // coordinator/main thread while every shard is parked at a barrier.
+  void EnqueueLocal(SimDelivery d);
+
+  // Bounded cross-thread push; returns false (leaving `d` intact) when the
+  // mailbox is full. Senders relieve the pressure by draining their own
+  // mailbox while they retry, which breaks push-cycles between shards.
+  bool TryEnqueueRemote(SimDelivery& d);
+
+  // Folds the mailbox into the delivery heap. Called by the owning thread
+  // (any time) or by the coordinator while the owner is parked.
+  void DrainMailbox();
+
+  void set_mailbox_capacity(size_t cap) { mailbox_capacity_ = cap; }
+
+  // The loop currently executing events on this thread; null on the
+  // coordinator/main thread. The simulated network uses it to route sends
+  // (local heap push vs. cross-shard mailbox).
+  static SimEventLoop* Current();
+
+  // Number of events executed so far — timer fires plus deliveries.
   uint64_t events_run() const { return events_run_; }
-  size_t pending() const { return wheel_.size(); }
+  size_t pending() const;
 
  private:
+  friend class ShardedSim;
+
+  struct DeliveryAfter {
+    bool operator()(const SimDelivery& a, const SimDelivery& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      if (a.src != b.src) {
+        return a.src > b.src;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
   double now_ = 0.0;
   uint64_t events_run_ = 0;
+  size_t shard_index_ = 0;  // set by ShardedSim
   TimerWheel wheel_;
+  DeliverFn deliver_;
+  std::priority_queue<SimDelivery, std::vector<SimDelivery>, DeliveryAfter> msgs_;
+
+  std::mutex mailbox_mu_;
+  std::vector<SimDelivery> mailbox_;
+  size_t mailbox_capacity_ = 1 << 15;
 };
 
 }  // namespace p2

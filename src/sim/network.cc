@@ -1,44 +1,112 @@
 #include "src/sim/network.h"
 
+#include <thread>
+
 #include "src/runtime/logging.h"
 
 namespace p2 {
 
+SimNetwork::SimNetwork(ShardedSim* engine, Topology topology, uint64_t seed)
+    : topology_(topology), rng_(seed) {
+  for (size_t i = 0; i < engine->num_shards(); ++i) {
+    loops_.push_back(engine->shard(i));
+  }
+  if (engine->num_shards() > 1) {
+    engine->set_sync_window(topology_.MinCrossDomainLatency());
+  }
+  Init();
+}
+
+SimNetwork::SimNetwork(SimEventLoop* loop, Topology topology, uint64_t seed)
+    : topology_(topology), rng_(seed) {
+  loops_.push_back(loop);
+  Init();
+}
+
+void SimNetwork::Init() {
+  delivered_by_shard_.assign(loops_.size(), 0);
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->SetDeliverFn(
+        [this, i](const SimDelivery& d) { Deliver(i, d); });
+  }
+}
+
+size_t SimNetwork::ShardOf(size_t topo_index) const {
+  return loops_.size() == 1 ? 0 : topology_.DomainOf(topo_index) % loops_.size();
+}
+
 std::unique_ptr<SimTransport> SimNetwork::MakeTransport(const std::string& addr,
                                                         size_t topo_index) {
   P2_CHECK(endpoints_.find(addr) == endpoints_.end());
-  auto t = std::unique_ptr<SimTransport>(new SimTransport(this, addr, topo_index));
-  endpoints_[addr] = Endpoint{t.get(), topo_index};
+  size_t shard = ShardOf(topo_index);
+  // Ordinal and RNG seed are drawn in registration order, which the
+  // coordinator drives deterministically — so an endpoint incarnation gets
+  // the same identity and loss/jitter stream at any shard count.
+  auto t = std::unique_ptr<SimTransport>(
+      new SimTransport(this, addr, topo_index, shard, next_ordinal_++, rng_.NextU64()));
+  endpoints_[addr] = Endpoint{t.get(), topo_index, shard};
   return t;
 }
 
 void SimNetwork::Unregister(const std::string& addr) { endpoints_.erase(addr); }
 
-void SimNetwork::Send(SimTransport* from, const std::string& to, std::vector<uint8_t> bytes) {
-  if (loss_rate_ > 0 && rng_.CoinFlip(loss_rate_)) {
+uint64_t SimNetwork::delivered() const {
+  uint64_t total = 0;
+  for (uint64_t d : delivered_by_shard_) {
+    total += d;
+  }
+  return total;
+}
+
+void SimNetwork::Send(SimTransport* from, const std::string& to,
+                      std::vector<uint8_t> bytes) {
+  if (loss_rate_ > 0 && from->rng_.CoinFlip(loss_rate_)) {
     return;
   }
   auto it = endpoints_.find(to);
   if (it == endpoints_.end()) {
     return;  // Destination dead or never existed: datagram vanishes.
   }
-  size_t src = from->topo_index();
+  size_t src = from->topo_index_;
   size_t dst = it->second.topo_index;
   double latency = topology_.LatencyBetween(src, dst) +
                    topology_.SerializationDelay(src, dst, bytes.size() + kUdpIpHeaderBytes);
   double jitter = topology_.config().jitter_fraction;
   if (jitter > 0) {
-    latency *= 1.0 + jitter * (2.0 * rng_.NextDouble() - 1.0);
+    latency *= 1.0 + jitter * (2.0 * from->rng_.NextDouble() - 1.0);
   }
-  std::string from_addr = from->local_addr();
-  loop_->ScheduleAfter(latency, [this, from_addr, to, bytes = std::move(bytes)]() {
-    auto it2 = endpoints_.find(to);
-    if (it2 == endpoints_.end()) {
-      return;  // Died in flight.
-    }
-    ++delivered_;
-    it2->second.transport->Deliver(from_addr, bytes);
-  });
+  SimDelivery d;
+  d.at = loops_[from->shard_]->Now() + latency;
+  d.src = from->ordinal_;
+  d.seq = from->send_seq_++;
+  d.from = from->addr_;
+  d.to = to;
+  d.bytes = std::move(bytes);
+
+  SimEventLoop* dst_loop = loops_[it->second.shard];
+  SimEventLoop* running = SimEventLoop::Current();
+  if (running == dst_loop || running == nullptr) {
+    // Same shard, or the coordinator thread with every shard parked.
+    dst_loop->EnqueueLocal(std::move(d));
+    return;
+  }
+  // Cross-shard: bounded mailbox with backpressure. While the destination's
+  // mailbox is full, fold our own mailbox into our delivery heap — that
+  // unblocks any shard stuck pushing toward us, so cyclic pressure always
+  // drains instead of deadlocking.
+  while (!dst_loop->TryEnqueueRemote(d)) {
+    running->DrainMailbox();
+    std::this_thread::yield();
+  }
+}
+
+void SimNetwork::Deliver(size_t shard, const SimDelivery& d) {
+  auto it = endpoints_.find(d.to);
+  if (it == endpoints_.end()) {
+    return;  // Died in flight.
+  }
+  ++delivered_by_shard_[shard];
+  it->second.transport->Deliver(d.from, d.bytes);
 }
 
 SimTransport::~SimTransport() { net_->Unregister(addr_); }

@@ -1,4 +1,19 @@
 // Simulated datagram network over the transit-stub topology.
+//
+// The fabric spans every shard of a ShardedSim: each endpoint is pinned to
+// the shard that owns its topology domain (shard = domain mod num_shards),
+// so two endpoints on different shards are always in different domains and
+// every cross-shard datagram experiences at least the inter-domain latency
+// — the conservative synchronization window the coordinator advances by.
+//
+// Determinism is independent of the shard count:
+//  - loss and jitter draw from a per-endpoint RNG stream, so the coin
+//    flips a node's sends consume depend only on that node's own history,
+//    never on how other nodes' events interleave globally;
+//  - every datagram carries a (send-time, source-ordinal, sequence) key
+//    and destinations execute deliveries in key order, so equal-time
+//    arrivals tie-break identically whether the sender was co-resident or
+//    three shards away.
 #ifndef P2_SIM_NETWORK_H_
 #define P2_SIM_NETWORK_H_
 
@@ -10,6 +25,7 @@
 #include "src/net/transport.h"
 #include "src/runtime/random.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/shard.h"
 #include "src/sim/topology.h"
 
 namespace p2 {
@@ -19,13 +35,25 @@ class SimTransport;
 // The shared fabric: owns the address registry and delivers datagrams with
 // topology-derived latency (+ optional jitter and loss). Endpoints are
 // SimTransport objects created via MakeTransport.
+//
+// Threading contract: MakeTransport / Unregister / set_loss_rate run on
+// the coordinator thread (between runs or from control-timeline tasks)
+// while every shard is parked; sends and deliveries run on shard threads
+// and touch only registry reads, the sending endpoint's own RNG/sequence
+// state, and the destination shard's delivery lane.
 class SimNetwork {
  public:
-  SimNetwork(SimEventLoop* loop, Topology topology, uint64_t seed)
-      : loop_(loop), topology_(topology), rng_(seed) {}
+  // Sharded fabric. Tightens the engine's sync window to the topology's
+  // minimum cross-domain latency when the engine has more than one shard.
+  SimNetwork(ShardedSim* engine, Topology topology, uint64_t seed);
+
+  // Single-loop fabric (unit tests, single-threaded harnesses): the whole
+  // fleet lives on `loop` as one shard.
+  SimNetwork(SimEventLoop* loop, Topology topology, uint64_t seed);
 
   // Creates an endpoint bound to `addr`, placed at `topo_index` in the
-  // topology. Addresses must be unique among live endpoints.
+  // topology (which also fixes its shard). Addresses must be unique among
+  // live endpoints.
   std::unique_ptr<SimTransport> MakeTransport(const std::string& addr, size_t topo_index);
 
   // Probability that any datagram is silently dropped (default 0).
@@ -35,10 +63,16 @@ class SimNetwork {
   // transport destructor as well.
   void Unregister(const std::string& addr);
 
-  // Fabric-wide delivered-message counter (for tests).
-  uint64_t delivered() const { return delivered_; }
+  // Fabric-wide delivered-message counter: an explicit merge of the
+  // per-shard counters (each written only by its own shard's thread).
+  uint64_t delivered() const;
 
-  SimEventLoop* loop() { return loop_; }
+  size_t num_shards() const { return loops_.size(); }
+  // The shard owning topology slot `topo_index`.
+  size_t ShardOf(size_t topo_index) const;
+  // The executor driving shard `i`.
+  SimEventLoop* shard_loop(size_t i) { return loops_[i]; }
+
   const Topology& topology() const { return topology_; }
 
  private:
@@ -47,15 +81,19 @@ class SimNetwork {
   struct Endpoint {
     SimTransport* transport;
     size_t topo_index;
+    size_t shard;
   };
 
+  void Init();
   void Send(SimTransport* from, const std::string& to, std::vector<uint8_t> bytes);
+  void Deliver(size_t shard, const SimDelivery& d);
 
-  SimEventLoop* loop_;
   Topology topology_;
-  Rng rng_;
+  Rng rng_;  // seeds per-endpoint streams, in registration order
   double loss_rate_ = 0.0;
-  uint64_t delivered_ = 0;
+  uint64_t next_ordinal_ = 1;
+  std::vector<SimEventLoop*> loops_;
+  std::vector<uint64_t> delivered_by_shard_;
   std::unordered_map<std::string, Endpoint> endpoints_;
 };
 
@@ -71,17 +109,28 @@ class SimTransport : public Transport {
   const TrafficStats& stats() const override { return stats_; }
 
   size_t topo_index() const { return topo_index_; }
+  size_t shard() const { return shard_; }
 
  private:
   friend class SimNetwork;
-  SimTransport(SimNetwork* net, std::string addr, size_t topo_index)
-      : net_(net), addr_(std::move(addr)), topo_index_(topo_index) {}
+  SimTransport(SimNetwork* net, std::string addr, size_t topo_index, size_t shard,
+               uint64_t ordinal, uint64_t rng_seed)
+      : net_(net),
+        addr_(std::move(addr)),
+        topo_index_(topo_index),
+        shard_(shard),
+        ordinal_(ordinal),
+        rng_(rng_seed) {}
 
   void Deliver(const std::string& from, const std::vector<uint8_t>& bytes);
 
   SimNetwork* net_;
   std::string addr_;
   size_t topo_index_;
+  size_t shard_;
+  uint64_t ordinal_;  // unique per endpoint incarnation: the delivery key
+  uint64_t send_seq_ = 0;
+  Rng rng_;  // this endpoint's private loss/jitter stream
   ReceiveFn receiver_;
   TrafficStats stats_;
 };

@@ -1,0 +1,166 @@
+#include "src/sim/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "src/runtime/logging.h"
+#include "src/runtime/value.h"
+
+namespace p2 {
+
+ShardedSim::ShardedSim(size_t num_shards)
+    : window_(std::numeric_limits<double>::infinity()), control_(this) {
+  if (num_shards < 1) {
+    num_shards = 1;
+  }
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto loop = std::make_unique<SimEventLoop>();
+    loop->shard_index_ = i;
+    shards_.push_back(std::move(loop));
+  }
+}
+
+ShardedSim::~ShardedSim() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ShardedSim::set_sync_window(double w) {
+  P2_CHECK(w > 0);
+  window_ = std::min(window_, w);
+}
+
+uint64_t ShardedSim::events_run() const {
+  uint64_t total = control_events_run_;
+  for (const auto& s : shards_) {
+    total += s->events_run();
+  }
+  return total;
+}
+
+void ShardedSim::EnsureWorkers() {
+  if (shards_.size() == 1 || !workers_.empty()) {
+    return;
+  }
+  workers_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i]() { WorkerMain(i); });
+  }
+}
+
+void ShardedSim::WorkerMain(size_t index) {
+  uint64_t seen = 0;
+  for (;;) {
+    double end;
+    bool inclusive;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Fully parked: no window running, no straggler-drain touching our
+      // heap. The coordinator waits for resting_ == num_shards before it
+      // runs control tasks, which may push into any shard's heap directly.
+      ++resting_;
+      cv_done_.notify_all();
+      cv_work_.wait(lock, [&]() { return stop_ || epoch_ != seen; });
+      --resting_;
+      if (stop_) {
+        lock.unlock();
+        // Recycled Id blocks parked in this thread's pool would otherwise
+        // outlive the thread as a leak.
+        DrainThreadIdRepPool();
+        return;
+      }
+      seen = epoch_;
+      end = target_;
+      inclusive = inclusive_;
+    }
+    shards_[index]->RunWindow(end, inclusive);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_ == shards_.size()) {
+        // Wakes the coordinator and any peers in the straggler-drain loop.
+        cv_done_.notify_all();
+      }
+    }
+    // Straggler phase: peers still inside this window may flood our bounded
+    // mailbox; keep folding it (owning thread) so their blocked pushes make
+    // progress instead of deadlocking the barrier. Once every shard is done
+    // no shard thread sends until the next epoch, so we park cleanly and the
+    // next RunWindow's entry drain picks up the remainder.
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_ && epoch_ == seen && done_ != shards_.size()) {
+      lock.unlock();
+      shards_[index]->DrainMailbox();
+      lock.lock();
+      cv_done_.wait_for(lock, std::chrono::microseconds(200), [&]() {
+        return stop_ || epoch_ != seen || done_ == shards_.size();
+      });
+    }
+  }
+}
+
+void ShardedSim::RunShardsWindow(double end, bool inclusive) {
+  if (shards_.size() == 1) {
+    shards_[0]->RunWindow(end, inclusive);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target_ = end;
+    inclusive_ = inclusive;
+    done_ = 0;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock,
+                [&]() { return done_ == shards_.size() && resting_ == shards_.size(); });
+  // Mailboxes may still hold messages mailed late in the window; each
+  // shard folds its own at the top of its next RunWindow (the fold is
+  // owner-thread-only by design), and conservative sync guarantees nothing
+  // in them is due before that window starts.
+}
+
+void ShardedSim::RunDueControl() {
+  double at;
+  Task task;
+  while (control_.wheel_.PopDue(now_, &at, &task)) {
+    ++control_events_run_;
+    task();
+  }
+}
+
+void ShardedSim::RunUntil(double deadline) {
+  if (deadline < now_) {
+    return;
+  }
+  EnsureWorkers();
+  for (;;) {
+    // Control tasks due at the barrier run first — before shard events at
+    // the same instant — on the coordinator thread, with every shard
+    // parked. They may schedule more control work or touch any shard.
+    RunDueControl();
+    if (now_ >= deadline) {
+      break;
+    }
+    double end = std::min(now_ + window_, deadline);
+    double hint = control_.wheel_.NextDueHint();
+    if (hint > now_ && hint < end) {
+      end = hint;  // shrink the window so the control task fires on time
+    }
+    RunShardsWindow(end, /*inclusive=*/false);
+    now_ = end;
+  }
+  // Events at exactly `deadline` run in a final inclusive pass, after any
+  // control task scheduled for `deadline`.
+  RunShardsWindow(deadline, /*inclusive=*/true);
+}
+
+}  // namespace p2

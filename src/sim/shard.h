@@ -1,0 +1,134 @@
+// ShardedSim: share-nothing multi-threaded discrete-event simulation.
+//
+// One simulation is split into N shards, each owning a partition of the
+// fleet with its own event loop, timer wheel, per-endpoint RNG streams and
+// metrics. Shards share no mutable runtime state: a tuple crossing shards
+// travels as already-marshaled bytes (src/net/wire.*), exactly as it would
+// cross a real network, through a bounded MPSC mailbox on the destination
+// shard.
+//
+// Time advances under conservative window synchronization. The simulated
+// topology places shard boundaries only between domains, so any cross-shard
+// datagram experiences at least W = Topology::MinCrossDomainLatency() of
+// latency. The coordinator therefore advances all shards in lockstep
+// windows of at most W virtual seconds: during a window shards run in
+// parallel and may only enqueue work for each other at or beyond the next
+// barrier; at the barrier the coordinator folds every mailbox into its
+// shard's delivery heap. Because deliveries are executed in the
+// content-derived (time, source, sequence) order — not mailbox-arrival
+// order — a fixed seed produces identical per-node event sequences for
+// --shards 1 and --shards N.
+//
+// The coordinator also owns the *control timeline*: an executor whose
+// tasks run on the coordinator thread at window barriers, while every
+// shard is parked. Harness-level actions that touch cross-shard state —
+// staggered joins, churn kills/replacements, bootstrap-snapshot refreshes
+// — schedule here. A pending control task shrinks the next window so the
+// task still fires at its exact virtual time (windows only ever shrink;
+// they never stretch a control deadline to the next multiple of W).
+#ifndef P2_SIM_SHARD_H_
+#define P2_SIM_SHARD_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/executor.h"
+#include "src/runtime/timer_wheel.h"
+#include "src/sim/event_loop.h"
+
+namespace p2 {
+
+class ShardedSim {
+ public:
+  // `num_shards` >= 1. With one shard everything runs inline on the
+  // calling thread; with more, one worker thread per shard is spawned on
+  // first use. The synchronization window defaults to +infinity (pure
+  // timer workloads need no barriers) and is tightened by the simulated
+  // network via set_sync_window.
+  explicit ShardedSim(size_t num_shards);
+  ~ShardedSim();
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  SimEventLoop* shard(size_t i) { return shards_[i].get(); }
+
+  // The control timeline (see file comment). Safe to call Now /
+  // ScheduleAfter / Cancel from the coordinator thread between runs or
+  // from control tasks themselves; never from shard threads.
+  Executor* control() { return &control_; }
+
+  // Barrier time: every shard's clock equals this between runs.
+  double Now() const { return now_; }
+
+  // Drives all shards (and the control timeline) to `deadline`. Events at
+  // exactly `deadline` run; control tasks at a time t always run before
+  // shard events at t. Blocks the calling thread until the barrier at
+  // `deadline` is reached.
+  void RunUntil(double deadline);
+  void RunFor(double seconds) { RunUntil(now_ + seconds); }
+
+  // Tightens the conservative window (keeps the minimum of all calls).
+  void set_sync_window(double w);
+  double sync_window() const { return window_; }
+
+  // Events executed across all shards plus control tasks run. The total is
+  // shard-count-invariant for a fixed seed — a useful determinism check.
+  uint64_t events_run() const;
+
+ private:
+  class ControlTimeline : public Executor {
+   public:
+    explicit ControlTimeline(ShardedSim* owner) : owner_(owner) {}
+    double Now() const override { return owner_->now_; }
+    TimerId ScheduleAfter(double delay, Task task) override {
+      if (delay < 0) {
+        delay = 0;
+      }
+      return wheel_.Schedule(owner_->now_ + delay, std::move(task));
+    }
+    void Cancel(TimerId id) override {
+      if (id != kInvalidTimer) {
+        wheel_.Cancel(id);
+      }
+    }
+
+   private:
+    friend class ShardedSim;
+    ShardedSim* owner_;
+    TimerWheel wheel_;
+  };
+
+  void EnsureWorkers();
+  void WorkerMain(size_t index);
+  // Runs one parallel window on every shard, then folds all mailboxes.
+  void RunShardsWindow(double end, bool inclusive);
+  // Pops and runs every control task due at or before now_.
+  void RunDueControl();
+
+  double now_ = 0.0;
+  double window_;
+  uint64_t control_events_run_ = 0;
+  std::vector<std::unique_ptr<SimEventLoop>> shards_;
+  ControlTimeline control_;
+
+  // Worker coordination (unused with a single shard).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t epoch_ = 0;
+  double target_ = 0;
+  bool inclusive_ = false;
+  size_t done_ = 0;
+  size_t resting_ = 0;  // workers parked in the top-of-loop wait
+  bool stop_ = false;
+};
+
+}  // namespace p2
+
+#endif  // P2_SIM_SHARD_H_

@@ -12,6 +12,15 @@ double Topology::LatencyBetween(size_t a, size_t b) const {
   return 2.0 * config_.intra_domain_latency_s + config_.inter_domain_latency_s;
 }
 
+double Topology::MinCrossDomainLatency() const {
+  double base = 2.0 * config_.intra_domain_latency_s + config_.inter_domain_latency_s;
+  double jitter = config_.jitter_fraction;
+  if (jitter > 0 && jitter < 1) {
+    base *= 1.0 - jitter;
+  }
+  return base;
+}
+
 double Topology::SerializationDelay(size_t a, size_t b, size_t bytes) const {
   if (a == b) {
     return 0.0;

@@ -38,6 +38,14 @@ class Topology {
   // Serialization delay for `bytes` across the path's links (seconds).
   double SerializationDelay(size_t a, size_t b, size_t bytes) const;
 
+  // Smallest possible end-to-end latency between two nodes in *different*
+  // domains: intra + inter + intra, shrunk by the worst-case downward
+  // jitter. The sharded simulator partitions nodes so that distinct shards
+  // never share a domain, making this the conservative-synchronization
+  // window: any cross-shard datagram sent at time t arrives at or after
+  // t + MinCrossDomainLatency().
+  double MinCrossDomainLatency() const;
+
   const TopologyConfig& config() const { return config_; }
 
  private:

@@ -1,13 +1,15 @@
-// Golden equivalence between the two PEL execution engines.
+// Register-VM regression vectors.
 //
-// The register VM (PelVm::Eval) must agree byte-for-byte with the legacy
-// stack interpreter (PelVm::EvalStack) on every program the lowering
-// accepts. A few deterministic lowering shape checks pin the field-load
-// fusion, then a randomized generator builds thousands of well-typed stack
-// programs (type-tracked so no P2_FATAL coercion path fires) and runs both
-// engines on identical environments, including the stochastic builtins
-// (identically seeded Rngs draw identical streams because both engines
-// evaluate the same op sequence eagerly).
+// The randomized program generator here originally drove a golden
+// equivalence test between the register VM and the legacy stack
+// interpreter; the stack engine soaked and was deleted, and the same
+// thousands of well-typed programs (type-tracked so no P2_FATAL coercion
+// path fires) now pin the register VM directly: every program must lower,
+// evaluate without tripping an abort or a sanitizer, evaluate
+// *deterministically* (two identically seeded environments produce
+// identical results, including through the stochastic builtins), and
+// produce values whose Compare/Hash self-consistency holds. A few
+// deterministic lowering shape checks pin the field-load fusion.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -298,7 +300,7 @@ struct GenState {
   }
 };
 
-TEST(PelEquivalence, RandomProgramsAgreeAcrossEngines) {
+TEST(PelRegression, RandomProgramsEvaluateDeterministically) {
   SimEventLoop loop;
   std::string addr = "n3:1234";
 
@@ -318,31 +320,33 @@ TEST(PelEquivalence, RandomProgramsAgreeAcrossEngines) {
     }
     gen.Finish();
 
-    // Identically seeded stochastic environments: both engines evaluate the
-    // same op sequence eagerly, so they draw identical streams.
+    // Identically seeded stochastic environments must draw identical
+    // streams: the register VM evaluates the op sequence eagerly, so two
+    // fresh VMs over the same program agree value-for-value.
     Rng rng_a(42 + i);
     Rng rng_b(42 + i);
     PelVm vm_a(PelEnv{&loop, &rng_a, &addr});
     PelVm vm_b(PelEnv{&loop, &rng_b, &addr});
-    Value reg = vm_a.Eval(gen.prog, input.get());
-    Value stk = vm_b.EvalStack(gen.prog, input.get());
+    Value a = vm_a.Eval(gen.prog, input.get());
+    Value b = vm_b.Eval(gen.prog, input.get());
 
-    ASSERT_EQ(reg.type(), stk.type())
+    ASSERT_EQ(a.type(), b.type())
         << "program " << i << ":\n"
         << gen.prog.Disassemble() << "-- lowered --\n"
-        << gen.prog.DisassembleRegs() << "reg=" << reg.ToString()
-        << " stack=" << stk.ToString();
-    ASSERT_EQ(Value::Compare(reg, stk), 0)
+        << gen.prog.DisassembleRegs() << "a=" << a.ToString() << " b=" << b.ToString();
+    ASSERT_EQ(Value::Compare(a, b), 0)
         << "program " << i << ":\n"
         << gen.prog.Disassemble() << "-- lowered --\n"
-        << gen.prog.DisassembleRegs() << "reg=" << reg.ToString()
-        << " stack=" << stk.ToString();
-    ASSERT_EQ(reg.HashValue(), stk.HashValue()) << "program " << i;
+        << gen.prog.DisassembleRegs() << "a=" << a.ToString() << " b=" << b.ToString();
+    ASSERT_EQ(a.HashValue(), b.HashValue()) << "program " << i;
+    // Compare must see a value as equal to its own copy.
+    Value copy = a;
+    ASSERT_EQ(Value::Compare(a, copy), 0) << "program " << i;
   }
 }
 
-// The engines must also agree on programs that read no input at all.
-TEST(PelEquivalence, NoInputPrograms) {
+// Programs that read no input at all must evaluate the same way.
+TEST(PelRegression, NoInputPrograms) {
   SimEventLoop loop;
   std::string addr = "n0";
   std::vector<Ty> no_fields;
@@ -357,10 +361,10 @@ TEST(PelEquivalence, NoInputPrograms) {
     Rng rng_b(7 + i);
     PelVm vm_a(PelEnv{&loop, &rng_a, &addr});
     PelVm vm_b(PelEnv{&loop, &rng_b, &addr});
-    Value reg = vm_a.Eval(gen.prog, nullptr);
-    Value stk = vm_b.EvalStack(gen.prog, nullptr);
-    ASSERT_EQ(reg.type(), stk.type()) << gen.prog.Disassemble();
-    ASSERT_EQ(Value::Compare(reg, stk), 0) << gen.prog.Disassemble();
+    Value a = vm_a.Eval(gen.prog, nullptr);
+    Value b = vm_b.Eval(gen.prog, nullptr);
+    ASSERT_EQ(a.type(), b.type()) << gen.prog.Disassemble();
+    ASSERT_EQ(Value::Compare(a, b), 0) << gen.prog.Disassemble();
   }
 }
 

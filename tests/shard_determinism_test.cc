@@ -1,0 +1,127 @@
+// Shard-count determinism: the whole point of conservative-window
+// synchronization plus content-keyed delivery ordering is that sharding is
+// a pure performance lever. For a fixed seed, --shards 1 and --shards 4
+// must produce the same simulation — same per-node event sequences, hence
+// same converged routing tables, same per-node delivered-datagram counts,
+// and the same fleet-wide event totals — for both a heavyweight overlay
+// (declarative Chord with loss and workload lookups) and a lightweight one
+// (gossip membership).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cli/scenario.h"
+#include "src/harness/workload.h"
+#include "src/overlays/gossip.h"
+
+namespace p2 {
+namespace {
+
+struct ChordRunResult {
+  std::vector<std::string> successors;
+  std::vector<uint64_t> delivered;
+  uint64_t events = 0;
+  size_t completed = 0;
+  size_t consistent = 0;
+  std::vector<int> hops;
+};
+
+ChordRunResult RunChord(size_t shards) {
+  TestbedConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.seed = 4242;
+  cfg.shards = shards;
+  cfg.loss_rate = 0.1;
+  cfg.chord.finger_fix_period_s = 2.0;
+  cfg.chord.stabilize_period_s = 2.5;
+  cfg.chord.ping_period_s = 0.8;
+  cfg.chord.succ_lifetime_s = 1.7;
+  cfg.chord.finger_lifetime_s = 60.0;
+  ChordTestbed tb(cfg);
+  tb.BuildAndSettle(0.25 * 24 + 90.0);
+  for (int i = 0; i < 8; ++i) {
+    tb.IssueRandomLookup();
+    tb.RunFor(1.0);
+  }
+  tb.RunFor(25.0);
+  ChordRunResult r;
+  r.successors = tb.BestSuccessorByNode();
+  r.delivered = tb.DeliveredByNode();
+  r.events = tb.EventsRun();
+  for (const auto& rec : tb.lookups()) {
+    r.completed += rec.completed ? 1 : 0;
+    r.consistent += rec.consistent ? 1 : 0;
+    r.hops.push_back(rec.hops);
+  }
+  return r;
+}
+
+TEST(ShardDeterminism, ChordIdenticalAcrossShardCounts) {
+  ChordRunResult one = RunChord(1);
+  ChordRunResult four = RunChord(4);
+  // Converged routing tables: every node's best successor matches.
+  EXPECT_EQ(one.successors, four.successors);
+  // Per-node delivered-event counts match endpoint for endpoint.
+  EXPECT_EQ(one.delivered, four.delivered);
+  EXPECT_EQ(one.events, four.events);
+  EXPECT_EQ(one.completed, four.completed);
+  EXPECT_EQ(one.consistent, four.consistent);
+  EXPECT_EQ(one.hops, four.hops);
+  // And the run did something: a settled 24-ring answers its lookups.
+  EXPECT_GE(one.completed, 6u);
+}
+
+struct GossipRunResult {
+  std::vector<size_t> view_sizes;
+  std::vector<uint64_t> delivered;
+  uint64_t events = 0;
+};
+
+GossipRunResult RunGossipFleet(size_t shards) {
+  constexpr size_t kNodes = 16;
+  ScenarioNet net(BackendKind::kSim, kNodes, 77, /*loss_rate=*/0.05,
+                  /*udp_base_port=*/0, /*reliable=*/false, ReliableConfig{}, shards);
+  GossipConfig gc;
+  gc.gossip_period_s = 1.0;
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  for (size_t i = 0; i < kNodes; ++i) {
+    P2NodeConfig nc;
+    nc.executor = net.executor(i);
+    nc.transport = net.transport(i);
+    nc.seed = 77 + i;
+    std::vector<std::string> seeds;
+    if (i > 0) {
+      seeds.push_back(net.addr(i - 1));
+    }
+    nodes.push_back(std::make_unique<GossipNode>(nc, gc, seeds));
+    nodes.back()->Start();
+  }
+  net.Run(90.0);
+  GossipRunResult r;
+  for (size_t i = 0; i < kNodes; ++i) {
+    r.view_sizes.push_back(nodes[i]->Members().size());
+    r.delivered.push_back(net.transport(i)->stats().msgs_in);
+  }
+  r.events = net.SimEventsRun();
+  for (auto& n : nodes) {
+    n->Stop();
+  }
+  return r;
+}
+
+TEST(ShardDeterminism, GossipIdenticalAcrossShardCounts) {
+  GossipRunResult one = RunGossipFleet(1);
+  GossipRunResult four = RunGossipFleet(4);
+  EXPECT_EQ(one.view_sizes, four.view_sizes);
+  EXPECT_EQ(one.delivered, four.delivered);
+  EXPECT_EQ(one.events, four.events);
+  // The fleet actually converged: full views everywhere.
+  for (size_t view : one.view_sizes) {
+    EXPECT_EQ(view, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace p2
