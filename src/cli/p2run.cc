@@ -43,6 +43,9 @@ void Usage(const char* argv0) {
       "                       any shard count (default 1)\n"
       "  --port <base>        udp: first port to bind (default: kernel picks)\n"
       "  --seed <n>           RNG seed (default 1)\n"
+      "  --planner <mode>     seminaive (default) or legacy rule compilation\n"
+      "  --explain            print the overlay's compiled rule plans (triggers,\n"
+      "                       join order, fanout estimates, indices) and exit\n"
       "  --verbose            info-level runtime logging\n",
       argv0);
 }
@@ -59,6 +62,7 @@ bool NeedValue(int argc, char** argv, int i) {
 
 int main(int argc, char** argv) {
   p2::ScenarioConfig config;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -151,6 +155,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--planner") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "seminaive") == 0 || std::strcmp(mode, "semi-naive") == 0) {
+        config.planner = p2::PlannerMode::kSemiNaive;
+      } else if (std::strcmp(mode, "legacy") == 0) {
+        config.planner = p2::PlannerMode::kLegacy;
+      } else {
+        std::fprintf(stderr, "unknown planner mode; expected seminaive|legacy\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--explain") == 0) {
+      explain = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       config.verbose = true;
     } else {
@@ -161,6 +180,11 @@ int main(int argc, char** argv) {
   }
   if (config.verbose) {
     p2::SetLogLevel(p2::LogLevel::kInfo);
+  }
+
+  if (explain) {
+    std::fputs(p2::ExplainOverlayPlan(config.overlay, config.planner).c_str(), stdout);
+    return 0;
   }
 
   std::printf("p2run: overlay=%s nodes=%zu backend=%s seed=%llu",

@@ -453,6 +453,7 @@ ScenarioReport RunChordUdp(const ScenarioConfig& config, ScenarioNet* net) {
     nc.executor = net->executor(i);
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
+    nc.planner_mode = config.planner;
     nodes.push_back(std::make_unique<ChordNode>(nc, chord,
                                                 i == 0 ? "" : net->addr(0)));
     nodes.back()->Start();
@@ -527,6 +528,7 @@ ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
     nc.executor = net->executor(i);
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
+    nc.planner_mode = config.planner;
     // Chain seeding: node i only knows node i-1; convergence therefore
     // proves full transitive spread, not just one-hop pushes.
     std::vector<std::string> seeds;
@@ -552,6 +554,7 @@ ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
         nc.executor = net->executor(slot);
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
+        nc.planner_mode = config.planner;
         std::vector<std::string> seeds{
             net->addr((slot + net->size() - 1) % net->size())};
         nodes[slot] = std::make_unique<GossipNode>(nc, gc, seeds);
@@ -610,6 +613,7 @@ ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
     nc.executor = net->executor(i);
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
+    nc.planner_mode = config.planner;
     // Chain mesh: i <-> i+1; epidemic refresh must spread membership.
     std::vector<std::string> neighbors;
     if (i > 0) {
@@ -636,6 +640,7 @@ ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
         nc.executor = net->executor(slot);
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
+        nc.planner_mode = config.planner;
         std::vector<std::string> neighbors{
             net->addr((slot + net->size() - 1) % net->size()),
             net->addr((slot + 1) % net->size())};
@@ -709,6 +714,7 @@ ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
     nc.executor = net->executor(i);
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
+    nc.planner_mode = config.planner;
     nodes.push_back(std::make_unique<PathVectorNode>(nc, pv, links_for(i)));
     nodes.back()->Start();
   }
@@ -738,6 +744,7 @@ ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
         nc.executor = net->executor(slot);
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
+        nc.planner_mode = config.planner;
         nodes[slot] = std::make_unique<PathVectorNode>(nc, pv, links_for(slot));
         nodes[slot]->Start();
       });
@@ -838,6 +845,38 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return report;
+}
+
+std::string ExplainOverlayPlan(OverlayKind kind, PlannerMode mode) {
+  // One planning node plus a peer slot so seed-member/landmark/link
+  // arguments have a real address to point at. Tables are empty at plan
+  // time, so the fanout estimates come from the static spec priors and the
+  // dump is identical on every run.
+  ScenarioNet net(BackendKind::kSim, 2, /*seed=*/1);
+  P2NodeConfig nc;
+  nc.executor = net.executor(0);
+  nc.transport = net.transport(0);
+  nc.seed = 1;
+  nc.planner_mode = mode;
+  switch (kind) {
+    case OverlayKind::kChord: {
+      ChordNode node(nc, ChordConfig{}, /*landmark_addr=*/"");
+      return node.node()->PlanExplain();
+    }
+    case OverlayKind::kGossip: {
+      GossipNode node(nc, GossipConfig{}, {net.addr(1)});
+      return node.node()->PlanExplain();
+    }
+    case OverlayKind::kNarada: {
+      NaradaNode node(nc, NaradaConfig{}, {net.addr(1)});
+      return node.node()->PlanExplain();
+    }
+    case OverlayKind::kPathVector: {
+      PathVectorNode node(nc, PathVectorConfig{}, {{net.addr(1), 1}});
+      return node.node()->PlanExplain();
+    }
+  }
+  return "";
 }
 
 }  // namespace p2

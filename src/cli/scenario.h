@@ -23,6 +23,7 @@
 #include "src/net/stack/reliable_channel.h"
 #include "src/net/transport.h"
 #include "src/net/udp_loop.h"
+#include "src/overlog/planner.h"
 #include "src/runtime/executor.h"
 #include "src/sim/network.h"
 #include "src/sim/shard.h"
@@ -68,6 +69,10 @@ struct ScenarioConfig {
   // Udp backend only: first port to bind (node i gets base+i); 0 lets the
   // kernel pick free ports.
   uint16_t udp_base_port = 0;
+  // Rule compilation strategy for every node in the fleet; kLegacy runs
+  // the pre-semi-naive planner (single trigger per rule, source-order
+  // joins, full-scan aggregates) for differential comparison.
+  PlannerMode planner = PlannerMode::kSemiNaive;
   bool verbose = false;
 };
 
@@ -103,6 +108,14 @@ struct ScenarioReport {
 // Runs one scenario to completion. Deterministic for the sim backend given
 // a fixed config (virtual time, seeded RNG); best-effort timing for udp.
 ScenarioReport RunScenario(const ScenarioConfig& config);
+
+// Compiled-plan dump for one overlay's bundled program: builds a single
+// node on the simulator backend and returns its P2Node::PlanExplain() —
+// per-rule triggers, join order with fanout estimates, probed indices and
+// head routing. Deterministic for a given overlay and planner mode
+// (`p2run --explain` and the golden-plan tests print exactly this).
+std::string ExplainOverlayPlan(OverlayKind kind,
+                               PlannerMode mode = PlannerMode::kSemiNaive);
 
 // ScenarioNet: the backend-owning node fabric that RunScenario and the
 // examples build fleets on. Owns the executors — a (possibly sharded)

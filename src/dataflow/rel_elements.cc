@@ -96,7 +96,6 @@ JoinElement::JoinElement(std::string name, PelEnv env, Table* table, std::vector
 
 int JoinElement::Push(int port, const TuplePtr& t, const Callback& cb) {
   (void)port;
-  (void)cb;
   std::vector<Value> key_vals;
   key_vals.reserve(keys_.size());
   for (const JoinKey& k : keys_) {
@@ -111,7 +110,7 @@ int JoinElement::Push(int port, const TuplePtr& t, const Callback& cb) {
     fields.reserve(t->size() + row->size());
     fields.insert(fields.end(), t->fields().begin(), t->fields().end());
     fields.insert(fields.end(), row->fields().begin(), row->fields().end());
-    signal &= PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
+    signal &= PushOut(0, Tuple::Make(out_schema_, std::move(fields)), cb);
   }
   return signal;
 }
@@ -275,7 +274,6 @@ void AggWrapElement::Flush() {
 
 int RuleDriver::Push(int port, const TuplePtr& t, const Callback& cb) {
   (void)port;
-  (void)cb;
   if (t->size() < min_arity_) {
     ++malformed_;
     return 1;
@@ -283,79 +281,214 @@ int RuleDriver::Push(int port, const TuplePtr& t, const Callback& cb) {
   ++fires_;
   if (agg_ != nullptr) {
     agg_->Begin(t);
-    PushOut(0, t);
+    PushOut(0, t, cb);
     agg_->Flush();
     return 1;
   }
-  return PushOut(0, t);
+  return PushOut(0, t, cb);
 }
 
 // --- TableAggWatcher ---
 
 TableAggWatcher::TableAggWatcher(std::string name, Table* table, std::vector<size_t> group_cols,
-                                 AggKind kind, size_t agg_col, std::string out_name)
+                                 AggKind kind, size_t agg_col, std::string out_name, Mode mode)
     : Element(std::move(name)),
       table_(table),
       group_cols_(std::move(group_cols)),
       kind_(kind),
       agg_col_(agg_col),
-      out_schema_(InternSchema(out_name)) {}
+      out_schema_(InternSchema(out_name)),
+      mode_(mode) {}
 
 void TableAggWatcher::Attach() {
-  table_->AddDeltaListener([this](const TuplePtr&) { Recompute(); });
-  table_->AddRemoveListener([this](const TuplePtr&) { Recompute(); });
+  if (mode_ == Mode::kLegacyRecompute) {
+    table_->AddDeltaListener([this](const TuplePtr&) { Recompute(); });
+    table_->AddRemoveListener([this](const TuplePtr&) { Recompute(); });
+    return;
+  }
+  // Seed running state from the live rows (Scan purges expired ones first),
+  // then subscribe. In practice the planner attaches before any facts are
+  // installed, so the table is empty here.
+  for (const TuplePtr& row : table_->Scan()) {
+    ApplyRow(row, +1);
+  }
+  table_->AddTypedListener([this](const TableDelta& d) { OnDelta(d); });
+}
+
+void TableAggWatcher::OnDelta(const TableDelta& d) {
+  pending_.push_back(d);
+  if (processing_) {
+    return;  // the active invocation drains the queue in arrival order
+  }
+  processing_ = true;
+  while (!pending_.empty()) {
+    TableDelta next = std::move(pending_.front());
+    pending_.pop_front();
+    ProcessDelta(next);
+  }
+  processing_ = false;
+}
+
+void TableAggWatcher::ProcessDelta(const TableDelta& d) {
+  switch (d.kind) {
+    case TableDelta::Kind::kInsert:
+      EmitGroup(ApplyRow(d.tuple, +1));
+      break;
+    case TableDelta::Kind::kRemove:
+      EmitGroup(ApplyRow(d.tuple, -1));
+      break;
+    case TableDelta::Kind::kReplace: {
+      if (d.old_tuple->SameAs(*d.tuple)) {
+        return;  // TTL refresh of an identical row: no aggregate change
+      }
+      std::vector<Value> old_key = ApplyRow(d.old_tuple, -1);
+      std::vector<Value> new_key = ApplyRow(d.tuple, +1);
+      if (!(old_key == new_key)) {
+        EmitGroup(old_key);
+      }
+      EmitGroup(new_key);
+      break;
+    }
+  }
+}
+
+std::vector<Value> TableAggWatcher::ApplyRow(const TuplePtr& row, int sign) {
+  std::vector<Value> key = row->KeyOf(group_cols_);
+  Value input = agg_col_ < row->size() ? row->field(agg_col_) : Value::Null();
+  Group& g = groups_[key];
+  g.rows += sign;
+  switch (kind_) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (sign > 0) {
+        // A fresh group takes the first value as-is, so the accumulator
+        // keeps the input's numeric type (int sums stay int).
+        g.sum = g.rows == 1 ? input : Value::Add(g.sum, input);
+      } else {
+        g.sum = Value::Sub(g.sum, input);
+      }
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      auto it = g.support.try_emplace(input, 0).first;
+      it->second += sign;
+      if (it->second <= 0) {
+        g.support.erase(it);
+      }
+      break;
+    }
+  }
+  if (g.rows <= 0) {
+    groups_.erase(key);
+  }
+  return key;
+}
+
+void TableAggWatcher::EmitGroup(const std::vector<Value>& key) {
+  auto git = groups_.find(key);
+  if (git == groups_.end()) {
+    // Group vanished: for counts, report 0 so downstream thresholds reset;
+    // extremal/sum aggregates have no meaningful "empty" output — just
+    // forget them so a future row re-emits.
+    auto prev = last_.find(key);
+    if (prev == last_.end()) {
+      return;
+    }
+    if (kind_ == AggKind::kCount) {
+      std::vector<Value> fields = key;
+      fields.push_back(Value::Int(0));
+      PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
+    }
+    last_.erase(prev);
+    return;
+  }
+  const Group& g = git->second;
+  Value v;
+  switch (kind_) {
+    case AggKind::kCount:
+      v = Value::Int(g.rows);
+      break;
+    case AggKind::kSum:
+      v = g.sum;
+      break;
+    case AggKind::kAvg:
+      v = Value::Div(g.sum, Value::Int(g.rows));
+      break;
+    case AggKind::kMin:
+      v = g.support.begin()->first;
+      break;
+    case AggKind::kMax:
+      v = g.support.rbegin()->first;
+      break;
+  }
+  auto prev = last_.find(key);
+  if (prev != last_.end() && prev->second == v) {
+    return;
+  }
+  last_[key] = v;
+  std::vector<Value> fields = key;
+  fields.push_back(v);
+  PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
 }
 
 void TableAggWatcher::Recompute() {
   if (recomputing_) {
+    // Scan() purges expired rows, whose removal listeners land back here;
+    // queue a re-run so the nested change is not lost.
+    recompute_queued_ = true;
     return;
   }
   recomputing_ = true;
-  struct WatchAcc {
-    Value value;
-    int64_t count = 0;
-  };
-  std::unordered_map<std::vector<Value>, WatchAcc, ValueVecHash, ValueVecEq> fresh;
-  for (const TuplePtr& row : table_->Scan()) {
-    std::vector<Value> key = row->KeyOf(group_cols_);
-    Value input = agg_col_ < row->size() ? row->field(agg_col_) : Value::Null();
-    auto it = fresh.find(key);
-    if (it == fresh.end()) {
-      WatchAcc a;
-      a.value = AggInit(kind_, input);
-      a.count = 1;
-      fresh.emplace(std::move(key), std::move(a));
-    } else {
-      it->second.value = AggStep(kind_, it->second.value, input, it->second.count);
-      it->second.count += 1;
+  do {
+    recompute_queued_ = false;
+    struct WatchAcc {
+      Value value;
+      int64_t count = 0;
+    };
+    std::unordered_map<std::vector<Value>, WatchAcc, ValueVecHash, ValueVecEq> fresh;
+    for (const TuplePtr& row : table_->Scan()) {
+      std::vector<Value> key = row->KeyOf(group_cols_);
+      Value input = agg_col_ < row->size() ? row->field(agg_col_) : Value::Null();
+      auto it = fresh.find(key);
+      if (it == fresh.end()) {
+        WatchAcc a;
+        a.value = AggInit(kind_, input);
+        a.count = 1;
+        fresh.emplace(std::move(key), std::move(a));
+      } else {
+        it->second.value = AggStep(kind_, it->second.value, input, it->second.count);
+        it->second.count += 1;
+      }
     }
-  }
-  // Groups that vanished entirely (all rows gone): for counts, report 0 so
-  // downstream thresholds reset; extremal aggregates have no meaningful
-  // "empty" output — just forget them so a future row re-emits.
-  for (auto it = last_.begin(); it != last_.end();) {
-    if (fresh.count(it->first) > 0) {
-      ++it;
-      continue;
+    // Groups that vanished entirely (all rows gone): for counts, report 0 so
+    // downstream thresholds reset; extremal aggregates have no meaningful
+    // "empty" output — just forget them so a future row re-emits.
+    for (auto it = last_.begin(); it != last_.end();) {
+      if (fresh.count(it->first) > 0) {
+        ++it;
+        continue;
+      }
+      if (kind_ == AggKind::kCount) {
+        std::vector<Value> fields = it->first;
+        fields.push_back(Value::Int(0));
+        PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
+      }
+      it = last_.erase(it);
     }
-    if (kind_ == AggKind::kCount) {
-      std::vector<Value> fields = it->first;
-      fields.push_back(Value::Int(0));
+    for (auto& [key, acc] : fresh) {
+      Value final_v = AggFinal(kind_, acc.value, acc.count);
+      auto prev = last_.find(key);
+      if (prev != last_.end() && prev->second == final_v) {
+        continue;
+      }
+      last_[key] = final_v;
+      std::vector<Value> fields = key;
+      fields.push_back(final_v);
       PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
     }
-    it = last_.erase(it);
-  }
-  for (auto& [key, acc] : fresh) {
-    Value final_v = AggFinal(kind_, acc.value, acc.count);
-    auto prev = last_.find(key);
-    if (prev != last_.end() && prev->second == final_v) {
-      continue;
-    }
-    last_[key] = final_v;
-    std::vector<Value> fields = key;
-    fields.push_back(final_v);
-    PushOut(0, Tuple::Make(out_schema_, std::move(fields)));
-  }
+  } while (recompute_queued_);
   recomputing_ = false;
 }
 

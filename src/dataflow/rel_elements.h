@@ -5,6 +5,8 @@
 #ifndef P2_DATAFLOW_REL_ELEMENTS_H_
 #define P2_DATAFLOW_REL_ELEMENTS_H_
 
+#include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -203,29 +205,72 @@ class RuleDriver : public Element {
 
 // Maintains an aggregate over a whole table (§3.4 "aggregation elements
 // that maintain an up-to-date aggregate on a table and emit it whenever it
-// changes"). Groups by `group_cols` of the table's rows; on every table
-// delta, recomputes and emits tuples (group fields..., aggregate) under
-// `out_name` for groups whose aggregate changed.
+// changes"). Groups by `group_cols` of the table's rows and emits tuples
+// (group fields..., aggregate) under `out_name` for groups whose aggregate
+// changed.
+//
+// The default mode is incremental over the table's typed delta stream:
+// count/sum/avg update in O(1) per delta; min/max keep a per-group ordered
+// support multiset so retracting the current extremum finds its successor
+// in O(log n) instead of rescanning the table. A key replacement carries
+// the displaced row in the delta, so its contribution is retracted exactly
+// — replacements never fire remove listeners, which is why the legacy
+// full-scan mode (kept for differential testing) had to rescan.
 class TableAggWatcher : public Element {
  public:
-  TableAggWatcher(std::string name, Table* table, std::vector<size_t> group_cols,
-                  AggKind kind, size_t agg_col, std::string out_name);
+  enum class Mode { kIncremental, kLegacyRecompute };
 
-  // Registers the table listeners (inserts AND removals — aggregates must
-  // shrink when rows are deleted, evicted or expire). Call once after
-  // wiring.
+  TableAggWatcher(std::string name, Table* table, std::vector<size_t> group_cols,
+                  AggKind kind, size_t agg_col, std::string out_name,
+                  Mode mode = Mode::kIncremental);
+
+  // Subscribes to the table (inserts AND removals — aggregates must shrink
+  // when rows are deleted, evicted or expire). Call once after wiring.
+  // Incremental mode seeds its running state from the table's current rows
+  // without emitting; like the legacy watcher, the first report happens on
+  // the first post-attach delta.
   void Attach();
 
  private:
-  void Recompute();
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return Value::Compare(a, b) < 0;
+    }
+  };
+  struct Group {
+    int64_t rows = 0;
+    Value sum;  // kSum/kAvg running accumulator
+    // kMin/kMax: aggregate value -> live multiplicity. Ordered so the
+    // extremum is begin()/rbegin().
+    std::map<Value, int64_t, ValueLess> support;
+  };
+
+  void OnDelta(const TableDelta& d);
+  void ProcessDelta(const TableDelta& d);
+  // Applies one row's contribution (sign = +1 insert / -1 retract) and
+  // returns the group key it touched.
+  std::vector<Value> ApplyRow(const TuplePtr& row, int sign);
+  // Emits the group's aggregate if it changed since last reported; emits
+  // (key..., 0) for a vanished count group, mirroring the legacy protocol.
+  void EmitGroup(const std::vector<Value>& key);
+  void Recompute();  // legacy full-scan mode
 
   Table* table_;
   std::vector<size_t> group_cols_;
   AggKind kind_;
   size_t agg_col_;
   SchemaId out_schema_;
-  bool recomputing_ = false;  // Scan() can purge rows and re-enter via the
-                              // removal listener
+  Mode mode_;
+  // Incremental: deltas arriving while one is being processed (e.g. a
+  // downstream rule writing back into this table) are queued and drained
+  // in order by the active invocation.
+  bool processing_ = false;
+  std::deque<TableDelta> pending_;
+  std::unordered_map<std::vector<Value>, Group, ValueVecHash, ValueVecEq> groups_;
+  // Legacy: Scan() can purge rows and re-enter via the removal listener;
+  // the nested request queues a re-run instead of being dropped.
+  bool recomputing_ = false;
+  bool recompute_queued_ = false;
   std::unordered_map<std::vector<Value>, Value, ValueVecHash, ValueVecEq> last_;
 };
 

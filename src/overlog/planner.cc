@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "src/dataflow/basic_elements.h"
@@ -37,16 +38,129 @@ bool AggKindFromName(const std::string& name, AggKind* out) {
   return true;
 }
 
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string ColsToString(const std::vector<size_t>& cols) {
+  std::string out = "[";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::to_string(cols[i]);
+  }
+  return out + "]";
+}
+
+std::string EstToString(double est) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", est);
+  return buf;
+}
+
+// How a rule variant is driven.
+enum class TriggerKind { kPeriodic, kStream, kDeltaInsert, kDeltaRemove };
+
+// True if evaluating `e` twice can give different results (randomness,
+// wall-clock). Cost-based reordering changes how many times each body term
+// is evaluated per event, which is only sound for pure expressions —
+// e.g. gossip's "pick member with max<R>, R := f_rand()" needs one draw
+// per joined row, exactly where the rule text puts the assignment.
+bool ExprVolatile(const Expr& e) {
+  if (e.kind == ExprKind::kCall &&
+      (e.name == "f_rand" || e.name == "f_randInt" || e.name == "f_coinFlip" ||
+       e.name == "f_now")) {
+    return true;
+  }
+  for (const ExprPtr& a : e.args) {
+    if (a != nullptr && ExprVolatile(*a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BodyHasVolatileTerm(const RuleAst& rule) {
+  for (const BodyTerm& term : rule.body) {
+    if (std::holds_alternative<AssignAst>(term)) {
+      if (ExprVolatile(*std::get<AssignAst>(term).expr)) {
+        return true;
+      }
+    } else if (std::holds_alternative<ExprPtr>(term)) {
+      if (ExprVolatile(*std::get<ExprPtr>(term))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// A remove chain deletes the head tuple a retracted body row once derived.
+// Without per-derivation support counting that is only sound when the head
+// tuple uniquely determines the whole derivation — otherwise a head row
+// with several supports dies when ANY one of them is retracted (e.g.
+// Chord's pingNode(NI,SI) :- succ(NI,S,SI) projects away S, so one evicted
+// succ row must NOT stop pings that other succ rows still justify). Safe
+// iff every positive body-predicate argument is a constant or a variable
+// that reappears in the head, and nothing in the body is volatile.
+bool RemoveChainSafe(const RuleAst& rule) {
+  if (BodyHasVolatileTerm(rule)) {
+    return false;
+  }
+  std::unordered_set<std::string> head_vars;
+  for (const ExprPtr& a : rule.head.args) {
+    if (a->kind == ExprKind::kVar) {
+      head_vars.insert(a->name);
+    }
+  }
+  for (const BodyTerm& term : rule.body) {
+    if (!std::holds_alternative<PredicateAst>(term)) {
+      continue;
+    }
+    const PredicateAst& p = std::get<PredicateAst>(term);
+    if (p.negated) {
+      continue;  // anti-joins contribute no support row to retract
+    }
+    for (const ExprPtr& a : p.args) {
+      if (a->kind == ExprKind::kConst) {
+        continue;
+      }
+      if (a->kind == ExprKind::kVar && a->name != "_" && head_vars.count(a->name) > 0) {
+        continue;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 // Plans all the rules of one program into a node (friend of P2Node).
-// Method-per-concern; the heavy lifting is PlanRule.
+// Method-per-concern; the heavy lifting is PlanRuleVariant.
 class PlanBuilder {
  public:
   PlanBuilder(const ProgramAst& program, P2Node* node)
-      : program_(program), node_(node), graph_(node->graph_) {}
+      : program_(program),
+        node_(node),
+        graph_(node->graph_),
+        semi_naive_(node->planner_mode_ == PlannerMode::kSemiNaive) {}
 
   bool Run(std::string* err) {
+    explain_ += std::string("plan mode=") + (semi_naive_ ? "semi-naive" : "legacy") + "\n";
     if (!CreateTables(err)) {
       return false;
     }
@@ -66,6 +180,7 @@ class PlanBuilder {
         P2_LOG(LogLevel::kInfo, "watch %s: %s", w.c_str(), t->ToString().c_str());
       });
     }
+    node_->plan_explain_ += explain_;
     return true;
   }
 
@@ -224,6 +339,35 @@ class PlanBuilder {
     return true;
   }
 
+  // Table columns an equality probe over `pred` can use given the bindings
+  // in `env`: columns holding an already-bound variable or a constant /
+  // bound expression. Mirrors the key set AppendTableTerm builds.
+  std::vector<size_t> BoundCols(const PredicateAst& pred, const VarEnv& env) {
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < pred.args.size(); ++c) {
+      const Expr& a = *pred.args[c];
+      if (a.kind == ExprKind::kVar) {
+        if (a.name != "_" && env.count(a.name) > 0) {
+          cols.push_back(c);
+        }
+      } else {
+        cols.push_back(c);
+      }
+    }
+    return cols;
+  }
+
+  // True when every non-variable argument of `pred` is computable from the
+  // current bindings (a variable argument either probes or binds).
+  bool PredArgsBound(const PredicateAst& pred, const VarEnv& env) {
+    for (const ExprPtr& a : pred.args) {
+      if (a->kind != ExprKind::kVar && !ExprBound(*a, env)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   // Appends a join (or anti-join) against a table predicate. `width` is the
   // current intermediate tuple width and is updated.
   bool AppendTableTerm(const PredicateAst& pred, Chain* chain, VarEnv* env, size_t* width,
@@ -266,15 +410,24 @@ class PlanBuilder {
         keys.push_back(JoinKey{c, std::move(prog)});
       }
     }
+    std::vector<size_t> key_cols;
+    key_cols.reserve(keys.size());
+    for (const JoinKey& k : keys) {
+      key_cols.push_back(k.table_col);
+    }
+    double est = table->EstimateFanout(key_cols);
     if (pred.negated) {
       if (!new_binds.empty()) {
         *err = "negated predicate '" + pred.name + "' binds new variables";
         return false;
       }
+      explain_ += "    antijoin " + pred.name + " on " + ColsToString(key_cols) + "\n";
       Append(chain, graph_.Add<AntiJoinElement>(Gensym("antijoin:" + pred.name), MakePelEnv(),
                                                 table, std::move(keys)));
       return true;  // width unchanged
     }
+    explain_ += "    join " + pred.name + " on " + ColsToString(key_cols) +
+                " est=" + EstToString(est) + "\n";
     Append(chain, graph_.Add<JoinElement>(Gensym("join:" + pred.name), MakePelEnv(), table,
                                           std::move(keys), "j"));
     size_t base = *width;
@@ -304,6 +457,7 @@ class PlanBuilder {
     if (!Compile(*assign.expr, *env, &prog, err)) {
       return false;
     }
+    explain_ += "    assign " + assign.var + "\n";
     Append(chain, graph_.Add<ExtendElement>(Gensym("assign:" + assign.var), MakePelEnv(),
                                             std::move(prog)));
     (*env)[assign.var] = *width;
@@ -316,6 +470,7 @@ class PlanBuilder {
     if (!Compile(*e, env, &prog, err)) {
       return false;
     }
+    explain_ += "    filter\n";
     Append(chain, graph_.Add<FilterElement>(Gensym("filter"), MakePelEnv(), std::move(prog)));
     return true;
   }
@@ -387,9 +542,16 @@ class PlanBuilder {
       }
       agg_col = cols[agg.var];
     }
-    auto* watcher = graph_.Add<TableAggWatcher>(Gensym("tableagg:" + rule.head.name), table,
-                                                std::move(group_cols), agg.kind, agg_col,
-                                                rule.head.name);
+    std::string label = rule.id.empty() ? Gensym("rule") : rule.id;
+    explain_ += "rule " + label + ": table-aggregate " + AggKindName(agg.kind) + "(" +
+                pred.name + ") group=" + ColsToString(group_cols) + " col=" +
+                std::to_string(agg_col) + " -> " + rule.head.name +
+                (semi_naive_ ? " (incremental)" : " (full-scan)") + "\n";
+    auto* watcher = graph_.Add<TableAggWatcher>(
+        Gensym("tableagg:" + rule.head.name), table, std::move(group_cols), agg.kind, agg_col,
+        rule.head.name,
+        semi_naive_ ? TableAggWatcher::Mode::kIncremental
+                    : TableAggWatcher::Mode::kLegacyRecompute);
     graph_.Connect(watcher, 0, node_->route_out_, 0);
     watcher->Attach();
     *planned = true;
@@ -411,10 +573,10 @@ class PlanBuilder {
       }
     }
 
-    // 1. Choose the event predicate: `periodic` wins; else the unique
-    // stream predicate; else the first table predicate (delta-triggered).
+    // Choose the event predicate: `periodic` wins; else the unique stream
+    // predicate; else the body is all-materialized and is delta-triggered.
     int event_idx = -1;
-    int first_table_idx = -1;
+    std::vector<int> table_idxs;  // non-negated materialized body predicates
     for (size_t i = 0; i < rule.body.size(); ++i) {
       if (!std::holds_alternative<PredicateAst>(rule.body[i])) {
         continue;
@@ -433,27 +595,92 @@ class PlanBuilder {
           return false;
         }
         event_idx = static_cast<int>(i);
-      } else if (first_table_idx < 0) {
-        first_table_idx = static_cast<int>(i);
+      } else {
+        table_idxs.push_back(static_cast<int>(i));
       }
     }
-    bool delta_event = false;
-    if (event_idx < 0) {
-      if (first_table_idx < 0) {
-        *err = "rule " + rule.id + ": no event predicate in body";
+    std::string base_label = rule.id.empty() ? Gensym("rule") : rule.id;
+    if (event_idx >= 0) {
+      // Event (stream/periodic) rules keep a single trigger: events are
+      // instantaneous, not stored, so there is nothing to re-join when a
+      // table changes later.
+      const PredicateAst& event = std::get<PredicateAst>(rule.body[event_idx]);
+      TriggerKind trig = event.name == "periodic" ? TriggerKind::kPeriodic : TriggerKind::kStream;
+      return PlanRuleVariant(rule, agg, event_idx, trig, base_label, err);
+    }
+    if (table_idxs.empty()) {
+      *err = "rule " + rule.id + ": no event predicate in body";
+      return false;
+    }
+    if (!semi_naive_ || agg.present) {
+      // Legacy mode (and per-event AggWrap rules, whose bracket semantics
+      // are tied to a single triggering event): first table predicate.
+      return PlanRuleVariant(rule, agg, table_idxs[0], TriggerKind::kDeltaInsert, base_label,
+                             err);
+    }
+    // Semi-naive: a row arriving in ANY body table can complete the join,
+    // so each materialized predicate gets its own insert-delta chain.
+    std::unordered_set<std::string> used_labels;
+    for (size_t v = 0; v < table_idxs.size(); ++v) {
+      const PredicateAst& p = std::get<PredicateAst>(rule.body[table_idxs[v]]);
+      std::string label = v == 0 ? base_label : base_label + "+" + p.name;
+      while (used_labels.count(label) > 0) {
+        label += "'";
+      }
+      used_labels.insert(label);
+      if (!PlanRuleVariant(rule, agg, table_idxs[v], TriggerKind::kDeltaInsert, label, err)) {
         return false;
       }
-      event_idx = first_table_idx;
-      delta_event = true;
     }
-    const PredicateAst& event = std::get<PredicateAst>(rule.body[event_idx]);
-    bool is_periodic = event.name == "periodic";
+    // Remove path: when the head is itself materialized, a retracted body
+    // row un-derives head tuples. Each remove-delta chain re-joins the
+    // remaining predicates against current state, projects the head tuple
+    // and deletes it locally — retractions propagate as deltas instead of
+    // waiting for soft-state expiry. Emitted only when RemoveChainSafe
+    // proves the head tuple has exactly one derivation; projected-away
+    // bindings would otherwise let one retracted support kill a head row
+    // that other rows still justify. Unsafe rules fall back to TTL decay.
+    if (!rule.delete_head && FindTable(rule.head.name) != nullptr && RemoveChainSafe(rule)) {
+      for (int idx : table_idxs) {
+        const PredicateAst& p = std::get<PredicateAst>(rule.body[idx]);
+        std::string label = base_label + "-" + p.name;
+        while (used_labels.count(label) > 0) {
+          label += "'";
+        }
+        used_labels.insert(label);
+        if (!PlanRuleVariant(rule, agg, idx, TriggerKind::kDeltaRemove, label, err)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
 
-    // 2. Create the rule driver and bind the event.
-    std::string rule_label = rule.id.empty() ? Gensym("rule") : rule.id;
-    auto* driver = graph_.Add<RuleDriver>("rule:" + rule_label, nullptr);
+  // Plans one delta/event variant of a rule: driver, body chain, head
+  // projection, head routing, event wiring.
+  bool PlanRuleVariant(const RuleAst& rule, const AggInfo& agg, int event_idx,
+                       TriggerKind trig, const std::string& label, std::string* err) {
+    const PredicateAst& event = std::get<PredicateAst>(rule.body[event_idx]);
+    bool is_periodic = trig == TriggerKind::kPeriodic;
+    switch (trig) {
+      case TriggerKind::kPeriodic:
+        explain_ += "rule " + label + ": trigger periodic\n";
+        break;
+      case TriggerKind::kStream:
+        explain_ += "rule " + label + ": trigger stream(" + event.name + ")\n";
+        break;
+      case TriggerKind::kDeltaInsert:
+        explain_ += "rule " + label + ": trigger delta-insert(" + event.name + ")\n";
+        break;
+      case TriggerKind::kDeltaRemove:
+        explain_ += "rule " + label + ": trigger delta-remove(" + event.name + ")\n";
+        break;
+    }
+
+    // 1. Create the rule driver and bind the event.
+    auto* driver = graph_.Add<RuleDriver>("rule:" + label, nullptr);
     driver->set_min_arity(event.args.size());
-    node_->rule_drivers_.emplace_back(rule_label, driver);
+    node_->rule_drivers_.emplace_back(label, driver);
     Chain chain{driver, driver};
     VarEnv env;
     size_t width = event.args.size();
@@ -461,64 +688,23 @@ class PlanBuilder {
       return false;
     }
 
-    // 3. Remaining body terms, in dependency order (first processable term
-    // wins, preserving source order otherwise).
+    // 2. Remaining body terms.
     std::vector<const BodyTerm*> remaining;
     for (size_t i = 0; i < rule.body.size(); ++i) {
       if (static_cast<int>(i) != event_idx) {
         remaining.push_back(&rule.body[i]);
       }
     }
-    while (!remaining.empty()) {
-      bool progressed = false;
-      for (size_t i = 0; i < remaining.size(); ++i) {
-        const BodyTerm& term = *remaining[i];
-        bool processable = false;
-        if (std::holds_alternative<PredicateAst>(term)) {
-          const PredicateAst& p = std::get<PredicateAst>(term);
-          if (p.negated) {
-            processable = true;
-            for (const ExprPtr& a : p.args) {
-              if (a->kind == ExprKind::kVar && a->name != "_" && env.count(a->name) == 0) {
-                processable = false;
-                break;
-              }
-            }
-          } else {
-            processable = true;
-          }
-        } else if (std::holds_alternative<AssignAst>(term)) {
-          processable = ExprBound(*std::get<AssignAst>(term).expr, env);
-        } else {
-          processable = ExprBound(*std::get<ExprPtr>(term), env);
-        }
-        if (!processable) {
-          continue;
-        }
-        if (std::holds_alternative<PredicateAst>(term)) {
-          if (!AppendTableTerm(std::get<PredicateAst>(term), &chain, &env, &width, err)) {
-            return false;
-          }
-        } else if (std::holds_alternative<AssignAst>(term)) {
-          if (!AppendAssign(std::get<AssignAst>(term), &chain, &env, &width, err)) {
-            return false;
-          }
-        } else {
-          if (!AppendFilter(std::get<ExprPtr>(term), &chain, env, err)) {
-            return false;
-          }
-        }
-        remaining.erase(remaining.begin() + i);
-        progressed = true;
-        break;
-      }
-      if (!progressed) {
-        *err = "rule " + rule.id + ": cannot order body terms (unbound variables)";
-        return false;
-      }
+    bool cost_order = semi_naive_ && !BodyHasVolatileTerm(rule);
+    if (semi_naive_ && !cost_order) {
+      explain_ += "    order=source (volatile exprs)\n";
+    }
+    if (!(cost_order ? OrderBodyByCost(rule, &remaining, &chain, &env, &width, err)
+                     : OrderBodyBySource(rule, &remaining, &chain, &env, &width, err))) {
+      return false;
     }
 
-    // 4. Head projection (+ aggregation).
+    // 3. Head projection (+ aggregation).
     std::vector<PelProgram> head_programs;
     for (const ExprPtr& a : rule.head.args) {
       PelProgram prog;
@@ -570,6 +756,7 @@ class PlanBuilder {
           empty_programs.push_back(std::move(prog));
         }
       }
+      explain_ += std::string("    aggwrap ") + AggKindName(agg.kind) + "\n";
       aggwrap = graph_.Add<AggWrapElement>(Gensym("aggwrap:" + rule.head.name), MakePelEnv(),
                                            agg.kind, agg.head_position, rule.head.name,
                                            emit_empty, std::move(empty_programs));
@@ -577,19 +764,34 @@ class PlanBuilder {
       driver->set_agg(aggwrap);
     }
 
-    // 5. Head routing.
-    if (rule.delete_head) {
+    // 4. Head routing.
+    if (trig == TriggerKind::kDeltaRemove) {
+      Table* head_table = FindTable(rule.head.name);
+      P2_CHECK(head_table != nullptr);  // caller builds remove variants only then
+      // Retraction only un-derives rows stored on this node; a remote head
+      // ages out by soft-state expiry as before (there is no wire delete).
+      PelProgram prog;
+      prog.Emit(PelOp::kPushField, 0);
+      prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Addr(node_->addr_)));
+      prog.Emit(PelOp::kEq);
+      Append(&chain,
+             graph_.Add<FilterElement>(Gensym("localguard"), MakePelEnv(), std::move(prog)));
+      Append(&chain, graph_.Add<DeleteElement>(Gensym("retract:" + rule.head.name), head_table));
+      explain_ += "    project " + rule.head.name + " -> retract (local)\n";
+    } else if (rule.delete_head) {
       Table* table = FindTable(rule.head.name);
       if (table == nullptr) {
         *err = "delete head on non-materialized relation '" + rule.head.name + "'";
         return false;
       }
       Append(&chain, graph_.Add<DeleteElement>(Gensym("delete:" + rule.head.name), table));
+      explain_ += "    project " + rule.head.name + " -> delete\n";
     } else {
       graph_.Connect(chain.tail, 0, node_->route_out_, 0);
+      explain_ += "    project " + rule.head.name + " -> route\n";
     }
 
-    // 6. Event source wiring.
+    // 5. Event source wiring.
     if (is_periodic) {
       double period = 0;
       uint64_t count = 0;
@@ -614,10 +816,21 @@ class PlanBuilder {
                                              /*initial_delay=*/0.0, std::move(extras));
       graph_.Connect(src, 0, driver, 0);
       node_->periodics_.push_back(src);
-    } else if (delta_event) {
+    } else if (trig == TriggerKind::kDeltaInsert) {
       Table* table = FindTable(event.name);
       P2_CHECK(table != nullptr);
       table->AddDeltaListener([driver](const TuplePtr& t) { driver->Push(0, t, nullptr); });
+    } else if (trig == TriggerKind::kDeltaRemove) {
+      Table* table = FindTable(event.name);
+      P2_CHECK(table != nullptr);
+      // Only true retractions (deletes, evictions) propagate; TTL expiry is
+      // the refresh cycle at work, and derived rows age out on their own
+      // TTL as they always have.
+      table->AddTypedListener([driver](const TableDelta& d) {
+        if (d.kind == TableDelta::Kind::kRemove && d.cause != TableDelta::Cause::kExpiry) {
+          driver->Push(0, d.tuple, nullptr);
+        }
+      });
     } else {
       // Stream event: demux -> (shared per-name dup) -> driver.
       DupElement*& dup = node_->event_dups_[event.name];
@@ -630,9 +843,144 @@ class PlanBuilder {
     return true;
   }
 
+  // Legacy term ordering: first processable term wins, preserving source
+  // order otherwise.
+  bool OrderBodyBySource(const RuleAst& rule, std::vector<const BodyTerm*>* remaining,
+                         Chain* chain, VarEnv* env, size_t* width, std::string* err) {
+    while (!remaining->empty()) {
+      bool progressed = false;
+      for (size_t i = 0; i < remaining->size(); ++i) {
+        const BodyTerm& term = *(*remaining)[i];
+        bool processable = false;
+        if (std::holds_alternative<PredicateAst>(term)) {
+          const PredicateAst& p = std::get<PredicateAst>(term);
+          if (p.negated) {
+            processable = true;
+            for (const ExprPtr& a : p.args) {
+              if (a->kind == ExprKind::kVar && a->name != "_" && env->count(a->name) == 0) {
+                processable = false;
+                break;
+              }
+            }
+          } else {
+            processable = true;
+          }
+        } else if (std::holds_alternative<AssignAst>(term)) {
+          processable = ExprBound(*std::get<AssignAst>(term).expr, *env);
+        } else {
+          processable = ExprBound(*std::get<ExprPtr>(term), *env);
+        }
+        if (!processable) {
+          continue;
+        }
+        if (!ApplyTerm(term, chain, env, width, err)) {
+          return false;
+        }
+        remaining->erase(remaining->begin() + i);
+        progressed = true;
+        break;
+      }
+      if (!progressed) {
+        *err = "rule " + rule.id + ": cannot order body terms (unbound variables)";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Cost-aware term ordering: selective cheap terms (filters, assignments,
+  // anti-joins) apply as soon as their variables are bound; positive joins
+  // are chosen greedily by estimated fanout so the narrowest probe runs
+  // first and intermediate results stay small.
+  bool OrderBodyByCost(const RuleAst& rule, std::vector<const BodyTerm*>* remaining,
+                       Chain* chain, VarEnv* env, size_t* width, std::string* err) {
+    while (!remaining->empty()) {
+      // 1) Drain every currently-processable non-join term, source order.
+      bool progressed = true;
+      while (progressed) {
+        progressed = false;
+        for (size_t i = 0; i < remaining->size(); ++i) {
+          const BodyTerm& term = *(*remaining)[i];
+          bool processable = false;
+          if (std::holds_alternative<PredicateAst>(term)) {
+            const PredicateAst& p = std::get<PredicateAst>(term);
+            if (!p.negated) {
+              continue;  // positive join: cost-selected below
+            }
+            processable = true;
+            for (const ExprPtr& a : p.args) {
+              if (a->kind == ExprKind::kVar && a->name != "_" && env->count(a->name) == 0) {
+                processable = false;
+                break;
+              }
+            }
+          } else if (std::holds_alternative<AssignAst>(term)) {
+            processable = ExprBound(*std::get<AssignAst>(term).expr, *env);
+          } else {
+            processable = ExprBound(*std::get<ExprPtr>(term), *env);
+          }
+          if (!processable) {
+            continue;
+          }
+          if (!ApplyTerm(term, chain, env, width, err)) {
+            return false;
+          }
+          remaining->erase(remaining->begin() + i);
+          progressed = true;
+          break;
+        }
+      }
+      if (remaining->empty()) {
+        break;
+      }
+      // 2) Cheapest processable positive join next (ties: source order).
+      int best = -1;
+      double best_est = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < remaining->size(); ++i) {
+        const BodyTerm& term = *(*remaining)[i];
+        if (!std::holds_alternative<PredicateAst>(term)) {
+          continue;
+        }
+        const PredicateAst& p = std::get<PredicateAst>(term);
+        if (p.negated || !PredArgsBound(p, *env)) {
+          continue;
+        }
+        Table* table = FindTable(p.name);
+        double est = table == nullptr ? std::numeric_limits<double>::max()
+                                      : table->EstimateFanout(BoundCols(p, *env));
+        if (est < best_est) {
+          best_est = est;
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        *err = "rule " + rule.id + ": cannot order body terms (unbound variables)";
+        return false;
+      }
+      if (!ApplyTerm(*(*remaining)[best], chain, env, width, err)) {
+        return false;
+      }
+      remaining->erase(remaining->begin() + best);
+    }
+    return true;
+  }
+
+  bool ApplyTerm(const BodyTerm& term, Chain* chain, VarEnv* env, size_t* width,
+                 std::string* err) {
+    if (std::holds_alternative<PredicateAst>(term)) {
+      return AppendTableTerm(std::get<PredicateAst>(term), chain, env, width, err);
+    }
+    if (std::holds_alternative<AssignAst>(term)) {
+      return AppendAssign(std::get<AssignAst>(term), chain, env, width, err);
+    }
+    return AppendFilter(std::get<ExprPtr>(term), chain, *env, err);
+  }
+
   const ProgramAst& program_;
   P2Node* node_;
   Graph& graph_;
+  const bool semi_naive_;
+  std::string explain_;
   int gensym_ = 0;
 };
 

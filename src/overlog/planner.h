@@ -1,13 +1,27 @@
 // The P2 planner (§3.5): translates a parsed, localized OverLog program
 // into tables, indices and a dataflow element graph inside a P2Node.
 //
-// Per rule, the planner emits: a RuleDriver fed by the rule's event source
-// (periodic timer, stream demux port, or table delta), a sequence of
-// equijoin / anti-join / filter / extend elements following the body terms
-// in dependency order, a projection constructing the head tuple, optional
-// per-event aggregation (AggWrap), and finally either a table delete, or
-// the node's output router which sends remote tuples over the network and
-// loops local ones back into the input queue.
+// Per rule, the planner emits one or more *variants*: a RuleDriver fed by
+// an event source (periodic timer, stream demux port, or a table's delta
+// stream), a sequence of equijoin / anti-join / filter / extend elements
+// over the remaining body terms, a projection constructing the head tuple,
+// optional per-event aggregation (AggWrap), and finally either a table
+// delete, or the node's output router which sends remote tuples over the
+// network and loops local ones back into the input queue.
+//
+// In the default semi-naive mode (kSemiNaive), a rule whose body is all
+// materialized predicates is rewritten into per-delta variants: one
+// insert-triggered chain per body predicate (any table gaining a row can
+// complete a join, so each gets its own trigger), plus — when the head is
+// itself materialized — one remove-triggered chain per body predicate that
+// re-derives the head tuple from the retracted row and deletes it, so
+// retractions propagate instead of waiting for soft-state expiry. Join
+// order within each chain is chosen greedily by estimated fanout
+// (Table::EstimateFanout) rather than rule-text order, and every probed
+// index is declared at plan time. The legacy mode (kLegacy) reproduces the
+// old planner exactly — single trigger on the first table predicate,
+// text-order joins, full-scan table aggregates — and exists so the
+// differential tests can compare the two evaluators.
 #ifndef P2_OVERLOG_PLANNER_H_
 #define P2_OVERLOG_PLANNER_H_
 
@@ -19,10 +33,17 @@ namespace p2 {
 
 class P2Node;
 
+// How rules are compiled into dataflow chains. See file comment.
+enum class PlannerMode {
+  kSemiNaive,  // per-delta variants, cost-ordered joins, incremental aggs
+  kLegacy,     // single trigger, text-order joins, full-scan aggs
+};
+
 class Planner {
  public:
-  // Installs `program` into `node`. On failure returns false with a
-  // diagnostic in *err; the node is then in an unusable state.
+  // Installs `program` into `node` (mode taken from the node's config). On
+  // failure returns false with a diagnostic in *err; the node is then in
+  // an unusable state.
   static bool Install(const ProgramAst& program, P2Node* node, std::string* err);
 };
 

@@ -31,7 +31,8 @@ P2Node::P2Node(P2NodeConfig config)
                 : config.addr),
       executor_(config.executor),
       transport_(config.transport),
-      rng_(config.seed) {
+      rng_(config.seed),
+      planner_mode_(config.planner_mode) {
   P2_CHECK(executor_ != nullptr);
   P2_CHECK(transport_ != nullptr);
   input_queue_ = graph_.Add<QueueElement>("input_queue", config.input_queue_capacity);

@@ -16,6 +16,7 @@
 #include "src/dataflow/graph.h"
 #include "src/dataflow/rel_elements.h"
 #include "src/net/transport.h"
+#include "src/overlog/planner.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/random.h"
 #include "src/table/table.h"
@@ -28,6 +29,9 @@ struct P2NodeConfig {
   Transport* transport = nullptr;   // required
   uint64_t seed = 1;                // per-node RNG stream
   size_t input_queue_capacity = 8192;
+  // Rule compilation strategy; kLegacy reproduces the pre-semi-naive
+  // planner for differential testing.
+  PlannerMode planner_mode = PlannerMode::kSemiNaive;
 };
 
 struct NodeStats {
@@ -78,6 +82,12 @@ class P2Node {
   size_t num_rules() const { return rule_drivers_.size(); }
   std::unordered_map<std::string, uint64_t> RuleFireCounts() const;
 
+  // Human-readable dump of every rule's compiled plan — trigger deltas,
+  // join order with fanout estimates, probed indices, head routing.
+  // Deterministic for a given program and planner mode (`p2run --explain`
+  // and the golden-plan tests rely on this).
+  const std::string& PlanExplain() const { return plan_explain_; }
+
   // Approximate working set: tables + dataflow graph (E9).
   size_t ApproxMemoryBytes() const;
 
@@ -104,6 +114,8 @@ class P2Node {
   Transport* transport_;
   Rng rng_;
   NodeStats stats_;
+  PlannerMode planner_mode_ = PlannerMode::kSemiNaive;
+  std::string plan_explain_;
 
   Graph graph_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // ownership

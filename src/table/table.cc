@@ -30,7 +30,7 @@ void Table::PurgeExpired() {
   }
   double now = executor_->Now();
   while (!rows_.empty() && rows_.front().expires_at <= now) {
-    EraseRow(rows_.begin(), /*notify_removal=*/true);
+    EraseRow(rows_.begin(), /*notify_removal=*/true, TableDelta::Cause::kExpiry);
   }
 }
 
@@ -63,14 +63,15 @@ void Table::ArmExpiryTimer() {
       });
 }
 
-void Table::EraseRow(RowList::iterator it, bool notify_removal) {
+void Table::EraseRow(RowList::iterator it, bool notify_removal, TableDelta::Cause cause) {
   TuplePtr gone = it->tuple;
   IndexErase(it);
   primary_.erase(PrimaryKeyOf(*gone));
   rows_.erase(it);
-  if (notify_removal) {
-    for (const RemoveFn& fn : remove_listeners_) {
-      fn(gone);
+  if (notify_removal && !typed_listeners_.empty()) {
+    TableDelta d{TableDelta::Kind::kRemove, cause, gone, nullptr};
+    for (const TypedDeltaFn& fn : typed_listeners_) {
+      fn(d);
     }
   }
 }
@@ -114,12 +115,14 @@ bool Table::Insert(const TuplePtr& t) {
   std::vector<Value> key = PrimaryKeyOf(*t);
   auto found = primary_.find(key);
   bool changed = true;
+  TuplePtr displaced;  // the old row when this insert replaces by key
   if (found != primary_.end()) {
     // Refresh: splice the row to the back (newest) in place. The list node
     // survives, so the primary entry and every secondary-index entry
     // pointing at it stay valid — no hash-map churn on the refresh path.
     RowList::iterator it = found->second;
     changed = !it->tuple->SameAs(*t);
+    displaced = it->tuple;
     rows_.splice(rows_.end(), rows_, it);
     if (changed) {
       // Non-key fields may differ: secondary entries are keyed on them.
@@ -137,7 +140,7 @@ bool Table::Insert(const TuplePtr& t) {
     IndexInsert(it);
     // FIFO eviction beyond capacity.
     while (rows_.size() > spec_.max_size) {
-      EraseRow(rows_.begin(), /*notify_removal=*/true);
+      EraseRow(rows_.begin(), /*notify_removal=*/true, TableDelta::Cause::kEviction);
     }
   }
   ArmExpiryTimer();
@@ -146,8 +149,12 @@ bool Table::Insert(const TuplePtr& t) {
   // re-inserts successors, which must re-derive pingNode entries before
   // their own soft state expires. Rule sets must avoid self-triggering
   // insertion cycles (the planner's delta events are the only consumers).
-  for (const DeltaFn& fn : listeners_) {
-    fn(t);
+  if (!typed_listeners_.empty()) {
+    TableDelta d{displaced == nullptr ? TableDelta::Kind::kInsert : TableDelta::Kind::kReplace,
+                 TableDelta::Cause::kInsert, t, displaced};
+    for (const TypedDeltaFn& fn : typed_listeners_) {
+      fn(d);
+    }
   }
   return changed;
 }
@@ -158,7 +165,7 @@ bool Table::DeleteByKey(const std::vector<Value>& key) {
   if (found == primary_.end()) {
     return false;
   }
-  EraseRow(found->second, /*notify_removal=*/true);
+  EraseRow(found->second, /*notify_removal=*/true, TableDelta::Cause::kDelete);
   return true;
 }
 
@@ -181,6 +188,51 @@ void Table::AddIndex(const std::vector<size_t>& cols) {
       std::remove_if(scan_stats_.begin(), scan_stats_.end(),
                      [&cols](const ScanStat& s) { return s.cols == cols; }),
       scan_stats_.end());
+}
+
+size_t Table::DistinctKeys(const std::vector<size_t>& cols) const {
+  for (const SecondaryIndex& idx : secondary_) {
+    if (idx.cols == cols) {
+      return idx.map.size();
+    }
+  }
+  return 0;
+}
+
+double Table::EstimateFanout(const std::vector<size_t>& bound_cols) const {
+  // Bound columns covering the primary key pin at most one row. An empty
+  // key_positions means "whole tuple is the key": covered only when every
+  // column is bound, which we can't know without the arity — treat a
+  // declared arity as the column count.
+  const std::vector<size_t>& key = spec_.key_positions;
+  auto covered = [&bound_cols](const std::vector<size_t>& needed) {
+    for (size_t k : needed) {
+      if (std::find(bound_cols.begin(), bound_cols.end(), k) == bound_cols.end()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!key.empty() && covered(key)) {
+    return 1.0;
+  }
+  if (key.empty() && spec_.arity != 0 && bound_cols.size() >= spec_.arity) {
+    return 1.0;
+  }
+  // Live refinement: an existing index over exactly these columns gives the
+  // true mean bucket size.
+  if (!rows_.empty() && !bound_cols.empty()) {
+    size_t distinct = DistinctKeys(bound_cols);
+    if (distinct > 0) {
+      return static_cast<double>(rows_.size()) / static_cast<double>(distinct);
+    }
+  }
+  // Static prior from the spec (deterministic at plan time).
+  double cap = static_cast<double>(std::min(spec_.max_size, kFanoutCap));
+  if (bound_cols.empty()) {
+    return std::max(cap, static_cast<double>(rows_.size()));
+  }
+  return std::sqrt(cap);
 }
 
 bool Table::HasIndex(const std::vector<size_t>& cols) const {

@@ -50,6 +50,24 @@ struct TableSpec {
   size_t arity = 0;
 };
 
+// One element of a table's typed delta stream. A replacement (insertion
+// over an existing primary key, including a TTL refresh of an identical
+// row) carries both the new tuple and the row it displaced, so incremental
+// consumers — semi-naive rule chains, incremental aggregates — can retract
+// the old contribution and add the new one without rescanning the table.
+// Removals carry why the row left: rule-driven deletes and capacity
+// evictions are real retractions that semi-naive remove chains propagate;
+// TTL expiry is the soft-state refresh cycle at work, and derived state
+// ages out on its own TTL instead.
+struct TableDelta {
+  enum class Kind { kInsert, kReplace, kRemove };
+  enum class Cause { kInsert, kDelete, kEviction, kExpiry };
+  Kind kind;
+  Cause cause;         // kRemove: why; kInsert/kReplace: Cause::kInsert
+  TuplePtr tuple;      // the inserted / removed row
+  TuplePtr old_tuple;  // kReplace only: the row that was displaced
+};
+
 class Table {
  public:
   // Listener invoked after every insertion, including TTL refreshes of an
@@ -62,6 +80,10 @@ class Table {
   // aggregates need this to shrink (e.g. Chord's succCount must drop after
   // successor eviction or the eviction rule never re-fires).
   using RemoveFn = std::function<void(const TuplePtr&)>;
+  // Listener on the typed delta stream (inserts, replacements with the old
+  // row, removals). The planner's semi-naive chains and the incremental
+  // aggregate watchers subscribe here.
+  using TypedDeltaFn = std::function<void(const TableDelta&)>;
 
   Table(TableSpec spec, Executor* executor);
   ~Table();
@@ -99,10 +121,52 @@ class Table {
 
   size_t size();
 
-  // Registers a content-change listener (insert deltas).
-  void AddDeltaListener(DeltaFn fn) { listeners_.push_back(std::move(fn)); }
+  // All listeners — insert-only, remove-only, and typed — share ONE
+  // registration-ordered list, so relative firing order between (say) an
+  // aggregate watcher and a rule driver is exactly attach order. Plans
+  // depend on this: a watcher attached before a rule sees each delta
+  // first, so the rule's joins probe the watcher's already-updated output
+  // table.
+
+  // Registers a content-change listener (insert deltas, incl. replaces).
+  void AddDeltaListener(DeltaFn fn) {
+    typed_listeners_.push_back([fn = std::move(fn)](const TableDelta& d) {
+      if (d.kind != TableDelta::Kind::kRemove) {
+        fn(d.tuple);
+      }
+    });
+  }
   // Registers a removal listener (deletes, expiry, eviction).
-  void AddRemoveListener(RemoveFn fn) { remove_listeners_.push_back(std::move(fn)); }
+  void AddRemoveListener(RemoveFn fn) {
+    typed_listeners_.push_back([fn = std::move(fn)](const TableDelta& d) {
+      if (d.kind == TableDelta::Kind::kRemove) {
+        fn(d.tuple);
+      }
+    });
+  }
+  // Registers a typed delta listener (insert / replace-with-old / remove).
+  void AddTypedListener(TypedDeltaFn fn) { typed_listeners_.push_back(std::move(fn)); }
+
+  // --- Statistics for the planner's cost model ---
+
+  // Live row count without purging (const; planner-safe).
+  size_t row_count() const { return rows_.size(); }
+  // Distinct keys currently held by the index over `cols`, or 0 when no
+  // such index exists.
+  size_t DistinctKeys(const std::vector<size_t>& cols) const;
+  // Estimated number of rows matching an equality probe over `bound_cols`.
+  // Uses live index cardinality when available; otherwise a static prior
+  // from the table spec, so plan-time estimates (tables usually empty at
+  // plan time) are deterministic:
+  //   - bound columns covering the primary key  -> 1 row,
+  //   - some bound columns                      -> sqrt(capacity),
+  //   - no bound columns (full scan)            -> capacity,
+  // where capacity = min(max_size, kFanoutCap).
+  double EstimateFanout(const std::vector<size_t>& bound_cols) const;
+
+  // Cap on the static capacity prior (unbounded tables assume this many
+  // rows for costing purposes).
+  static constexpr size_t kFanoutCap = 1024;
 
   // Approximate resident bytes (rows + index overhead) for the memory
   // footprint experiment (E9).
@@ -125,7 +189,7 @@ class Table {
       std::unordered_map<std::vector<Value>, RowList::iterator, ValueVecHash, ValueVecEq>;
 
   std::vector<Value> PrimaryKeyOf(const Tuple& t) const;
-  void EraseRow(RowList::iterator it, bool notify_removal);
+  void EraseRow(RowList::iterator it, bool notify_removal, TableDelta::Cause cause);
   void IndexInsert(RowList::iterator it);
   void IndexErase(RowList::iterator it);
   // Re-arms the single expiry timer for the current oldest row.
@@ -153,8 +217,7 @@ class Table {
     int scans = 0;
   };
   std::vector<ScanStat> scan_stats_;
-  std::vector<DeltaFn> listeners_;
-  std::vector<RemoveFn> remove_listeners_;
+  std::vector<TypedDeltaFn> typed_listeners_;
   TimerId expiry_timer_ = kInvalidTimer;
   double expiry_armed_at_ = std::numeric_limits<double>::infinity();
 };
