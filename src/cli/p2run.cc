@@ -46,6 +46,18 @@ void Usage(const char* argv0) {
       "  --planner <mode>     seminaive (default) or legacy rule compilation\n"
       "  --explain            print the overlay's compiled rule plans (triggers,\n"
       "                       join order, fanout estimates, indices) and exit\n"
+      "  --watch <p1,p2,..>   tap the named predicates: log every tuple that\n"
+      "                       reaches a rule head or arrives at a node, with\n"
+      "                       virtual timestamp, node address and rule label\n"
+      "  --trace-out <file>   write a Chrome trace_event JSON timeline of shard\n"
+      "                       windows, barrier waits and control actions\n"
+      "                       (chrome://tracing / Perfetto)\n"
+      "  --stats-dump         print the Prometheus text exposition of every\n"
+      "                       runtime metric at exit\n"
+      "  --sysstats <s>       refresh each node's sysstats system table at this\n"
+      "                       period so overlay rules can query their own runtime\n"
+      "  --no-metrics         disable the metrics registry entirely (the\n"
+      "                       uninstrumented path, for A/B overhead runs)\n"
       "  --verbose            info-level runtime logging\n",
       argv0);
 }
@@ -170,6 +182,42 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(arg, "--watch") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      // Comma-separated predicate names; repeated flags accumulate.
+      std::string list = argv[++i];
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) {
+          config.watches.push_back(list.substr(start, end - start));
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.trace_out = argv[++i];
+    } else if (std::strcmp(arg, "--stats-dump") == 0) {
+      config.stats_dump = true;
+    } else if (std::strcmp(arg, "--sysstats") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.sysstats_period_s = std::atof(argv[++i]);
+      if (config.sysstats_period_s < 0) {
+        std::fprintf(stderr, "--sysstats must be >= 0, got %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--no-metrics") == 0) {
+      config.metrics = false;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       config.verbose = true;
     } else {
@@ -180,6 +228,10 @@ int main(int argc, char** argv) {
   }
   if (config.verbose) {
     p2::SetLogLevel(p2::LogLevel::kInfo);
+  }
+  if (config.stats_dump && !config.metrics) {
+    std::fprintf(stderr, "--stats-dump needs the metrics registry; drop --no-metrics\n");
+    return 2;
   }
 
   if (explain) {
@@ -225,6 +277,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.sim_events), report.wall_s,
                 static_cast<double>(report.sim_events) / report.wall_s, report.shards,
                 report.shards == 1 ? "" : "s");
+  }
+  if (!config.trace_out.empty()) {
+    std::FILE* f = std::fopen(config.trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", config.trace_out.c_str());
+      return 2;
+    }
+    std::fwrite(report.trace_json.data(), 1, report.trace_json.size(), f);
+    std::fclose(f);
+    std::printf("trace: %s (%zu bytes)\n", config.trace_out.c_str(),
+                report.trace_json.size());
+  }
+  if (config.stats_dump) {
+    std::printf("--- metrics ---\n%s", report.stats_text.c_str());
   }
   std::printf(report.converged ? "CONVERGED\n" : "DID NOT CONVERGE\n");
   return report.converged ? 0 : 1;

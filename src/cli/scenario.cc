@@ -72,6 +72,22 @@ ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
       reliable_config_(reliable_config) {
   lossy_.resize(nodes);
   channels_.resize(nodes);
+  // Live halves of the fleet channel aggregation; Kill() retires the dead.
+  pool_.SetLiveSource(
+      [this](ReliableChannelStats* total) {
+        for (const auto& ch : channels_) {
+          if (ch != nullptr) {
+            total->MergeFrom(ch->Stats());
+          }
+        }
+      },
+      [this](SendFailureCounters* total) {
+        for (const auto& t : udp_transports_) {
+          if (t != nullptr) {
+            total->MergeFrom(t->send_failures());
+          }
+        }
+      });
   if (backend_ == BackendKind::kSim) {
     sim_engine_ = std::make_unique<ShardedSim>(shards);
     sim_net_ = std::make_unique<SimNetwork>(sim_engine_.get(), Topology(TopologyConfig{}), seed);
@@ -184,7 +200,7 @@ uint64_t ScenarioNet::SimEventsRun() const {
 
 void ScenarioNet::Kill(size_t i) {
   if (channels_[i] != nullptr) {
-    dead_reliable_stats_.MergeFrom(channels_[i]->Stats());
+    pool_.Retire(channels_[i]->Stats());
   }
   channels_[i].reset();
   lossy_[i].reset();
@@ -192,7 +208,7 @@ void ScenarioNet::Kill(size_t i) {
     sim_transports_[i].reset();
   } else {
     if (udp_transports_[i] != nullptr) {
-      dead_send_failures_.MergeFrom(udp_transports_[i]->send_failures());
+      pool_.RetireSendFailures(udp_transports_[i]->send_failures());
     }
     udp_transports_[i].reset();
   }
@@ -228,28 +244,35 @@ void ScenarioNet::Revive(size_t i) {
 }
 
 ReliableChannelStats ScenarioNet::TotalReliableStats() const {
-  ReliableChannelStats total = dead_reliable_stats_;
-  for (const auto& ch : channels_) {
-    if (ch != nullptr) {
-      total.MergeFrom(ch->Stats());
-    }
-  }
-  return total;
+  return pool_.TotalReliable();
 }
 
 SendFailureCounters ScenarioNet::TotalSendFailures() const {
-  SendFailureCounters total = dead_send_failures_;
-  for (const auto& t : udp_transports_) {
-    if (t != nullptr) {
-      total.MergeFrom(t->send_failures());
-    }
-  }
-  return total;
+  return pool_.TotalSendFailures();
 }
 
 // --- Per-overlay runners ---------------------------------------------------
 
 namespace {
+
+// Observability wiring every per-node runner shares: the fleet registry,
+// the watch list and the sysstats refresh period ride the node config.
+void WireNodeObs(const ScenarioConfig& config, ScenarioNet* net, P2NodeConfig* nc) {
+  nc->metrics = net->metrics();
+  nc->watches = config.watches;
+  nc->sysstats_period_s = config.sysstats_period_s;
+}
+
+// Renders the registry exposition / trace JSON into the report at run end.
+void FinishObsReport(const ScenarioConfig& config, obs::Registry* registry,
+                     obs::TraceLog* trace, ScenarioReport* report) {
+  if (registry != nullptr && config.stats_dump) {
+    report->stats_text = registry->PrometheusText();
+  }
+  if (trace != nullptr) {
+    report->trace_json = trace->ToChromeJson();
+  }
+}
 
 // Appends the reliable-transport summary line when the stack was enabled.
 void FinishTransportReport(const ScenarioConfig& config, const ReliableChannelStats& stats,
@@ -329,12 +352,26 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
   report.nodes = config.nodes;
   auto wall_start = std::chrono::steady_clock::now();
 
+  // One registry/trace lane per shard plus the coordinator's.
+  std::unique_ptr<obs::Registry> registry;
+  if (config.metrics) {
+    registry = std::make_unique<obs::Registry>(config.shards + 1);
+  }
+  std::unique_ptr<obs::TraceLog> trace;
+  if (!config.trace_out.empty()) {
+    trace = std::make_unique<obs::TraceLog>(config.shards + 1);
+  }
+
   TestbedConfig cfg;
   cfg.num_nodes = config.nodes;
   cfg.seed = config.seed;
   cfg.shards = config.shards;
   cfg.loss_rate = config.loss_rate;
   cfg.reliable = config.reliable;
+  cfg.metrics = registry.get();
+  cfg.trace = trace.get();
+  cfg.watches = config.watches;
+  cfg.sysstats_period_s = config.sysstats_period_s;
   if (config.nodes > 64) {
     // Scale profile: a freshly built large ring heals its successor
     // pointers about one step per stabilization round, so round length
@@ -432,6 +469,7 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
                                                 wall_start)
                       .count();
   report.detail = os.str();
+  FinishObsReport(config, registry.get(), trace.get(), &report);
   return report;
 }
 
@@ -454,6 +492,7 @@ ScenarioReport RunChordUdp(const ScenarioConfig& config, ScenarioNet* net) {
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
     nc.planner_mode = config.planner;
+    WireNodeObs(config, net, &nc);
     nodes.push_back(std::make_unique<ChordNode>(nc, chord,
                                                 i == 0 ? "" : net->addr(0)));
     nodes.back()->Start();
@@ -529,6 +568,7 @@ ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
     nc.planner_mode = config.planner;
+    WireNodeObs(config, net, &nc);
     // Chain seeding: node i only knows node i-1; convergence therefore
     // proves full transitive spread, not just one-hop pushes.
     std::vector<std::string> seeds;
@@ -555,6 +595,7 @@ ScenarioReport RunGossip(const ScenarioConfig& config, ScenarioNet* net) {
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
         nc.planner_mode = config.planner;
+        WireNodeObs(config, net, &nc);
         std::vector<std::string> seeds{
             net->addr((slot + net->size() - 1) % net->size())};
         nodes[slot] = std::make_unique<GossipNode>(nc, gc, seeds);
@@ -614,6 +655,7 @@ ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
     nc.planner_mode = config.planner;
+    WireNodeObs(config, net, &nc);
     // Chain mesh: i <-> i+1; epidemic refresh must spread membership.
     std::vector<std::string> neighbors;
     if (i > 0) {
@@ -641,6 +683,7 @@ ScenarioReport RunNarada(const ScenarioConfig& config, ScenarioNet* net) {
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
         nc.planner_mode = config.planner;
+        WireNodeObs(config, net, &nc);
         std::vector<std::string> neighbors{
             net->addr((slot + net->size() - 1) % net->size()),
             net->addr((slot + 1) % net->size())};
@@ -715,6 +758,7 @@ ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
     nc.transport = net->transport(i);
     nc.seed = config.seed + i;
     nc.planner_mode = config.planner;
+    WireNodeObs(config, net, &nc);
     nodes.push_back(std::make_unique<PathVectorNode>(nc, pv, links_for(i)));
     nodes.back()->Start();
   }
@@ -745,6 +789,7 @@ ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
         nc.transport = net->transport(slot);
         nc.seed = config.seed + 100003 * salt + slot;
         nc.planner_mode = config.planner;
+        WireNodeObs(config, net, &nc);
         nodes[slot] = std::make_unique<PathVectorNode>(nc, pv, links_for(slot));
         nodes[slot]->Start();
       });
@@ -818,12 +863,29 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
   }
 
   auto wall_start = std::chrono::steady_clock::now();
+  // Registry/trace outlive the net (nodes and shard workers write into
+  // them until teardown): declare them first so they destruct last.
+  std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::TraceLog> trace;
   ScenarioNet net(config.backend, config.nodes, config.seed, config.loss_rate,
                   config.udp_base_port, config.reliable, ReliableConfig{},
                   config.shards);
   if (!net.ok()) {
     report.detail = "failed to bring up transports (UDP bind failure?)\n";
     return report;
+  }
+  size_t lanes = net.shards() + 1;
+  if (config.metrics) {
+    registry = std::make_unique<obs::Registry>(lanes);
+    registry->AddCollector(
+        [pool = net.channel_pool()](obs::Snapshot* snap) { pool->Collect(snap); });
+    net.set_metrics(registry.get());
+  }
+  if (!config.trace_out.empty()) {
+    trace = std::make_unique<obs::TraceLog>(lanes);
+  }
+  if (net.sim_engine() != nullptr && (registry != nullptr || trace != nullptr)) {
+    net.sim_engine()->SetObs(registry.get(), trace.get());
   }
   switch (config.overlay) {
     case OverlayKind::kChord:
@@ -844,6 +906,7 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
   report.send_failures = net.TotalSendFailures();
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  FinishObsReport(config, registry.get(), trace.get(), &report);
   return report;
 }
 

@@ -20,6 +20,9 @@
 
 #include "src/harness/metrics.h"
 #include "src/net/stack/lossy.h"
+#include "src/obs/channel_stats.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/net/stack/reliable_channel.h"
 #include "src/net/transport.h"
 #include "src/net/udp_loop.h"
@@ -74,6 +77,19 @@ struct ScenarioConfig {
   // joins, full-scan aggregates) for differential comparison.
   PlannerMode planner = PlannerMode::kSemiNaive;
   bool verbose = false;
+  // --- Observability ---
+  // Metrics registry on/off; --no-metrics gives the fully uninstrumented
+  // build path for A/B overhead measurement.
+  bool metrics = true;
+  // Predicates to tap tuple-by-tuple (p2run --watch pred1,pred2).
+  std::vector<std::string> watches;
+  // Non-empty: record shard windows/barriers/control actions and return
+  // Chrome trace_event JSON in the report (p2run writes it to this path).
+  std::string trace_out;
+  // Produce the Prometheus text exposition in the report at exit.
+  bool stats_dump = false;
+  // When > 0, every node maintains a sysstats table at this period.
+  double sysstats_period_s = 0;
 };
 
 struct ScenarioReport {
@@ -103,6 +119,11 @@ struct ScenarioReport {
   SendFailureCounters send_failures;
   // Human-readable per-overlay summary (multi-line, ready to print).
   std::string detail;
+  // Prometheus text exposition (config.metrics && config.stats_dump).
+  std::string stats_text;
+  // Chrome trace_event JSON (when config.trace_out is set); the caller
+  // writes it to the requested path.
+  std::string trace_json;
 };
 
 // Runs one scenario to completion. Deterministic for the sim backend given
@@ -172,6 +193,14 @@ class ScenarioNet {
   ReliableChannelStats TotalReliableStats() const;
   // Merged ::sendto failure counters (udp backend; all-zero under sim).
   SendFailureCounters TotalSendFailures() const;
+  // Fleet channel aggregation (retired endpoints + live source); register
+  // `pool()->Collect` as a registry collector to export the counters.
+  obs::ChannelStatsPool* channel_pool() { return &pool_; }
+
+  // Metrics registry the fleet's nodes report into (may stay null). The
+  // runner sets this before building nodes; churn rebuilds read it back.
+  void set_metrics(obs::Registry* m) { metrics_ = m; }
+  obs::Registry* metrics() { return metrics_; }
 
   // Non-null only for the sim backend (loss injection, delivery counters).
   SimNetwork* sim_network() { return sim_net_.get(); }
@@ -191,8 +220,8 @@ class ScenarioNet {
   ReliableConfig reliable_config_;
   uint64_t revive_counter_ = 0;
   std::vector<std::string> addrs_;
-  ReliableChannelStats dead_reliable_stats_;
-  SendFailureCounters dead_send_failures_;
+  obs::ChannelStatsPool pool_;
+  obs::Registry* metrics_ = nullptr;
   // Sim backend.
   std::unique_ptr<ShardedSim> sim_engine_;
   std::unique_ptr<SimNetwork> sim_net_;

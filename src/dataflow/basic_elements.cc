@@ -1,5 +1,6 @@
 #include "src/dataflow/basic_elements.h"
 
+#include "src/obs/registry.h"
 #include "src/runtime/logging.h"
 
 namespace p2 {
@@ -12,6 +13,9 @@ int QueueElement::Push(int port, const TuplePtr& t, const Callback& cb) {
   // state rollback, §3.3); the return value only signals congestion.
   if (q_.size() >= capacity_) {
     ++dropped_;
+    if (obs_dropped_ != nullptr) {
+      obs_dropped_->Inc();
+    }
     q_.pop_front();  // Shed oldest under overload; overlays are soft state.
   }
   q_.push_back(t);
@@ -127,6 +131,9 @@ int DemuxByName::Push(int port, const TuplePtr& t, const Callback& cb) {
     return PushOut(default_port_, t, cb);
   }
   ++unroutable_;
+  if (obs_unroutable_ != nullptr) {
+    obs_unroutable_->Inc();
+  }
   return 1;
 }
 
@@ -141,6 +148,9 @@ int DemuxByName::PushMany(int port, const std::vector<TuplePtr>& ts, const Callb
     if (out < 0) {
       if (default_port_ < 0) {
         ++unroutable_;
+        if (obs_unroutable_ != nullptr) {
+          obs_unroutable_->Inc();
+        }
         continue;
       }
       out = default_port_;

@@ -27,6 +27,7 @@ class QueueElement : public Element {
 
   size_t size() const { return q_.size(); }
   uint64_t dropped() const { return dropped_; }
+  void set_obs_dropped(obs::Counter* c) { obs_dropped_ = c; }
 
  private:
   size_t capacity_;
@@ -34,6 +35,7 @@ class QueueElement : public Element {
   Callback blocked_pusher_;
   Callback blocked_puller_;
   uint64_t dropped_ = 0;
+  obs::Counter* obs_dropped_ = nullptr;
 };
 
 // Active scheduler: pulls its input and pushes downstream, `period` seconds
@@ -78,6 +80,7 @@ class DemuxByName : public Element {
   int PushMany(int port, const std::vector<TuplePtr>& ts, const Callback& cb) override;
 
   uint64_t unroutable() const { return unroutable_; }
+  void set_obs_unroutable(obs::Counter* c) { obs_unroutable_ = c; }
 
  private:
   // Jump table indexed by SchemaId; -1 = no route.
@@ -89,6 +92,7 @@ class DemuxByName : public Element {
   int next_port_ = 0;
   int default_port_ = -1;
   uint64_t unroutable_ = 0;
+  obs::Counter* obs_unroutable_ = nullptr;
   // Per-port partition buffers reused across PushMany calls.
   std::vector<std::vector<TuplePtr>> batch_buckets_;
 };

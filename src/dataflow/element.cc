@@ -1,5 +1,6 @@
 #include "src/dataflow/element.h"
 
+#include "src/obs/registry.h"
 #include "src/runtime/logging.h"
 
 namespace p2 {
@@ -40,6 +41,9 @@ void Element::BindInput(int in_port, Element* src, int src_port) {
 }
 
 int Element::PushOut(int out_port, const TuplePtr& t, const Callback& cb) {
+  if (obs_out_ != nullptr) {
+    obs_out_->Inc();
+  }
   if (static_cast<size_t>(out_port) >= outputs_.size() ||
       outputs_[out_port].element == nullptr) {
     return 1;  // Unconnected output: drop.
@@ -49,6 +53,9 @@ int Element::PushOut(int out_port, const TuplePtr& t, const Callback& cb) {
 }
 
 int Element::PushOutMany(int out_port, const std::vector<TuplePtr>& ts, const Callback& cb) {
+  if (obs_out_ != nullptr) {
+    obs_out_->Inc(ts.size());
+  }
   if (static_cast<size_t>(out_port) >= outputs_.size() ||
       outputs_[out_port].element == nullptr) {
     return 1;  // Unconnected output: drop.

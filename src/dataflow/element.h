@@ -24,6 +24,11 @@
 
 namespace p2 {
 
+namespace obs {
+class Counter;
+class LogHistogram;
+}  // namespace obs
+
 class Element {
  public:
   using Callback = std::function<void()>;
@@ -61,6 +66,11 @@ class Element {
   size_t num_outputs() const { return outputs_.size(); }
   size_t num_inputs() const { return inputs_.size(); }
 
+  // Output-side tuple counter (per element kind), bound by
+  // Graph::ObserveElement when metrics are enabled; PushOut/PushOutMany
+  // bump it. Null (the default) costs one predictable branch.
+  void set_obs_out(obs::Counter* c) { obs_out_ = c; }
+
  protected:
   // Forwards downstream from `out_port`; returns the destination's signal,
   // or 1 if the port is unconnected (tuple is dropped).
@@ -76,6 +86,7 @@ class Element {
 
  private:
   std::string name_;
+  obs::Counter* obs_out_ = nullptr;
 };
 
 }  // namespace p2

@@ -10,6 +10,10 @@
 
 namespace p2 {
 
+namespace obs {
+class Registry;
+}  // namespace obs
+
 // Owns elements and records the edges between their ports. The planner
 // builds one Graph per P2 node.
 class Graph {
@@ -18,12 +22,21 @@ class Graph {
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
 
+  // Enables instrumentation: every element added after this call (Add is
+  // the single construction chokepoint) gets its output counter and, for
+  // kinds with internal drop/fire state, kind-specific series bound into
+  // `registry` on `lane`. Call before the planner runs.
+  void SetObs(obs::Registry* registry, size_t lane);
+
   // Takes ownership; returns a non-owning handle for wiring.
   template <typename T, typename... Args>
   T* Add(Args&&... args) {
     auto owned = std::make_unique<T>(std::forward<Args>(args)...);
     T* raw = owned.get();
     elements_.push_back(std::move(owned));
+    if (obs_registry_ != nullptr) {
+      ObserveElement(raw);
+    }
     return raw;
   }
 
@@ -52,9 +65,16 @@ class Graph {
     Element* dst;
     int dst_port;
   };
+
+  // Binds metric handles onto a freshly-added element (out-of-line so the
+  // templated Add stays free of registry details).
+  void ObserveElement(Element* e);
+
   std::vector<std::unique_ptr<Element>> elements_;
   std::vector<Edge> edges_;
   size_t num_edges_ = 0;
+  obs::Registry* obs_registry_ = nullptr;
+  size_t obs_lane_ = 0;
 };
 
 }  // namespace p2

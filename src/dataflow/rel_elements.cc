@@ -1,5 +1,8 @@
 #include "src/dataflow/rel_elements.h"
 
+#include <chrono>
+
+#include "src/obs/registry.h"
 #include "src/runtime/logging.h"
 #include "src/runtime/marshal.h"
 
@@ -276,16 +279,38 @@ int RuleDriver::Push(int port, const TuplePtr& t, const Callback& cb) {
   (void)port;
   if (t->size() < min_arity_) {
     ++malformed_;
+    if (obs_malformed_ != nullptr) {
+      obs_malformed_->Inc();
+    }
     return 1;
   }
   ++fires_;
+  if (obs_fires_ != nullptr) {
+    obs_fires_->Inc();
+  }
+  // Latency is sampled (every 16th fire) so the steady_clock reads stay off
+  // the common path; the histogram is log-scale, so sampling loses little.
+  const bool timed = obs_fire_ns_ != nullptr && (fires_ & 0xF) == 0;
+  std::chrono::steady_clock::time_point t0;
+  if (timed) {
+    t0 = std::chrono::steady_clock::now();
+  }
+  int signal;
   if (agg_ != nullptr) {
     agg_->Begin(t);
     PushOut(0, t, cb);
     agg_->Flush();
-    return 1;
+    signal = 1;
+  } else {
+    signal = PushOut(0, t, cb);
   }
-  return PushOut(0, t, cb);
+  if (timed) {
+    obs_fire_ns_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  return signal;
 }
 
 // --- TableAggWatcher ---

@@ -193,6 +193,14 @@ class RuleDriver : public Element {
   void set_agg(AggWrapElement* agg) { agg_ = agg; }
   void set_min_arity(size_t n) { min_arity_ = n; }
 
+  // Per-rule metric handles (Graph::ObserveElement): fire count, sampled
+  // fire-to-output latency, malformed-input drops. All nullable.
+  void set_obs(obs::Counter* fires, obs::LogHistogram* fire_ns, obs::Counter* malformed) {
+    obs_fires_ = fires;
+    obs_fire_ns_ = fire_ns;
+    obs_malformed_ = malformed;
+  }
+
   uint64_t fires() const { return fires_; }
   uint64_t malformed() const { return malformed_; }
 
@@ -201,6 +209,9 @@ class RuleDriver : public Element {
   size_t min_arity_ = 0;
   uint64_t fires_ = 0;
   uint64_t malformed_ = 0;
+  obs::Counter* obs_fires_ = nullptr;
+  obs::LogHistogram* obs_fire_ns_ = nullptr;
+  obs::Counter* obs_malformed_ = nullptr;
 };
 
 // Maintains an aggregate over a whole table (§3.4 "aggregation elements

@@ -29,6 +29,14 @@ double Cdf::Quantile(double q) const {
     return 0;
   }
   Sort();
+  // Clamp q into [0,1]: q < 0 would turn into a huge size_t below and q > 1
+  // would index past the end. A single sample is every quantile of itself.
+  if (!(q > 0)) {
+    return values_.front();
+  }
+  if (q >= 1) {
+    return values_.back();
+  }
   double pos = q * static_cast<double>(values_.size() - 1);
   size_t lo = static_cast<size_t>(pos);
   size_t hi = std::min(lo + 1, values_.size() - 1);
@@ -59,15 +67,20 @@ std::vector<std::pair<double, double>> Cdf::Points(size_t points) const {
 }
 
 Histogram::Histogram(double lo, double hi, size_t buckets)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {}
+    // Degenerate shapes must not poison Add: zero buckets would divide by
+    // zero here and underflow counts_.size()-1 there, and hi <= lo would
+    // make every pos NaN or negative. Clamp to one bucket of unit width.
+    : lo_(lo),
+      width_(hi > lo && buckets > 0 ? (hi - lo) / static_cast<double>(buckets) : 1.0),
+      counts_(buckets > 0 ? buckets : 1, 0) {}
 
 void Histogram::Add(double v) {
   double pos = (v - lo_) / width_;
   size_t b;
-  if (pos < 0) {
-    b = 0;
+  if (!(pos >= 0)) {
+    b = 0;  // below range — or NaN, which every comparison rejects
   } else if (pos >= static_cast<double>(counts_.size())) {
-    b = counts_.size() - 1;
+    b = counts_.size() - 1;  // above range: clamp into the last bucket
   } else {
     b = static_cast<size_t>(pos);
   }

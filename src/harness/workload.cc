@@ -15,6 +15,20 @@ ChordTestbed::ChordTestbed(TestbedConfig config)
   network_.set_loss_rate(config.loss_rate);
   pending_.resize(engine_.num_shards());
   hop_arrivals_.resize(engine_.num_shards());
+  engine_.SetObs(config.metrics, config.trace);
+  channel_pool_.SetLiveSource(
+      [this](ReliableChannelStats* total) {
+        for (const Slot& s : slots_) {
+          if (s.alive && s.channel != nullptr) {
+            total->MergeFrom(s.channel->Stats());
+          }
+        }
+      },
+      nullptr);
+  if (config.metrics != nullptr) {
+    config.metrics->AddCollector(
+        [this](obs::Snapshot* snap) { channel_pool_.Collect(snap); });
+  }
 }
 
 ChordTestbed::~ChordTestbed() {
@@ -58,6 +72,9 @@ void ChordTestbed::MakeNode(size_t slot, const std::string& landmark) {
     nc.executor = executor;
     nc.transport = endpoint;
     nc.seed = rng_.NextU64();
+    nc.metrics = config_.metrics;
+    nc.watches = config_.watches;
+    nc.sysstats_period_s = config_.sysstats_period_s;
     s.p2 = std::make_unique<ChordNode>(nc, config_.chord, landmark);
   }
   s.alive = true;
@@ -408,13 +425,7 @@ double ChordTestbed::MeanFingerRows() const {
 }
 
 ReliableChannelStats ChordTestbed::TotalReliableStats() const {
-  ReliableChannelStats total = dead_reliable_stats_;
-  for (const Slot& s : slots_) {
-    if (s.alive && s.channel != nullptr) {
-      total.MergeFrom(s.channel->Stats());
-    }
-  }
-  return total;
+  return channel_pool_.TotalReliable();
 }
 
 std::vector<std::string> ChordTestbed::BestSuccessorByNode() {
@@ -450,7 +461,7 @@ bool ChordTestbed::ReplaceNode(size_t slot) {
   dead_maint_bytes_ += s.transport->stats().maint_bytes_out;
   dead_lookup_bytes_ += s.transport->stats().lookup_bytes_out;
   if (s.channel != nullptr) {
-    dead_reliable_stats_.MergeFrom(s.channel->Stats());
+    channel_pool_.Retire(s.channel->Stats());
   }
   s.p2.reset();
   s.baseline.reset();

@@ -27,6 +27,7 @@
 #include "src/baseline/chord_baseline.h"
 #include "src/harness/churn.h"
 #include "src/net/stack/reliable_channel.h"
+#include "src/obs/channel_stats.h"
 #include "src/overlays/chord.h"
 #include "src/sim/network.h"
 #include "src/sim/shard.h"
@@ -57,6 +58,13 @@ struct TestbedConfig {
   // control) between every node and its SimTransport.
   bool reliable = false;
   ReliableConfig reliable_config;
+  // Observability (all optional). The registry/trace need shards+1 lanes
+  // (shards plus the coordinator); watches and the sysstats period are
+  // passed through to every P2 node the testbed builds.
+  obs::Registry* metrics = nullptr;
+  obs::TraceLog* trace = nullptr;
+  std::vector<std::string> watches;
+  double sysstats_period_s = 0;
 };
 
 class ChordTestbed : public ChurnTarget {
@@ -179,7 +187,8 @@ class ChordTestbed : public ChurnTarget {
   uint64_t addr_counter_ = 0;
   uint64_t dead_maint_bytes_ = 0;
   uint64_t dead_lookup_bytes_ = 0;
-  ReliableChannelStats dead_reliable_stats_;
+  // Fleet reliable-channel aggregation (retired channels + live source).
+  obs::ChannelStatsPool channel_pool_;
   bool refresh_scheduled_ = false;
 
   // Bootstrap snapshot: written by control tasks at barriers, read by

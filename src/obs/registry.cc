@@ -1,0 +1,171 @@
+#include "src/obs/registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace p2 {
+namespace obs {
+
+Registry::Registry(size_t lanes) : lanes_(lanes == 0 ? 1 : lanes) {}
+
+Counter* Registry::GetCounter(size_t lane, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lane& l = lanes_[lane % lanes_.size()];
+  auto it = l.counters.find(name);
+  if (it != l.counters.end()) {
+    return it->second;
+  }
+  l.counter_store.emplace_back();
+  Counter* c = &l.counter_store.back();
+  l.counters.emplace(name, c);
+  return c;
+}
+
+Gauge* Registry::GetGauge(size_t lane, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lane& l = lanes_[lane % lanes_.size()];
+  auto it = l.gauges.find(name);
+  if (it != l.gauges.end()) {
+    return it->second;
+  }
+  l.gauge_store.emplace_back();
+  Gauge* g = &l.gauge_store.back();
+  l.gauges.emplace(name, g);
+  return g;
+}
+
+LogHistogram* Registry::GetHistogram(size_t lane, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lane& l = lanes_[lane % lanes_.size()];
+  auto it = l.histograms.find(name);
+  if (it != l.histograms.end()) {
+    return it->second;
+  }
+  l.histogram_store.emplace_back();
+  LogHistogram* h = &l.histogram_store.back();
+  l.histograms.emplace(name, h);
+  return h;
+}
+
+void Registry::AddCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snap;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Lane& l : lanes_) {
+      for (const auto& [name, c] : l.counters) {
+        snap.counters[name] += c->value();
+      }
+      for (const auto& [name, g] : l.gauges) {
+        snap.gauges[name] += g->value();
+      }
+      for (const auto& [name, h] : l.histograms) {
+        Snapshot::Hist& out = snap.histograms[name];
+        for (size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+          out.buckets[i] += h->bucket(i);
+        }
+        out.count += h->count();
+        out.sum += h->sum();
+      }
+    }
+    collectors = collectors_;
+  }
+  for (const Collector& fn : collectors) {
+    fn(&snap);
+  }
+  return snap;
+}
+
+namespace {
+
+// Metric family = name up to the label block; TYPE lines are emitted once
+// per family (series are sorted, so families are contiguous).
+std::string FamilyOf(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void AppendSeries(std::string* out, const std::string& family, const char* type,
+                  std::set<std::string>* emitted) {
+  if (emitted->insert(family).second) {
+    *out += "# TYPE " + family + " " + type + "\n";
+  }
+}
+
+// Splices extra labels into a series name: name{a="b"} + le=... keeps the
+// existing label block.
+std::string WithLabel(const std::string& name, const std::string& label) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + "{" + label + "}";
+  }
+  std::string out = name;
+  out.insert(out.size() - 1, "," + label);
+  return out;
+}
+
+// name{a="b"} + "_bucket" must become name_bucket{a="b"} — the suffix
+// belongs to the family, before any label block.
+std::string WithSuffix(const std::string& name, const char* suffix) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + suffix;
+  }
+  std::string out = name;
+  out.insert(brace, suffix);
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const Snapshot& snap) {
+  std::string out;
+  char buf[64];
+  std::set<std::string> emitted;
+  for (const auto& [name, v] : snap.counters) {
+    AppendSeries(&out, FamilyOf(name), "counter", &emitted);
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+    out += name + buf;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    AppendSeries(&out, FamilyOf(name), "gauge", &emitted);
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", v);
+    out += name + buf;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    AppendSeries(&out, FamilyOf(name), "histogram", &emitted);
+    // Cumulative buckets, non-empty ones only (64 mostly-zero lines per
+    // series would drown the exposition); le is the bucket's inclusive
+    // upper bound 2^(i+1)-1.
+    uint64_t cum = 0;
+    for (size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+      if (h.buckets[i] == 0) {
+        continue;
+      }
+      cum += h.buckets[i];
+      uint64_t le = i >= 63 ? UINT64_MAX : (uint64_t{2} << i) - 1;
+      std::snprintf(buf, sizeof(buf), "le=\"%" PRIu64 "\"", le);
+      std::string series = WithLabel(WithSuffix(name, "_bucket"), buf);
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cum);
+      out += series + buf;
+    }
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cum);
+    out += WithLabel(WithSuffix(name, "_bucket"), "le=\"+Inf\"") + buf;
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.sum);
+    out += WithSuffix(name, "_sum") + buf;
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count);
+    out += WithSuffix(name, "_count") + buf;
+  }
+  return out;
+}
+
+std::string Registry::PrometheusText() const { return RenderPrometheus(TakeSnapshot()); }
+
+}  // namespace obs
+}  // namespace p2

@@ -1,0 +1,151 @@
+// MetricsRegistry: the runtime's introspection spine (paper §7 — P2 exposes
+// dataflow state for querying; here every layer feeds named counters,
+// gauges and log-scale histograms).
+//
+// Concurrency model matches the sharded simulator's: each lane is written
+// by exactly one thread (its shard's worker, or the coordinator for lane
+// 0 / the control lane), so the hot path is a relaxed atomic load+store —
+// no RMW contention, a few ns — and fleet-wide totals are produced by
+// merge-on-read over all lanes. Handle registration is the cold path and
+// takes a mutex; handles are stable pointers (deque storage) valid for the
+// registry's lifetime.
+//
+// Metric names carry their labels Prometheus-style, e.g.
+//   p2_rule_fires_total{rule="lookup+succ"}
+// and identical names in different lanes (or bound by different nodes on
+// the same shard) share one logical series: Snapshot() sums them. That
+// bounds cardinality by label set, not by fleet size.
+#ifndef P2_OBS_REGISTRY_H_
+#define P2_OBS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace p2 {
+namespace obs {
+
+// Monotone counter. Single writer per instance; relaxed non-RMW update.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    v_.store(v_.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Signed up/down gauge. Deltas (not Set) so lanes merge by summation —
+// e.g. per-shard row-count gauges add up to the fleet total.
+class Gauge {
+ public:
+  void Add(int64_t d) {
+    v_.store(v_.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Log-scale histogram: 64 power-of-two buckets. Observe(v) lands in bucket
+// floor(log2(v)) (v=0 counts in bucket 0), so one array covers nanoseconds
+// through hours with constant cost: or, clz, two relaxed stores.
+class LogHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Observe(uint64_t v) {
+    size_t b = 63 - static_cast<size_t>(__builtin_clzll(v | 1));
+    buckets_[b].store(buckets_[b].load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    count_.store(count_.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    sum_.store(sum_.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Merged view of a registry at one instant. Maps are ordered so renderings
+// (and tests) are deterministic.
+struct Snapshot {
+  struct Hist {
+    std::array<uint64_t, LogHistogram::kBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Hist> histograms;
+};
+
+class Registry {
+ public:
+  // One lane per writer thread. The sharded sim uses shard lanes plus the
+  // implicit rule that the coordinator only writes while shards are parked.
+  explicit Registry(size_t lanes = 1);
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  size_t lanes() const { return lanes_.size(); }
+
+  // Handle lookup-or-create. Cold path (mutex); the returned pointer is
+  // stable and lock-free to update. `lane` clamps into range so callers can
+  // pass Executor::shard_index() unchecked.
+  Counter* GetCounter(size_t lane, const std::string& name);
+  Gauge* GetGauge(size_t lane, const std::string& name);
+  LogHistogram* GetHistogram(size_t lane, const std::string& name);
+
+  // Collectors contribute externally-held series (e.g. the reliable-channel
+  // pool) at snapshot time, on the snapshotting thread.
+  using Collector = std::function<void(Snapshot*)>;
+  void AddCollector(Collector fn);
+
+  // Sums every lane (and runs collectors). Safe while writers run — values
+  // are atomics — but exact only when they are parked (end of run, window
+  // barriers).
+  Snapshot TakeSnapshot() const;
+
+  // Prometheus text exposition of TakeSnapshot(): `# TYPE` line per metric
+  // family, series sorted by name, log-histograms as cumulative
+  // `_bucket{le=...}` / `_sum` / `_count`.
+  std::string PrometheusText() const;
+
+ private:
+  struct Lane {
+    std::unordered_map<std::string, Counter*> counters;
+    std::unordered_map<std::string, Gauge*> gauges;
+    std::unordered_map<std::string, LogHistogram*> histograms;
+    std::deque<Counter> counter_store;
+    std::deque<Gauge> gauge_store;
+    std::deque<LogHistogram> histogram_store;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Lane> lanes_;
+  std::vector<Collector> collectors_;
+};
+
+// Renders a snapshot (the shared core of Registry::PrometheusText, also
+// used for collector-only snapshots in tests).
+std::string RenderPrometheus(const Snapshot& snap);
+
+}  // namespace obs
+}  // namespace p2
+
+#endif  // P2_OBS_REGISTRY_H_

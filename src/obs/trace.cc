@@ -1,0 +1,52 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace p2 {
+namespace obs {
+
+TraceLog::TraceLog(size_t lanes, size_t capacity_per_lane)
+    : t0_(std::chrono::steady_clock::now()),
+      capacity_(capacity_per_lane),
+      lanes_(lanes == 0 ? 1 : lanes) {
+  for (auto& l : lanes_) {
+    l.reserve(256);
+  }
+}
+
+void TraceLog::Add(size_t lane, const TraceEvent& ev) {
+  std::vector<TraceEvent>& l = lanes_[lane % lanes_.size()];
+  if (l.size() >= capacity_) {
+    dropped_.store(dropped_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+    return;
+  }
+  l.push_back(ev);
+}
+
+std::string TraceLog::ToChromeJson() const {
+  std::string out = "[\n";
+  char buf[256];
+  bool first = true;
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    for (const TraceEvent& ev : lanes_[lane]) {
+      if (!first) {
+        out += ",\n";
+      }
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
+                    "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"vt_begin\":%.6f,"
+                    "\"vt_end\":%.6f,\"n\":%" PRIu64 "}}",
+                    ev.name, lane, ev.ts_us, ev.dur_us, ev.vt_begin, ev.vt_end,
+                    ev.arg);
+      out += buf;
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace p2

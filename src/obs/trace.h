@@ -1,0 +1,68 @@
+// TraceLog: Chrome trace_event export of the sharded simulator's execution
+// — shard windows, barrier waits, control-timeline actions — loadable in
+// chrome://tracing / Perfetto (`p2run --trace-out f.json`).
+//
+// Same single-writer-per-lane discipline as the metrics registry: each
+// shard thread appends complete 'X' (duration) events to its own bounded
+// lane; the coordinator lane is the last one. Overflow drops the event and
+// counts it, so tracing can stay on for arbitrarily long runs without
+// unbounded memory.
+#ifndef P2_OBS_TRACE_H_
+#define P2_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2 {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = "";  // static strings only (no per-event allocation)
+  double ts_us = 0;       // wall microseconds since TraceLog creation
+  double dur_us = 0;
+  double vt_begin = 0;    // virtual-time window the event covered
+  double vt_end = 0;
+  uint64_t arg = 0;       // name-specific payload (events run, queue depth...)
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(size_t lanes, size_t capacity_per_lane = 1 << 16);
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  size_t lanes() const { return lanes_.size(); }
+
+  // Wall microseconds since construction, from the steady clock — the
+  // timestamp base every event uses.
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  // Appends to `lane` (clamped). Single writer per lane; drops and counts
+  // when the lane is full.
+  void Add(size_t lane, const TraceEvent& ev);
+
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Chrome trace_event JSON array: one complete event per record, pid 1,
+  // tid = lane (shards), the coordinator lane last. Call with writers
+  // parked (end of run).
+  std::string ToChromeJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  size_t capacity_;
+  std::vector<std::vector<TraceEvent>> lanes_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace obs
+}  // namespace p2
+
+#endif  // P2_OBS_TRACE_H_

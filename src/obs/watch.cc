@@ -1,0 +1,38 @@
+#include "src/obs/watch.h"
+
+#include <cstdio>
+
+namespace p2 {
+namespace obs {
+
+namespace {
+WatchSinkFn& SinkSlot() {
+  static WatchSinkFn sink;
+  return sink;
+}
+}  // namespace
+
+void SetWatchSink(WatchSinkFn fn) { SinkSlot() = std::move(fn); }
+
+void EmitWatch(const std::string& line) {
+  WatchSinkFn& sink = SinkSlot();
+  if (sink) {
+    sink(line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+std::string FormatWatchLine(double vt, const std::string& node, const char* point,
+                            const std::string& label, const Tuple& t) {
+  char head[96];
+  std::snprintf(head, sizeof(head), "watch t=%.6f ", vt);
+  std::string out = head;
+  out += "node=" + node + " point=";
+  out += point;
+  out += " label=" + label + " " + t.ToString();
+  return out;
+}
+
+}  // namespace obs
+}  // namespace p2

@@ -1,0 +1,66 @@
+// OverLog `watch(pred)` support (paper §7: tuple-level tracing as a
+// language feature, not a debugger bolted on).
+//
+// The planner splices a WatchTapElement onto every dataflow edge that
+// produces a watched predicate (rule heads, table-aggregate outputs) and
+// subscribes to its arrivals, so each tuple is logged with the node's
+// virtual timestamp, its address, the tap point and the producing rule's
+// chain label. Output goes through one process-wide sink: stderr by
+// default, redirectable for golden tests and the CLI.
+#ifndef P2_OBS_WATCH_H_
+#define P2_OBS_WATCH_H_
+
+#include <functional>
+#include <string>
+
+#include "src/dataflow/element.h"
+#include "src/runtime/executor.h"
+
+namespace p2 {
+namespace obs {
+
+using WatchSinkFn = std::function<void(const std::string& line)>;
+
+// Replaces the process-wide watch sink; an empty function restores the
+// stderr default. Single-threaded setup only (tests, CLI startup).
+void SetWatchSink(WatchSinkFn fn);
+
+// Sends one already-formatted line to the active sink.
+void EmitWatch(const std::string& line);
+
+// "watch t=<vt> node=<addr> point=<point> label=<label> <tuple>" — virtual
+// time, so the line stream is deterministic for a fixed seed.
+std::string FormatWatchLine(double vt, const std::string& node, const char* point,
+                            const std::string& label, const Tuple& t);
+
+}  // namespace obs
+
+// Pass-through element logging every tuple that crosses it. The planner
+// inserts one per watched rule-head edge, immediately before head routing.
+class WatchTapElement : public Element {
+ public:
+  WatchTapElement(std::string name, Executor* executor, std::string node_addr,
+                  const char* point, std::string label)
+      : Element(std::move(name)),
+        executor_(executor),
+        node_addr_(std::move(node_addr)),
+        point_(point),
+        label_(std::move(label)) {}
+
+  int Push(int port, const TuplePtr& t, const Callback& cb) override {
+    (void)port;
+    obs::EmitWatch(
+        obs::FormatWatchLine(executor_->Now(), node_addr_, point_, label_, *t));
+    return PushOut(0, t, cb);
+  }
+
+ private:
+  Executor* executor_;
+  std::string node_addr_;
+  const char* point_;
+  std::string label_;
+};
+
+}  // namespace p2
+
+#endif  // P2_OBS_WATCH_H_

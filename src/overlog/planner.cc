@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 #include <unordered_set>
 
 #include "src/dataflow/basic_elements.h"
 #include "src/dataflow/rel_elements.h"
+#include "src/obs/watch.h"
 #include "src/overlog/compile_expr.h"
 #include "src/p2/node.h"
 #include "src/runtime/logging.h"
@@ -161,6 +163,15 @@ class PlanBuilder {
 
   bool Run(std::string* err) {
     explain_ += std::string("plan mode=") + (semi_naive_ ? "semi-naive" : "legacy") + "\n";
+    // Watched predicates: the program's watch() clauses plus any requested
+    // at node construction (p2run --watch). Rule plans splice head taps for
+    // these as they are built, so collect the set first.
+    for (const std::string& w : program_.watches) {
+      watched_.insert(w);
+    }
+    for (const std::string& w : node_->watches_) {
+      watched_.insert(w);
+    }
     if (!CreateTables(err)) {
       return false;
     }
@@ -175,9 +186,16 @@ class PlanBuilder {
         return false;
       }
     }
-    for (const std::string& w : program_.watches) {
-      node_->Subscribe(w, [w](const TuplePtr& t) {
-        P2_LOG(LogLevel::kInfo, "watch %s: %s", w.c_str(), t->ToString().c_str());
+    // Arrival-side taps: every watched tuple this node sees locally —
+    // stored into its table ("store") or delivered as a stream event
+    // ("recv") — is logged, covering tuples that arrive off the wire and
+    // were derived by some other node's rules.
+    for (const std::string& w : watched_) {
+      const char* point = node_->GetTable(w) != nullptr ? "store" : "recv";
+      Executor* executor = node_->executor_;
+      std::string addr = node_->addr_;
+      node_->Subscribe(w, [executor, addr, point, w](const TuplePtr& t) {
+        obs::EmitWatch(obs::FormatWatchLine(executor->Now(), addr, point, w, *t));
       });
     }
     node_->plan_explain_ += explain_;
@@ -552,7 +570,12 @@ class PlanBuilder {
         rule.head.name,
         semi_naive_ ? TableAggWatcher::Mode::kIncremental
                     : TableAggWatcher::Mode::kLegacyRecompute);
-    graph_.Connect(watcher, 0, node_->route_out_, 0);
+    if (WatchTapElement* tap = MaybeHeadTap(rule.head.name, label)) {
+      graph_.Connect(watcher, 0, tap, 0);
+      graph_.Connect(tap, 0, node_->route_out_, 0);
+    } else {
+      graph_.Connect(watcher, 0, node_->route_out_, 0);
+    }
     watcher->Attach();
     *planned = true;
     return true;
@@ -764,7 +787,12 @@ class PlanBuilder {
       driver->set_agg(aggwrap);
     }
 
-    // 4. Head routing.
+    // 4. Head routing. A watched head gets its tap here — after projection,
+    // before routing — so every derivation is logged exactly once with the
+    // producing rule variant's label.
+    if (WatchTapElement* tap = MaybeHeadTap(rule.head.name, label)) {
+      Append(&chain, tap);
+    }
     if (trig == TriggerKind::kDeltaRemove) {
       Table* head_table = FindTable(rule.head.name);
       P2_CHECK(head_table != nullptr);  // caller builds remove variants only then
@@ -976,11 +1004,24 @@ class PlanBuilder {
     return AppendFilter(std::get<ExprPtr>(term), chain, *env, err);
   }
 
+  // Builds a head-side tap for `pred` when it is watched, or returns null.
+  // `label` is the producing rule's chain label, so watch output attributes
+  // every tuple to the exact rule variant that derived it.
+  WatchTapElement* MaybeHeadTap(const std::string& pred, const std::string& label) {
+    if (watched_.count(pred) == 0) {
+      return nullptr;
+    }
+    explain_ += "    watch tap on head " + pred + "\n";
+    return graph_.Add<WatchTapElement>(Gensym("watch:" + pred), node_->executor_,
+                                       node_->addr_, "head", label);
+  }
+
   const ProgramAst& program_;
   P2Node* node_;
   Graph& graph_;
   const bool semi_naive_;
   std::string explain_;
+  std::set<std::string> watched_;
   int gensym_ = 0;
 };
 

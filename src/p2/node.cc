@@ -1,6 +1,7 @@
 #include "src/p2/node.h"
 
 #include "src/net/wire.h"
+#include "src/obs/registry.h"
 #include "src/overlog/localizer.h"
 #include "src/overlog/parser.h"
 #include "src/overlog/planner.h"
@@ -32,9 +33,20 @@ P2Node::P2Node(P2NodeConfig config)
       executor_(config.executor),
       transport_(config.transport),
       rng_(config.seed),
-      planner_mode_(config.planner_mode) {
+      planner_mode_(config.planner_mode),
+      metrics_(config.metrics),
+      watches_(config.watches),
+      sysstats_period_s_(config.sysstats_period_s) {
   P2_CHECK(executor_ != nullptr);
   P2_CHECK(transport_ != nullptr);
+  if (metrics_ != nullptr) {
+    obs_lane_ = executor_->shard_index();
+    graph_.SetObs(metrics_, obs_lane_);
+    obs_tuples_sent_ = metrics_->GetCounter(obs_lane_, "p2_node_tuples_sent_total");
+    obs_tuples_from_net_ = metrics_->GetCounter(obs_lane_, "p2_node_tuples_from_net_total");
+    obs_loopbacks_ = metrics_->GetCounter(obs_lane_, "p2_node_local_loopbacks_total");
+    obs_bad_packets_ = metrics_->GetCounter(obs_lane_, "p2_node_bad_packets_total");
+  }
   input_queue_ = graph_.Add<QueueElement>("input_queue", config.input_queue_capacity);
   driver_ = graph_.Add<TimedPullPush>("driver", executor_, 0.0);
   demux_ = graph_.Add<DemuxByName>("demux");
@@ -63,6 +75,16 @@ bool P2Node::Install(const std::string& overlog_text, std::string* err) {
   if (!LocalizeProgram(&program, err)) {
     return false;
   }
+  if (sysstats_period_s_ > 0 && !program.IsMaterialized("sysstats") &&
+      GetTable("sysstats") == nullptr) {
+    // Not declared by the program: materialize it implicitly *before*
+    // planning so rules that join sysstats see a table, not a stream.
+    TableSpec spec;
+    spec.name = "sysstats";
+    spec.key_positions = {0, 1};
+    spec.arity = 3;
+    AddTable("sysstats", std::make_unique<Table>(spec, executor_));
+  }
   if (!Planner::Install(program, this, err)) {
     return false;
   }
@@ -80,6 +102,9 @@ void P2Node::Start() {
   for (PeriodicSource* src : periodics_) {
     src->Start();
   }
+  if (sysstats_period_s_ > 0) {
+    RefreshSysstats();
+  }
 }
 
 void P2Node::Stop() {
@@ -90,6 +115,49 @@ void P2Node::Stop() {
   for (PeriodicSource* src : periodics_) {
     src->Stop();
   }
+  if (sysstats_timer_ != kInvalidTimer) {
+    executor_->Cancel(sysstats_timer_);
+    sysstats_timer_ = kInvalidTimer;
+  }
+}
+
+void P2Node::RefreshSysstats() {
+  Table* table = GetTable("sysstats");
+  if (table == nullptr) {
+    return;
+  }
+  // Node-local, virtual-time-deterministic metrics only: the values must
+  // not depend on shard count or wall-clock timing, so overlay behavior
+  // built on sysstats stays reproducible.
+  size_t table_rows = 0;
+  for (const auto& [name, t] : tables_) {
+    if (name != "sysstats") {
+      table_rows += t->row_count();
+    }
+  }
+  uint64_t rule_fires = 0;
+  for (const auto& [id, driver] : rule_drivers_) {
+    (void)id;
+    rule_fires += driver->fires();
+  }
+  const std::pair<const char*, int64_t> stats[] = {
+      {"tuples_sent", static_cast<int64_t>(stats_.tuples_sent)},
+      {"tuples_from_net", static_cast<int64_t>(stats_.tuples_from_net)},
+      {"local_loopbacks", static_cast<int64_t>(stats_.local_loopbacks)},
+      {"rule_fires", static_cast<int64_t>(rule_fires)},
+      {"table_rows", static_cast<int64_t>(table_rows)},
+      {"memory_bytes", static_cast<int64_t>(ApproxMemoryBytes())},
+  };
+  for (const auto& [metric, value] : stats) {
+    table->Insert(Tuple::Make(
+        "sysstats", {Value::Addr(addr_), Value::Str(metric), Value::Int(value)}));
+  }
+  sysstats_timer_ = executor_->ScheduleAfter(sysstats_period_s_, [this]() {
+    sysstats_timer_ = kInvalidTimer;
+    if (started_) {
+      RefreshSysstats();
+    }
+  });
 }
 
 void P2Node::Inject(const TuplePtr& t) {
@@ -114,6 +182,9 @@ void P2Node::Subscribe(const std::string& name, TupleFn fn) {
 }
 
 void P2Node::AddTable(const std::string& name, std::unique_ptr<Table> table) {
+  if (metrics_ != nullptr) {
+    table->BindObs(metrics_, obs_lane_);
+  }
   SchemaId schema = InternSchema(name);
   if (tables_by_schema_.size() <= schema) {
     tables_by_schema_.resize(schema + 1, nullptr);
@@ -163,6 +234,9 @@ void P2Node::RouteTuple(const TuplePtr& t) {
   const std::string& dest = t->field(0).AsAddr();
   if (dest == addr_) {
     ++stats_.local_loopbacks;
+    if (obs_loopbacks_ != nullptr) {
+      obs_loopbacks_->Inc();
+    }
     if (Table* table = TableForSchema(t->schema())) {
       table->Insert(t);  // Synchronous store + delta propagation.
     } else {
@@ -177,6 +251,9 @@ void P2Node::RouteTuple(const TuplePtr& t) {
     return;
   }
   ++stats_.tuples_sent;
+  if (obs_tuples_sent_ != nullptr) {
+    obs_tuples_sent_->Inc();
+  }
   transport_->SendTo(dest, std::move(frame), IsLookupTraffic(t->name()));
 }
 
@@ -185,9 +262,15 @@ void P2Node::OnPacket(const std::string& from, const std::vector<uint8_t>& bytes
   std::optional<TuplePtr> t = UnframeTuple(bytes);
   if (!t.has_value()) {
     ++stats_.bad_packets;
+    if (obs_bad_packets_ != nullptr) {
+      obs_bad_packets_->Inc();
+    }
     return;
   }
   ++stats_.tuples_from_net;
+  if (obs_tuples_from_net_ != nullptr) {
+    obs_tuples_from_net_->Inc();
+  }
   DeliverLocal(*t);
 }
 

@@ -32,6 +32,15 @@ struct P2NodeConfig {
   // Rule compilation strategy; kLegacy reproduces the pre-semi-naive
   // planner for differential testing.
   PlannerMode planner_mode = PlannerMode::kSemiNaive;
+  // Metrics registry; null disables all instrumentation (the planner then
+  // builds exactly the uninstrumented graph). Lane = executor shard index.
+  obs::Registry* metrics = nullptr;
+  // Predicates to watch in addition to the program's own watch() clauses;
+  // the planner splices tuple-logging taps for these (p2run --watch).
+  std::vector<std::string> watches;
+  // When > 0, maintain a sysstats(Addr, Metric, Value) table refreshed at
+  // this virtual-time period so overlay rules can query their own runtime.
+  double sysstats_period_s = 0;
 };
 
 struct NodeStats {
@@ -106,6 +115,8 @@ class P2Node {
   // Routes a rule-head tuple by its location specifier (field 0).
   void RouteTuple(const TuplePtr& t);
   void OnPacket(const std::string& from, const std::vector<uint8_t>& bytes);
+  // Upserts this node's rows in the sysstats table (virtual-time periodic).
+  void RefreshSysstats();
 
   class RouteOutElement;
 
@@ -133,6 +144,17 @@ class P2Node {
   std::vector<std::pair<std::string, RuleDriver*>> rule_drivers_;
   bool started_ = false;
   bool installed_ = false;
+
+  // Observability (all dormant when metrics_ is null).
+  obs::Registry* metrics_ = nullptr;
+  size_t obs_lane_ = 0;
+  std::vector<std::string> watches_;  // config watches; planner adds program's
+  double sysstats_period_s_ = 0;
+  TimerId sysstats_timer_ = kInvalidTimer;
+  obs::Counter* obs_tuples_sent_ = nullptr;
+  obs::Counter* obs_tuples_from_net_ = nullptr;
+  obs::Counter* obs_loopbacks_ = nullptr;
+  obs::Counter* obs_bad_packets_ = nullptr;
 };
 
 }  // namespace p2

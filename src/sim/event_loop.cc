@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/registry.h"
+
 namespace p2 {
 
 namespace {
@@ -36,11 +38,20 @@ bool SimEventLoop::TryEnqueueRemote(SimDelivery& d) {
   return true;
 }
 
+void SimEventLoop::BindObs(obs::Registry* registry) {
+  obs_mailbox_depth_ = registry->GetHistogram(
+      shard_index_,
+      "p2_shard_mailbox_depth{shard=\"" + std::to_string(shard_index_) + "\"}");
+}
+
 void SimEventLoop::DrainMailbox() {
   std::vector<SimDelivery> drained;
   {
     std::lock_guard<std::mutex> lock(mailbox_mu_);
     drained.swap(mailbox_);
+  }
+  if (obs_mailbox_depth_ != nullptr && !drained.empty()) {
+    obs_mailbox_depth_->Observe(drained.size());
   }
   for (SimDelivery& d : drained) {
     msgs_.push(std::move(d));

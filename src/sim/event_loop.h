@@ -31,6 +31,11 @@
 
 namespace p2 {
 
+namespace obs {
+class LogHistogram;
+class Registry;
+}  // namespace obs
+
 // One simulated datagram in flight. `src` is the sending endpoint's unique
 // incarnation ordinal and `seq` its per-endpoint send counter, which makes
 // (at, src, seq) a deterministic total order over all deliveries.
@@ -94,6 +99,10 @@ class SimEventLoop : public Executor {
 
   void set_mailbox_capacity(size_t cap) { mailbox_capacity_ = cap; }
 
+  // Binds the mailbox-depth histogram (sampled at every fold) into this
+  // shard's registry lane. Called by ShardedSim::SetObs.
+  void BindObs(obs::Registry* registry);
+
   // The loop currently executing events on this thread; null on the
   // coordinator/main thread. The simulated network uses it to route sends
   // (local heap push vs. cross-shard mailbox).
@@ -128,6 +137,7 @@ class SimEventLoop : public Executor {
   std::mutex mailbox_mu_;
   std::vector<SimDelivery> mailbox_;
   size_t mailbox_capacity_ = 1 << 15;
+  obs::LogHistogram* obs_mailbox_depth_ = nullptr;
 };
 
 }  // namespace p2

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/runtime/logging.h"
 #include "src/runtime/value.h"
 
@@ -33,6 +35,29 @@ ShardedSim::~ShardedSim() {
   }
 }
 
+void ShardedSim::SetObs(obs::Registry* registry, obs::TraceLog* trace) {
+  obs_registry_ = registry;
+  trace_ = trace;
+  barrier_wait_.clear();
+  if (registry != nullptr) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      barrier_wait_.push_back(registry->GetHistogram(
+          i, "p2_shard_barrier_wait_ns{shard=\"" + std::to_string(i) + "\"}"));
+      shards_[i]->BindObs(registry);
+    }
+  }
+}
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
 void ShardedSim::set_sync_window(double w) {
   P2_CHECK(w > 0);
   window_ = std::min(window_, w);
@@ -58,6 +83,11 @@ void ShardedSim::EnsureWorkers() {
 
 void ShardedSim::WorkerMain(size_t index) {
   uint64_t seen = 0;
+  // Barrier wait = wall time from this worker finishing its window to the
+  // coordinator waking it for the next one (park + straggler-drain time).
+  bool have_window_end = false;
+  std::chrono::steady_clock::time_point window_end_tp;
+  const bool instrumented = obs_registry_ != nullptr || trace_ != nullptr;
   for (;;) {
     double end;
     bool inclusive;
@@ -81,7 +111,31 @@ void ShardedSim::WorkerMain(size_t index) {
       end = target_;
       inclusive = inclusive_;
     }
+    if (instrumented && have_window_end) {
+      uint64_t wait_ns = ElapsedNs(window_end_tp, std::chrono::steady_clock::now());
+      if (!barrier_wait_.empty()) {
+        barrier_wait_[index]->Observe(wait_ns);
+      }
+      if (trace_ != nullptr) {
+        double vt = shards_[index]->Now();
+        double dur_us = static_cast<double>(wait_ns) / 1000.0;
+        trace_->Add(index, obs::TraceEvent{"barrier", trace_->NowUs() - dur_us,
+                                           dur_us, vt, vt, 0});
+      }
+    }
+    double vt_begin = shards_[index]->Now();
+    uint64_t ev0 = shards_[index]->events_run();
+    double ts0 = trace_ != nullptr ? trace_->NowUs() : 0;
     shards_[index]->RunWindow(end, inclusive);
+    if (instrumented) {
+      window_end_tp = std::chrono::steady_clock::now();
+      have_window_end = true;
+      if (trace_ != nullptr) {
+        trace_->Add(index,
+                    obs::TraceEvent{"window", ts0, trace_->NowUs() - ts0, vt_begin, end,
+                                    shards_[index]->events_run() - ev0});
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (++done_ == shards_.size()) {
@@ -108,7 +162,34 @@ void ShardedSim::WorkerMain(size_t index) {
 
 void ShardedSim::RunShardsWindow(double end, bool inclusive) {
   if (shards_.size() == 1) {
+    // Single shard: the "barrier wait" is the coordinator's gap between
+    // window ends — control tasks plus loop overhead — so the metric is
+    // meaningful (and nonzero) at any shard count.
+    const bool instrumented = obs_registry_ != nullptr || trace_ != nullptr;
+    if (instrumented && have_last_window_end_) {
+      uint64_t wait_ns = ElapsedNs(last_window_end_, std::chrono::steady_clock::now());
+      if (!barrier_wait_.empty()) {
+        barrier_wait_[0]->Observe(wait_ns);
+      }
+      if (trace_ != nullptr) {
+        double vt = shards_[0]->Now();
+        double dur_us = static_cast<double>(wait_ns) / 1000.0;
+        trace_->Add(0, obs::TraceEvent{"barrier", trace_->NowUs() - dur_us, dur_us,
+                                       vt, vt, 0});
+      }
+    }
+    double vt_begin = shards_[0]->Now();
+    uint64_t ev0 = shards_[0]->events_run();
+    double ts0 = trace_ != nullptr ? trace_->NowUs() : 0;
     shards_[0]->RunWindow(end, inclusive);
+    if (instrumented) {
+      last_window_end_ = std::chrono::steady_clock::now();
+      have_last_window_end_ = true;
+      if (trace_ != nullptr) {
+        trace_->Add(0, obs::TraceEvent{"window", ts0, trace_->NowUs() - ts0, vt_begin,
+                                       end, shards_[0]->events_run() - ev0});
+      }
+    }
     return;
   }
   {
@@ -131,9 +212,17 @@ void ShardedSim::RunShardsWindow(double end, bool inclusive) {
 void ShardedSim::RunDueControl() {
   double at;
   Task task;
+  uint64_t ran = 0;
+  double ts0 = trace_ != nullptr ? trace_->NowUs() : 0;
   while (control_.wheel_.PopDue(now_, &at, &task)) {
     ++control_events_run_;
+    ++ran;
     task();
+  }
+  if (trace_ != nullptr && ran > 0) {
+    // Coordinator actions get the lane past the shards' (tid = num_shards).
+    trace_->Add(shards_.size(),
+                obs::TraceEvent{"control", ts0, trace_->NowUs() - ts0, now_, now_, ran});
   }
 }
 

@@ -29,6 +29,7 @@
 #ifndef P2_SIM_SHARD_H_
 #define P2_SIM_SHARD_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -41,6 +42,12 @@
 #include "src/sim/event_loop.h"
 
 namespace p2 {
+
+namespace obs {
+class LogHistogram;
+class Registry;
+class TraceLog;
+}  // namespace obs
 
 class ShardedSim {
  public:
@@ -79,6 +86,13 @@ class ShardedSim {
   // Events executed across all shards plus control tasks run. The total is
   // shard-count-invariant for a fixed seed — a useful determinism check.
   uint64_t events_run() const;
+
+  // Enables shard instrumentation: per-shard barrier-wait histograms and
+  // mailbox-depth sampling into `registry` (lane = shard index; the
+  // coordinator writes lane num_shards), and — when `trace` is non-null —
+  // window / barrier / control events into the trace log (tid = same lane
+  // mapping). Either may be null. Call before the first RunUntil.
+  void SetObs(obs::Registry* registry, obs::TraceLog* trace);
 
  private:
   class ControlTimeline : public Executor {
@@ -127,6 +141,14 @@ class ShardedSim {
   size_t done_ = 0;
   size_t resting_ = 0;  // workers parked in the top-of-loop wait
   bool stop_ = false;
+
+  // Observability (both null unless SetObs was called).
+  obs::Registry* obs_registry_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
+  std::vector<obs::LogHistogram*> barrier_wait_;  // one per shard
+  // Single-shard barrier analog: coordinator gap between window ends.
+  bool have_last_window_end_ = false;
+  std::chrono::steady_clock::time_point last_window_end_;
 };
 
 }  // namespace p2

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/registry.h"
 #include "src/runtime/logging.h"
 
 namespace p2 {
@@ -14,6 +15,20 @@ Table::Table(TableSpec spec, Executor* executor) : spec_(std::move(spec)), execu
 Table::~Table() {
   if (expiry_timer_ != kInvalidTimer) {
     executor_->Cancel(expiry_timer_);
+  }
+}
+
+void Table::BindObs(obs::Registry* registry, size_t lane) {
+  const std::string label = "{table=\"" + spec_.name + "\"}";
+  obs_inserts_ = registry->GetCounter(lane, "p2_table_inserts_total" + label);
+  obs_replaces_ = registry->GetCounter(lane, "p2_table_replaces_total" + label);
+  obs_deletes_ = registry->GetCounter(lane, "p2_table_deletes_total" + label);
+  obs_evictions_ = registry->GetCounter(lane, "p2_table_evictions_total" + label);
+  obs_expiries_ = registry->GetCounter(lane, "p2_table_expiries_total" + label);
+  obs_deltas_ = registry->GetCounter(lane, "p2_table_deltas_total" + label);
+  obs_rows_ = registry->GetGauge(lane, "p2_table_rows" + label);
+  if (!rows_.empty()) {
+    obs_rows_->Add(static_cast<int64_t>(rows_.size()));  // bound mid-life
   }
 }
 
@@ -68,7 +83,17 @@ void Table::EraseRow(RowList::iterator it, bool notify_removal, TableDelta::Caus
   IndexErase(it);
   primary_.erase(PrimaryKeyOf(*gone));
   rows_.erase(it);
+  if (obs_rows_ != nullptr) {
+    obs_rows_->Add(-1);
+    obs::Counter* by_cause = cause == TableDelta::Cause::kDelete     ? obs_deletes_
+                             : cause == TableDelta::Cause::kEviction ? obs_evictions_
+                                                                     : obs_expiries_;
+    by_cause->Inc();
+  }
   if (notify_removal && !typed_listeners_.empty()) {
+    if (obs_deltas_ != nullptr) {
+      obs_deltas_->Inc();
+    }
     TableDelta d{TableDelta::Kind::kRemove, cause, gone, nullptr};
     for (const TypedDeltaFn& fn : typed_listeners_) {
       fn(d);
@@ -138,10 +163,16 @@ bool Table::Insert(const TuplePtr& t) {
     auto it = std::prev(rows_.end());
     primary_.emplace(std::move(key), it);
     IndexInsert(it);
+    if (obs_rows_ != nullptr) {
+      obs_rows_->Add(1);
+    }
     // FIFO eviction beyond capacity.
     while (rows_.size() > spec_.max_size) {
       EraseRow(rows_.begin(), /*notify_removal=*/true, TableDelta::Cause::kEviction);
     }
+  }
+  if (obs_inserts_ != nullptr) {
+    (displaced == nullptr ? obs_inserts_ : obs_replaces_)->Inc();
   }
   ArmExpiryTimer();
   // Listeners fire on every insertion, including TTL refreshes of identical
@@ -150,6 +181,9 @@ bool Table::Insert(const TuplePtr& t) {
   // their own soft state expires. Rule sets must avoid self-triggering
   // insertion cycles (the planner's delta events are the only consumers).
   if (!typed_listeners_.empty()) {
+    if (obs_deltas_ != nullptr) {
+      obs_deltas_->Inc();
+    }
     TableDelta d{displaced == nullptr ? TableDelta::Kind::kInsert : TableDelta::Kind::kReplace,
                  TableDelta::Cause::kInsert, t, displaced};
     for (const TypedDeltaFn& fn : typed_listeners_) {

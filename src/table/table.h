@@ -34,6 +34,12 @@
 
 namespace p2 {
 
+namespace obs {
+class Counter;
+class Gauge;
+class Registry;
+}  // namespace obs
+
 struct TableSpec {
   std::string name;
   // Soft-state lifetime in seconds; infinity() means "never expires".
@@ -176,6 +182,11 @@ class Table {
   // on the expiry timer).
   void PurgeExpired();
 
+  // Binds per-table metric series (inserts/replaces/deletes/evictions/
+  // expiries/delta events as counters, live rows as a gauge) labeled
+  // table="<name>". Called by P2Node::AddTable when metrics are enabled.
+  void BindObs(obs::Registry* registry, size_t lane);
+
   // Scans of one column set before LookupByCols materializes an index.
   static constexpr int kAutoIndexScans = 3;
 
@@ -220,6 +231,15 @@ class Table {
   std::vector<TypedDeltaFn> typed_listeners_;
   TimerId expiry_timer_ = kInvalidTimer;
   double expiry_armed_at_ = std::numeric_limits<double>::infinity();
+
+  // Metric handles (all nullable; bound together by BindObs).
+  obs::Counter* obs_inserts_ = nullptr;
+  obs::Counter* obs_replaces_ = nullptr;
+  obs::Counter* obs_deletes_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_expiries_ = nullptr;
+  obs::Counter* obs_deltas_ = nullptr;  // typed delta events emitted
+  obs::Gauge* obs_rows_ = nullptr;
 };
 
 }  // namespace p2

@@ -1,0 +1,286 @@
+// MetricsRegistry / observability-layer tests: lane merge determinism,
+// log-histogram bucketing, Prometheus rendering (including labeled
+// histogram suffix placement), re-entrant updates from table-delta
+// callbacks, the ChannelStatsPool merge path, and the edge-case fixes in
+// the harness Cdf/Histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/harness/metrics.h"
+#include "src/obs/channel_stats.h"
+#include "src/obs/registry.h"
+#include "src/obs/watch.h"
+#include "src/p2/node.h"
+#include "src/runtime/tuple.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+#include "src/table/table.h"
+
+namespace p2 {
+namespace {
+
+TEST(Registry, LaneMergeSumsSameSeries) {
+  obs::Registry reg(4);
+  for (size_t lane = 0; lane < 4; ++lane) {
+    reg.GetCounter(lane, "p2_x_total")->Inc(lane + 1);
+  }
+  obs::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("p2_x_total"), 1u + 2 + 3 + 4);
+}
+
+TEST(Registry, LaneIndexClampsIntoRange) {
+  obs::Registry reg(2);
+  reg.GetCounter(7, "p2_y_total")->Inc();  // lane 7 % 2 == lane 1
+  EXPECT_EQ(reg.TakeSnapshot().counters.at("p2_y_total"), 1u);
+}
+
+TEST(Registry, HandlesAreStableAcrossRegistrations) {
+  obs::Registry reg(1);
+  obs::Counter* first = reg.GetCounter(0, "p2_a_total");
+  // Force plenty of rehashing/growth in the lane's maps and stores.
+  for (int i = 0; i < 1000; ++i) {
+    reg.GetCounter(0, "p2_fill_" + std::to_string(i));
+  }
+  EXPECT_EQ(first, reg.GetCounter(0, "p2_a_total"));
+  first->Inc();
+  EXPECT_EQ(reg.TakeSnapshot().counters.at("p2_a_total"), 1u);
+}
+
+TEST(Registry, ConcurrentSingleWriterLanesMergeExactly) {
+  // The production contract: one writer thread per lane. The merged total
+  // must be exact once the writers have joined.
+  constexpr size_t kLanes = 4;
+  constexpr uint64_t kPerLane = 100000;
+  obs::Registry reg(kLanes);
+  std::vector<std::thread> writers;
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    writers.emplace_back([&reg, lane]() {
+      obs::Counter* c = reg.GetCounter(lane, "p2_hot_total");
+      obs::LogHistogram* h = reg.GetHistogram(lane, "p2_hot_ns");
+      for (uint64_t i = 0; i < kPerLane; ++i) {
+        c->Inc();
+        h->Observe(i);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  obs::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("p2_hot_total"), kLanes * kPerLane);
+  EXPECT_EQ(snap.histograms.at("p2_hot_ns").count, kLanes * kPerLane);
+}
+
+TEST(Registry, GaugeMergesByDeltaSummation) {
+  obs::Registry reg(2);
+  reg.GetGauge(0, "p2_rows")->Add(10);
+  reg.GetGauge(1, "p2_rows")->Add(5);
+  reg.GetGauge(0, "p2_rows")->Add(-3);
+  EXPECT_EQ(reg.TakeSnapshot().gauges.at("p2_rows"), 12);
+}
+
+TEST(LogHistogram, BucketsArePowersOfTwo) {
+  obs::LogHistogram h;
+  h.Observe(0);     // bucket 0 (0 counts as 1)
+  h.Observe(1);     // bucket 0
+  h.Observe(2);     // bucket 1
+  h.Observe(3);     // bucket 1
+  h.Observe(4);     // bucket 2
+  h.Observe(1024);  // bucket 10
+  h.Observe(UINT64_MAX);  // bucket 63
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.bucket(63), 1u);
+  EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(Registry, PrometheusRenderingIsDeterministicAndWellFormed) {
+  obs::Registry reg(2);
+  reg.GetCounter(0, "p2_rule_fires_total{rule=\"a\"}")->Inc(3);
+  reg.GetCounter(1, "p2_rule_fires_total{rule=\"b\"}")->Inc(4);
+  reg.GetGauge(0, "p2_table_rows{table=\"t\"}")->Add(7);
+  reg.GetHistogram(1, "p2_wait_ns{shard=\"1\"}")->Observe(5);
+  std::string text = reg.PrometheusText();
+  EXPECT_EQ(text, reg.PrometheusText());
+  // One TYPE line per family, even with several labeled series.
+  EXPECT_NE(text.find("# TYPE p2_rule_fires_total counter"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE p2_rule_fires_total counter",
+                      text.find("# TYPE p2_rule_fires_total counter") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("p2_rule_fires_total{rule=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("p2_rule_fires_total{rule=\"b\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("p2_table_rows{table=\"t\"} 7"), std::string::npos);
+  // Histogram suffixes splice before the label block, with le= appended
+  // inside it: p2_wait_ns_bucket{shard="1",le="7"}.
+  EXPECT_NE(text.find("p2_wait_ns_bucket{shard=\"1\",le=\"7\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("p2_wait_ns_bucket{shard=\"1\",le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("p2_wait_ns_sum{shard=\"1\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("p2_wait_ns_count{shard=\"1\"} 1"), std::string::npos);
+  EXPECT_EQ(text.find("}_bucket"), std::string::npos);
+}
+
+TEST(Registry, CollectorsContributeAtSnapshotTime) {
+  obs::Registry reg(1);
+  reg.AddCollector([](obs::Snapshot* snap) { snap->counters["p2_ext_total"] = 9; });
+  EXPECT_EQ(reg.TakeSnapshot().counters.at("p2_ext_total"), 9u);
+}
+
+// A table-delta listener that updates metrics while the table itself is
+// bound to the same registry: Insert fires the bound counters, then the
+// listener re-enters the registry (handle lookup + increments). This is
+// exactly what happens when an instrumented rule chain is driven by a
+// table delta.
+TEST(Registry, ReentrantUpdatesFromTableDeltaCallbacks) {
+  SimEventLoop loop;
+  obs::Registry reg(1);
+  TableSpec spec;
+  spec.name = "link";
+  spec.key_positions = {0};
+  spec.arity = 2;
+  Table table(spec, &loop);
+  table.BindObs(&reg, 0);
+  table.AddDeltaListener([&reg](const TuplePtr&) {
+    reg.GetCounter(0, "p2_delta_seen_total")->Inc();
+    reg.GetHistogram(0, "p2_delta_ns")->Observe(42);
+  });
+  table.Insert(Tuple::Make("link", {Value::Str("a"), Value::Int(1)}));
+  table.Insert(Tuple::Make("link", {Value::Str("b"), Value::Int(2)}));
+  table.Insert(Tuple::Make("link", {Value::Str("a"), Value::Int(3)}));  // replace
+  obs::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("p2_delta_seen_total"), 3u);
+  EXPECT_EQ(snap.counters.at("p2_table_inserts_total{table=\"link\"}"), 2u);
+  EXPECT_EQ(snap.counters.at("p2_table_replaces_total{table=\"link\"}"), 1u);
+  EXPECT_EQ(snap.counters.at("p2_table_deltas_total{table=\"link\"}"), 3u);
+  EXPECT_EQ(snap.gauges.at("p2_table_rows{table=\"link\"}"), 2);
+  EXPECT_EQ(snap.histograms.at("p2_delta_ns").count, 3u);
+}
+
+TEST(ChannelStatsPool, RetiredPlusLiveMerge) {
+  obs::ChannelStatsPool pool;
+  ReliableChannelStats dead;
+  dead.data_frames_sent = 10;
+  dead.queue_high_watermark = 4;
+  pool.Retire(dead);
+  pool.SetLiveSource(
+      [](ReliableChannelStats* total) {
+        ReliableChannelStats live;
+        live.data_frames_sent = 5;
+        live.queue_high_watermark = 9;
+        total->MergeFrom(live);
+      },
+      [](SendFailureCounters* total) { total->oversize += 2; });
+  ReliableChannelStats total = pool.TotalReliable();
+  EXPECT_EQ(total.data_frames_sent, 15u);
+  EXPECT_EQ(total.queue_high_watermark, 9u);  // high watermark is a max
+  EXPECT_EQ(pool.TotalSendFailures().oversize, 2u);
+
+  obs::Snapshot snap;
+  pool.Collect(&snap);
+  EXPECT_EQ(snap.counters.at("p2_channel_data_frames_sent_total"), 15u);
+  EXPECT_EQ(snap.counters.at("p2_send_fail_oversize_total"), 2u);
+  EXPECT_EQ(snap.gauges.at("p2_channel_queue_high_watermark"), 9);
+}
+
+// sysstats is a real table: overlay rules join it like any relation, and
+// the periodic refresh keeps its values current on the node's executor.
+TEST(Sysstats, RulesCanQueryTheirOwnRuntime) {
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), /*seed=*/3);
+  auto transport = net.MakeTransport("n0", 0);
+  P2NodeConfig nc;
+  nc.executor = &loop;
+  nc.transport = transport.get();
+  nc.seed = 1;
+  nc.sysstats_period_s = 1.0;
+  P2Node node(nc);
+  std::string err;
+  ASSERT_TRUE(node.Install("r1 stat@X(X, M, V) :- probe@X(X), sysstats@X(X, M, V).",
+                           &err))
+      << err;
+  std::set<std::string> metrics_seen;
+  node.Subscribe("stat", [&metrics_seen](const TuplePtr& t) {
+    metrics_seen.insert(t->field(1).AsStr());
+  });
+  node.Start();
+  loop.RunUntil(2.5);  // a couple of refreshes
+  node.Inject(Tuple::Make("probe", {Value::Addr("n0")}));
+  loop.RunUntil(3.0);
+  EXPECT_TRUE(metrics_seen.count("rule_fires")) << metrics_seen.size();
+  EXPECT_TRUE(metrics_seen.count("table_rows"));
+  EXPECT_TRUE(metrics_seen.count("tuples_sent"));
+  EXPECT_TRUE(metrics_seen.count("memory_bytes"));
+
+  // The refresh keeps counting: rule_fires grows between refreshes.
+  Table* sys = node.GetTable("sysstats");
+  ASSERT_NE(sys, nullptr);
+  int64_t fires = 0;
+  for (const TuplePtr& row : sys->Scan()) {
+    if (row->field(1).AsStr() == "rule_fires") {
+      fires = row->field(2).AsInt();
+    }
+  }
+  EXPECT_GT(fires, 0);
+  node.Stop();
+}
+
+TEST(WatchFormat, LineCarriesTimeNodePointLabelTuple) {
+  TuplePtr t = Tuple::Make("link", {Value::Str("a"), Value::Int(1)});
+  std::string line = obs::FormatWatchLine(1.5, "n3", "head", "R1+link", *t);
+  EXPECT_EQ(line.find("watch t=1.500000 node=n3 point=head label=R1+link "), 0u);
+  EXPECT_NE(line.find("link("), std::string::npos);
+}
+
+// --- Harness Cdf/Histogram edge behavior (src/harness/metrics.cc) -------
+
+TEST(CdfEdge, SingleSampleQuantilesDoNotInterpolateOutOfRange) {
+  Cdf cdf;
+  cdf.Add(7.0);
+  EXPECT_EQ(cdf.Quantile(0.0), 7.0);
+  EXPECT_EQ(cdf.Quantile(0.5), 7.0);
+  EXPECT_EQ(cdf.Quantile(0.99), 7.0);
+  EXPECT_EQ(cdf.Quantile(1.0), 7.0);
+}
+
+TEST(CdfEdge, OutOfRangeQuantileClampsToEnds) {
+  Cdf cdf;
+  cdf.Add(1.0);
+  cdf.Add(2.0);
+  cdf.Add(3.0);
+  EXPECT_EQ(cdf.Quantile(-0.5), 1.0);
+  EXPECT_EQ(cdf.Quantile(1.5), 3.0);
+  EXPECT_EQ(cdf.Quantile(std::nan("")), 1.0);
+}
+
+TEST(HistogramEdge, OutOfRangeAddClampsIntoBoundaryBuckets) {
+  Histogram h(0, 10, 10);
+  h.Add(-5);    // below range -> first bucket
+  h.Add(100);   // above range -> last bucket
+  h.Add(10);    // exactly hi -> last bucket
+  auto freq = h.Frequencies();
+  EXPECT_DOUBLE_EQ(freq[0].second, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(freq[9].second, 2.0 / 3.0);
+}
+
+TEST(HistogramEdge, DegenerateShapesAreSafe) {
+  Histogram zero_buckets(0, 10, 0);
+  zero_buckets.Add(5);  // must not divide by zero or index out of range
+  EXPECT_EQ(zero_buckets.Frequencies().size(), 1u);
+  Histogram inverted(10, 0, 4);
+  inverted.Add(5);  // hi <= lo: everything lands in a bucket, not UB
+  double sum = 0;
+  for (const auto& [x, f] : inverted.Frequencies()) {
+    (void)x;
+    sum += f;
+  }
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+}  // namespace
+}  // namespace p2
