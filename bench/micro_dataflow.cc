@@ -391,6 +391,97 @@ void BM_AggIncremental(benchmark::State& state) {
 }
 BENCHMARK(BM_AggIncremental)->Args({64, 0})->Args({64, 1})->Args({1024, 0})->Args({1024, 1});
 
+// One insert+delete round trip through a projected-support rule
+// (`h :- b` drops b's second key column, so the head row is not
+// reconstructible from the deletion — the shape PR6 could not retract).
+// Arg 0 runs with support counting off: the delete is a plain table
+// erase and the stale head row lingers until TTL. Arg 1 runs with
+// counting on: the delete flows through the delta-remove chain, the
+// support count drops to zero, and the head row is erased — the ns/op
+// delta is the full counted-retraction bill.
+void BM_CountedRetraction(benchmark::State& state) {
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), 1);
+  auto transport = net.MakeTransport("n0", 0);
+  P2NodeConfig nc;
+  nc.executor = &loop;
+  nc.transport = transport.get();
+  nc.seed = 1;
+  nc.counting = state.range(0) != 0;
+  P2Node node(nc);
+  std::string err;
+  bool ok = node.Install(
+      "materialize(b, infinity, 8192, keys(2,3)).\n"
+      "materialize(h, infinity, 8192, keys(2)).\n"
+      "r1 h@X(X,B) :- b@X(X,A,B).\n",
+      &err);
+  if (!ok) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  node.Start();
+  int64_t k = 0;
+  for (auto _ : state) {
+    ++k;
+    node.GetTable("b")->Insert(
+        Tuple::Make("b", {Value::Addr("n0"), Value::Int(k), Value::Int(k)}));
+    node.GetTable("b")->DeleteByKey({Value::Int(k), Value::Int(k)});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountedRetraction)->Arg(0)->Arg(1);
+
+// Event-probe cost on a skewed two-join rule, static order vs after an
+// adaptive swap. small's cap (16) gives it the lower static prior, so
+// the frozen order probes it first; the data puts all 12 small rows on
+// one key and 200 all-distinct big rows, inverting the real fanouts.
+// Arg 0 measures the frozen (wrong) order; arg 1 enables --replan and
+// lets the node swap to big-first before the timed loop.
+void BM_SkewedJoinReplan(benchmark::State& state) {
+  SimEventLoop loop;
+  SimNetwork net(&loop, Topology(TopologyConfig{}), 1);
+  auto transport = net.MakeTransport("n0", 0);
+  P2NodeConfig nc;
+  nc.executor = &loop;
+  nc.transport = transport.get();
+  nc.seed = 1;
+  nc.replan_interval_s = state.range(0) == 0 ? 0 : 0.5;
+  P2Node node(nc);
+  std::string err;
+  bool ok = node.Install(
+      "materialize(small, infinity, 16, keys(2,3)).\n"
+      "materialize(big, infinity, 1024, keys(2,3)).\n"
+      "r1 out@X(X,A,B,C) :- ev@X(X,A), small@X(X,A,B), big@X(X,A,C).\n",
+      &err);
+  if (!ok) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  node.Start();
+  for (int64_t b = 0; b < 12; ++b) {
+    node.GetTable("small")->Insert(
+        Tuple::Make("small", {Value::Addr("n0"), Value::Int(500), Value::Int(b)}));
+  }
+  for (int64_t a = 0; a < 200; ++a) {
+    node.GetTable("big")->Insert(
+        Tuple::Make("big", {Value::Addr("n0"), Value::Int(a), Value::Int(a * 10)}));
+  }
+  loop.RunUntil(2.0);  // with replan on, the swap lands here
+  if (state.range(0) != 0 && node.ReplanSwaps() == 0) {
+    state.SkipWithError("replan swap did not trigger");
+    return;
+  }
+  // A=500 is small's hot key and absent from big: small-first expands
+  // all 12 small rows and probes big 12 times for nothing; big-first
+  // dies after one empty probe.
+  TuplePtr ev = Tuple::Make("ev", {Value::Addr("n0"), Value::Int(500)});
+  for (auto _ : state) {
+    node.Inject(ev);
+    loop.RunUntil(loop.Now() + 0.001);
+  }
+}
+BENCHMARK(BM_SkewedJoinReplan)->Arg(0)->Arg(1);
+
 // --- Observability primitives ---
 
 // The metrics hot path: a registered counter handle is one relaxed

@@ -27,9 +27,23 @@
 // every shard count (conservative-window determinism) — the sweep prints
 // the event total so a mismatch is immediately visible.
 //
-//   scale_sweep [--nodes 64,256,1024] [--shards 1] [--loss 0.2]
-//               [--lookups 20] [--seed 1] [--mode both|reliable|plain]
-//               [--json PATH]
+// --overlay accepts a comma list. chord cells report lookup consistency;
+// pathvector cells run the post-convergence heal probe (kill the middle
+// node, virtual seconds until every live node has dropped its stale
+// routes and re-learned true distances) and report it as healing_s —
+// the soft-state repair latency counting is meant to shrink. --planner
+// and --counting select the planner flavor for every cell so the sweep
+// can diff legacy vs semi-naive vs counting on the same workload.
+//
+// Every requested (overlay, nodes, mode, shards) cell must land in the
+// JSON: the sweep counts rows against the requested grid and fails
+// otherwise, so a silently-skipped shard count can't produce a stale
+// artifact that still looks complete.
+//
+//   scale_sweep [--overlay chord,pathvector] [--nodes 64,256,1024]
+//               [--shards 1] [--loss 0.2] [--lookups 20] [--seed 1]
+//               [--mode both|reliable|plain] [--planner semi-naive|legacy]
+//               [--counting on|off] [--json PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +75,7 @@ std::vector<size_t> ParseSizeList(const char* arg, long min_value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<p2::OverlayKind> overlays{p2::OverlayKind::kChord};
   std::vector<size_t> node_counts{64, 256, 1024};
   std::vector<size_t> shard_counts{1};
   double loss = 0.2;
@@ -68,6 +83,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   bool run_plain = true;
   bool run_reliable = true;
+  p2::PlannerMode planner = p2::PlannerMode::kSemiNaive;
+  bool counting = true;
   const char* json_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -79,7 +96,47 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(arg, "--nodes") == 0) {
+    if (std::strcmp(arg, "--overlay") == 0) {
+      overlays.clear();
+      std::string s(need("--overlay"));
+      size_t pos = 0;
+      while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = s.size();
+        }
+        std::string name = s.substr(pos, comma - pos);
+        p2::OverlayKind kind;
+        if (!name.empty()) {
+          if (!p2::ParseOverlayKind(name, &kind)) {
+            std::fprintf(stderr, "unknown overlay %s\n", name.c_str());
+            return 2;
+          }
+          overlays.push_back(kind);
+        }
+        pos = comma + 1;
+      }
+    } else if (std::strcmp(arg, "--planner") == 0) {
+      const char* p = need("--planner");
+      if (std::strcmp(p, "legacy") == 0) {
+        planner = p2::PlannerMode::kLegacy;
+      } else if (std::strcmp(p, "semi-naive") == 0) {
+        planner = p2::PlannerMode::kSemiNaive;
+      } else {
+        std::fprintf(stderr, "--planner expects semi-naive|legacy\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--counting") == 0) {
+      const char* c = need("--counting");
+      if (std::strcmp(c, "on") == 0) {
+        counting = true;
+      } else if (std::strcmp(c, "off") == 0) {
+        counting = false;
+      } else {
+        std::fprintf(stderr, "--counting expects on|off\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--nodes") == 0) {
       node_counts = ParseSizeList(need("--nodes"), /*min_value=*/2);
     } else if (std::strcmp(arg, "--shards") == 0) {
       shard_counts = ParseSizeList(need("--shards"), /*min_value=*/1);
@@ -108,69 +165,95 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--shards parsed to an empty list\n");
     return 2;
   }
+  if (overlays.empty()) {
+    std::fprintf(stderr, "--overlay parsed to an empty list\n");
+    return 2;
+  }
 
-  std::printf("# chord scale sweep: loss=%.2f lookups=%d seed=%llu\n", loss, lookups,
-              static_cast<unsigned long long>(seed));
-  std::printf("%7s %7s %9s %10s %9s %12s %8s %12s %s\n", "nodes", "shards", "reliable",
-              "converged", "virt_s", "events", "wall_s", "events/sec", "lookups");
+  std::printf("# scale sweep: loss=%.2f lookups=%d seed=%llu planner=%s counting=%s\n",
+              loss, lookups, static_cast<unsigned long long>(seed),
+              planner == p2::PlannerMode::kLegacy ? "legacy" : "semi-naive",
+              counting ? "on" : "off");
+  std::printf("%10s %7s %7s %9s %10s %9s %12s %8s %12s %8s %s\n", "overlay", "nodes",
+              "shards", "reliable", "converged", "virt_s", "events", "wall_s",
+              "events/sec", "heal_s", "lookups");
 
   bool gated_ok = true;
   std::string json = "[\n";
-  bool json_first = true;
-  for (size_t n : node_counts) {
-    for (int reliable = 0; reliable <= 1; ++reliable) {
-      if ((reliable == 0 && !run_plain) || (reliable == 1 && !run_reliable)) {
-        continue;
-      }
-      for (size_t shards : shard_counts) {
-        p2::ScenarioConfig cfg;
-        cfg.overlay = p2::OverlayKind::kChord;
-        cfg.backend = p2::BackendKind::kSim;
-        cfg.nodes = n;
-        cfg.seed = seed;
-        cfg.shards = shards;
-        cfg.lookups = lookups;
-        cfg.loss_rate = loss;
-        cfg.reliable = reliable == 1;
-        p2::ScenarioReport report = p2::RunScenario(cfg);
-
-        double evps = report.wall_s > 0
-                          ? static_cast<double>(report.sim_events) / report.wall_s
-                          : 0;
-        std::printf("%7zu %7zu %9s %10s %9.0f %12llu %8.1f %12.0f %zu/%zu\n", n,
-                    report.shards, reliable ? "on" : "off",
-                    report.converged ? "yes" : "NO", report.ran_for_s,
-                    static_cast<unsigned long long>(report.sim_events), report.wall_s,
-                    evps, report.lookups_consistent, report.lookups_issued);
-        std::fflush(stdout);
-
-        if (json_path != nullptr) {
-          char row[512];
-          std::snprintf(row, sizeof(row),
-                        "  {\"overlay\": \"chord\", \"nodes\": %zu, \"shards\": %zu, "
-                        "\"reliable\": %s, "
-                        "\"loss\": %.3f, \"seed\": %llu, \"converged\": %s, "
-                        "\"virtual_s\": %.1f, \"events\": %llu, \"wall_s\": %.2f, "
-                        "\"events_per_sec\": %.0f, \"lookups_issued\": %zu, "
-                        "\"lookups_consistent\": %zu}",
-                        n, report.shards, reliable ? "true" : "false", loss,
-                        static_cast<unsigned long long>(seed),
-                        report.converged ? "true" : "false", report.ran_for_s,
-                        static_cast<unsigned long long>(report.sim_events), report.wall_s,
-                        evps, report.lookups_issued, report.lookups_consistent);
-          if (!json_first) {
-            json += ",\n";
-          }
-          json_first = false;
-          json += row;
+  size_t json_rows = 0;
+  size_t cells_requested = 0;
+  for (p2::OverlayKind overlay : overlays) {
+    for (size_t n : node_counts) {
+      for (int reliable = 0; reliable <= 1; ++reliable) {
+        if ((reliable == 0 && !run_plain) || (reliable == 1 && !run_reliable)) {
+          continue;
         }
+        for (size_t shards : shard_counts) {
+          ++cells_requested;
+          p2::ScenarioConfig cfg;
+          cfg.overlay = overlay;
+          cfg.backend = p2::BackendKind::kSim;
+          cfg.nodes = n;
+          cfg.seed = seed;
+          cfg.shards = shards;
+          cfg.lookups = lookups;
+          cfg.loss_rate = loss;
+          cfg.reliable = reliable == 1;
+          cfg.planner = planner;
+          cfg.counting = counting;
+          cfg.heal_probe = overlay == p2::OverlayKind::kPathVector;
+          p2::ScenarioReport report = p2::RunScenario(cfg);
 
-        bool expected_to_converge = reliable == 1 || loss == 0;
-        if (expected_to_converge && !report.converged) {
-          gated_ok = false;
+          double evps = report.wall_s > 0
+                            ? static_cast<double>(report.sim_events) / report.wall_s
+                            : 0;
+          std::printf("%10s %7zu %7zu %9s %10s %9.0f %12llu %8.1f %12.0f %8.2f %zu/%zu\n",
+                      p2::OverlayKindName(overlay), n, report.shards,
+                      reliable ? "on" : "off", report.converged ? "yes" : "NO",
+                      report.ran_for_s,
+                      static_cast<unsigned long long>(report.sim_events), report.wall_s,
+                      evps, report.healing_s, report.lookups_consistent,
+                      report.lookups_issued);
+          std::fflush(stdout);
+
+          if (json_path != nullptr) {
+            char row[640];
+            std::snprintf(row, sizeof(row),
+                          "  {\"overlay\": \"%s\", \"nodes\": %zu, \"shards\": %zu, "
+                          "\"reliable\": %s, "
+                          "\"loss\": %.3f, \"seed\": %llu, \"planner\": \"%s\", "
+                          "\"counting\": %s, \"converged\": %s, "
+                          "\"virtual_s\": %.1f, \"events\": %llu, \"wall_s\": %.2f, "
+                          "\"events_per_sec\": %.0f, \"healing_s\": %.2f, "
+                          "\"lookups_issued\": %zu, \"lookups_consistent\": %zu}",
+                          p2::OverlayKindName(overlay), n, report.shards,
+                          reliable ? "true" : "false", loss,
+                          static_cast<unsigned long long>(seed),
+                          planner == p2::PlannerMode::kLegacy ? "legacy" : "semi-naive",
+                          counting ? "true" : "false",
+                          report.converged ? "true" : "false", report.ran_for_s,
+                          static_cast<unsigned long long>(report.sim_events),
+                          report.wall_s, evps, report.healing_s, report.lookups_issued,
+                          report.lookups_consistent);
+            if (json_rows > 0) {
+              json += ",\n";
+            }
+            ++json_rows;
+            json += row;
+          }
+
+          bool expected_to_converge = reliable == 1 || loss == 0;
+          if (expected_to_converge && !report.converged) {
+            gated_ok = false;
+          }
         }
       }
     }
+  }
+  if (json_path != nullptr && json_rows != cells_requested) {
+    std::fprintf(stderr, "JSON incomplete: %zu rows for %zu requested cells\n",
+                 json_rows, cells_requested);
+    gated_ok = false;
   }
   if (json_path != nullptr) {
     json += "\n]\n";

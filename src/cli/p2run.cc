@@ -44,6 +44,16 @@ void Usage(const char* argv0) {
       "  --port <base>        udp: first port to bind (default: kernel picks)\n"
       "  --seed <n>           RNG seed (default 1)\n"
       "  --planner <mode>     seminaive (default) or legacy rule compilation\n"
+      "  --counting <on|off>  support-counted retractions (default on): every\n"
+      "                       pure-table rule gets a remove chain, derived rows\n"
+      "                       deleted when their last support retracts; off\n"
+      "                       reproduces the PR 6 single-derivation gating\n"
+      "  --replan-interval <s>  adaptively re-cost multi-join rules against live\n"
+      "                       table statistics at this period and swap to a\n"
+      "                       cheaper pre-compiled join order (default 0 = off)\n"
+      "  --heal-probe         pathvector --sim: kill one node mid-run, only its\n"
+      "                       neighbors react, and report the virtual seconds\n"
+      "                       until every live node's routes match ground truth\n"
       "  --explain            print the overlay's compiled rule plans (triggers,\n"
       "                       join order, fanout estimates, indices) and exit\n"
       "  --watch <p1,p2,..>   tap the named predicates: log every tuple that\n"
@@ -180,6 +190,30 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown planner mode; expected seminaive|legacy\n");
         return 2;
       }
+    } else if (std::strcmp(arg, "--counting") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      const char* v = argv[++i];
+      if (std::strcmp(v, "on") == 0) {
+        config.counting = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        config.counting = false;
+      } else {
+        std::fprintf(stderr, "--counting expects on|off, got %s\n", v);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--replan-interval") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.replan_interval_s = std::atof(argv[++i]);
+      if (config.replan_interval_s < 0) {
+        std::fprintf(stderr, "--replan-interval must be >= 0, got %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--heal-probe") == 0) {
+      config.heal_probe = true;
     } else if (std::strcmp(arg, "--explain") == 0) {
       explain = true;
     } else if (std::strcmp(arg, "--watch") == 0) {
@@ -235,7 +269,10 @@ int main(int argc, char** argv) {
   }
 
   if (explain) {
-    std::fputs(p2::ExplainOverlayPlan(config.overlay, config.planner).c_str(), stdout);
+    std::fputs(p2::ExplainOverlayPlan(config.overlay, config.planner, config.counting,
+                                      config.replan_interval_s)
+                   .c_str(),
+               stdout);
     return 0;
   }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <sstream>
 
 #include "src/harness/churn.h"
@@ -261,6 +262,8 @@ void WireNodeObs(const ScenarioConfig& config, ScenarioNet* net, P2NodeConfig* n
   nc->metrics = net->metrics();
   nc->watches = config.watches;
   nc->sysstats_period_s = config.sysstats_period_s;
+  nc->counting = config.counting;
+  nc->replan_interval_s = config.replan_interval_s;
 }
 
 // Renders the registry exposition / trace JSON into the report at run end.
@@ -372,6 +375,9 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
   cfg.trace = trace.get();
   cfg.watches = config.watches;
   cfg.sysstats_period_s = config.sysstats_period_s;
+  cfg.planner = config.planner;
+  cfg.counting = config.counting;
+  cfg.replan_interval_s = config.replan_interval_s;
   if (config.nodes > 64) {
     // Scale profile: a freshly built large ring heals its successor
     // pointers about one step per stabilization round, so round length
@@ -821,6 +827,85 @@ ScenarioReport RunPathVector(const ScenarioConfig& config, ScenarioNet* net) {
   std::ostringstream os;
   os << "full routing tables: " << full_tables << "/" << net->size()
      << " (mean best routes " << report.mean_view_size << ")\n";
+
+  // Healing probe (sim only, incompatible with churn's revival cycle):
+  // kill one node for good, let only its two ring neighbors react — they
+  // drop the link and delete their candidate routes over it, genuine
+  // remove deltas through the table API — and measure the virtual time
+  // until every live node's best routes match the post-cut ground truth
+  // (the ring minus one node is a line; unit costs make truth exact).
+  // Distant nodes are NOT told: stale routes must drain through the
+  // planner's retraction chains (or, under --planner legacy, TTL decay),
+  // which is exactly what the metric compares.
+  if (config.heal_probe && net->backend() == BackendKind::kSim && !churn &&
+      net->size() >= 4) {
+    size_t n = net->size();
+    size_t victim = n / 2;
+    std::string dead = net->addr(victim);
+    nodes[victim]->Stop();
+    nodes[victim].reset();
+    net->Kill(victim);
+    for (size_t nb : {(victim + 1) % n, (victim + n - 1) % n}) {
+      PathVectorNode* neighbor = nodes[nb].get();
+      neighbor->RemoveLink(dead);
+      Table* route = neighbor->node()->GetTable("route");
+      Value hop = Value::Addr(dead);
+      for (const TuplePtr& row : route->Scan()) {
+        if (row->size() >= 4 && (row->field(1) == hop || row->field(2) == hop)) {
+          route->DeleteByKey({row->field(1), row->field(2)});
+        }
+      }
+    }
+    // Ground truth: live slots laid out as a line victim+1 .. victim+n-1,
+    // distance = |position difference|; the advertisement horizon hides
+    // destinations at max_cost or beyond, so those pairs are skipped.
+    auto line_pos = [&](size_t slot) { return (slot + n - victim - 1) % n; };
+    auto healed = [&]() {
+      for (size_t i = 0; i < n; ++i) {
+        if (i == victim) {
+          continue;
+        }
+        std::map<std::string, int64_t> best;
+        for (const RouteEntry& r : nodes[i]->BestRoutes()) {
+          if (r.dst == dead) {
+            return false;  // stale route to the dead node
+          }
+          best[r.dst] = r.cost;
+        }
+        for (size_t j = 0; j < n; ++j) {
+          if (j == victim || j == i) {
+            continue;
+          }
+          int64_t truth = std::llabs(static_cast<int64_t>(line_pos(i)) -
+                                     static_cast<int64_t>(line_pos(j)));
+          if (truth >= pv.max_cost) {
+            continue;  // beyond the horizon: never advertised
+          }
+          auto it = best.find(net->addr(j));
+          if (it == best.end() || it->second != truth) {
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    double kill_time = net->Now();
+    double cap = 90.0 + static_cast<double>(n);
+    while (net->Now() - kill_time < cap) {
+      net->Run(0.25);
+      if (healed()) {
+        report.healing_s = net->Now() - kill_time;
+        break;
+      }
+    }
+    if (report.healing_s >= 0) {
+      os << "heal probe: killed " << dead << ", fleet healed in " << report.healing_s
+         << "s\n";
+    } else {
+      os << "heal probe: killed " << dead << ", NOT healed within " << cap << "s\n";
+    }
+  }
+
   AppendChurnDetail(config, churn, &report, &os);
   FinishTransportReport(config, net->TotalReliableStats(), &report, &os);
   report.detail = os.str();
@@ -910,7 +995,8 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
   return report;
 }
 
-std::string ExplainOverlayPlan(OverlayKind kind, PlannerMode mode) {
+std::string ExplainOverlayPlan(OverlayKind kind, PlannerMode mode, bool counting,
+                               double replan_interval_s) {
   // One planning node plus a peer slot so seed-member/landmark/link
   // arguments have a real address to point at. Tables are empty at plan
   // time, so the fanout estimates come from the static spec priors and the
@@ -921,6 +1007,8 @@ std::string ExplainOverlayPlan(OverlayKind kind, PlannerMode mode) {
   nc.transport = net.transport(0);
   nc.seed = 1;
   nc.planner_mode = mode;
+  nc.counting = counting;
+  nc.replan_interval_s = replan_interval_s;
   switch (kind) {
     case OverlayKind::kChord: {
       ChordNode node(nc, ChordConfig{}, /*landmark_addr=*/"");

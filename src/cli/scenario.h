@@ -76,6 +76,16 @@ struct ScenarioConfig {
   // the pre-semi-naive planner (single trigger per rule, source-order
   // joins, full-scan aggregates) for differential comparison.
   PlannerMode planner = PlannerMode::kSemiNaive;
+  // Support-counted retractions (semi-naive only); off reproduces the PR 6
+  // remove-chain gating exactly (p2run --counting off).
+  bool counting = true;
+  // > 0 enables adaptive join re-planning at this virtual-time period on
+  // every node (p2run --replan-interval).
+  double replan_interval_s = 0;
+  // PathVector sim only: kill one transit node mid-measurement and report
+  // how many virtual seconds the fleet takes to heal — every live node's
+  // routes matching post-failure ground truth (p2run --heal-probe).
+  bool heal_probe = false;
   bool verbose = false;
   // --- Observability ---
   // Metrics registry on/off; --no-metrics gives the fully uninstrumented
@@ -111,6 +121,11 @@ struct ScenarioReport {
   // Gossip/Narada: mean membership view size; PathVector: mean number of
   // best routes per node.
   double mean_view_size = 0;
+  // PathVector heal probe: virtual seconds from the kill until every live
+  // node's best routes match the post-failure ground truth (stale routes
+  // through the dead node withdrawn, detours settled). -1 when the probe
+  // did not run or did not converge within its cap.
+  double healing_s = -1;
   // Reliable-transport counters summed over the fleet (all-zero unless the
   // scenario ran with reliable = true).
   bool reliable = false;
@@ -132,11 +147,15 @@ ScenarioReport RunScenario(const ScenarioConfig& config);
 
 // Compiled-plan dump for one overlay's bundled program: builds a single
 // node on the simulator backend and returns its P2Node::PlanExplain() —
-// per-rule triggers, join order with fanout estimates, probed indices and
-// head routing. Deterministic for a given overlay and planner mode
-// (`p2run --explain` and the golden-plan tests print exactly this).
+// per-rule triggers, join order with static and live fanout estimates,
+// probed indices and head routing (plus alternate join orders when
+// replan_interval_s > 0). Deterministic for a given overlay and
+// configuration (`p2run --explain` and the golden-plan tests print
+// exactly this; tables are empty at plan time so live == static priors).
 std::string ExplainOverlayPlan(OverlayKind kind,
-                               PlannerMode mode = PlannerMode::kSemiNaive);
+                               PlannerMode mode = PlannerMode::kSemiNaive,
+                               bool counting = true,
+                               double replan_interval_s = 0);
 
 // ScenarioNet: the backend-owning node fabric that RunScenario and the
 // examples build fleets on. Owns the executors — a (possibly sharded)

@@ -165,6 +165,27 @@ int DeleteElement::Push(int port, const TuplePtr& t, const Callback& cb) {
   return 1;
 }
 
+// --- SupportCountElement / CountedRetractElement ---
+
+int SupportCountElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  // Only locally addressed heads are counted: a remotely addressed tuple is
+  // stored (and counted, if at all) by the node it ships to, and remove
+  // chains are local-only to match.
+  if (counting_ && t->size() > 0 && t->field(0).type() == ValueType::kAddr &&
+      t->field(0).AsAddr() == local_addr_) {
+    counts_->Inc(*t);
+  }
+  return PushOut(0, t, cb);
+}
+
+int CountedRetractElement::Push(int port, const TuplePtr& t, const Callback& cb) {
+  (void)port;
+  (void)cb;
+  counts_->Dec(*t, retracting_);
+  return 1;
+}
+
 // --- DedupElement ---
 
 int DedupElement::Push(int port, const TuplePtr& t, const Callback& cb) {

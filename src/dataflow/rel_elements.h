@@ -15,6 +15,7 @@
 
 #include "src/dataflow/element.h"
 #include "src/pel/vm.h"
+#include "src/table/support_counts.h"
 #include "src/table/table.h"
 
 namespace p2 {
@@ -141,6 +142,65 @@ class DedupElement : public Element {
   std::unordered_set<std::string> seen_;
   std::vector<std::string> order_;
   size_t next_evict_ = 0;
+};
+
+// Counting planner, derivation side: records one support for each locally
+// addressed head tuple flowing to the router, then passes it through.
+// `counting` is a per-push mode the planner's delta listener sets before
+// driving the chain: a TTL refresh of an identical body row re-derives the
+// head (the refresh must propagate) but is NOT a new support.
+class SupportCountElement : public Element {
+ public:
+  SupportCountElement(std::string name, SupportCounts* counts, std::string local_addr)
+      : Element(std::move(name)), counts_(counts), local_addr_(std::move(local_addr)) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+  void set_counting(bool on) { counting_ = on; }
+  bool counting() const { return counting_; }
+
+ private:
+  SupportCounts* counts_;
+  std::string local_addr_;
+  bool counting_ = true;
+};
+
+// Counting planner, retraction side: terminal element of a counted remove
+// chain. Decrements the support count of the re-derived head tuple;
+// deletes the head row when the count reaches zero — unless `retracting`
+// is false (the support merely expired), in which case the count drops but
+// the row is left to age out by its own TTL.
+class CountedRetractElement : public Element {
+ public:
+  CountedRetractElement(std::string name, SupportCounts* counts)
+      : Element(std::move(name)), counts_(counts) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override;
+
+  void set_retracting(bool on) { retracting_ = on; }
+  bool retracting() const { return retracting_; }
+
+ private:
+  SupportCounts* counts_;
+  bool retracting_ = true;
+};
+
+// Fans a rule's event stream into exactly one of N pre-compiled body
+// variants (alternate join orders). The adaptive replan loop flips
+// `active` when live table statistics invert the install-time cost order;
+// tuples only ever flow down one branch, so a swap is a single int store,
+// not a graph rebuild.
+class VariantSwitchElement : public Element {
+ public:
+  explicit VariantSwitchElement(std::string name) : Element(std::move(name)) {}
+  int Push(int port, const TuplePtr& t, const Callback& cb) override {
+    (void)port;
+    return PushOut(active_, t, cb);
+  }
+
+  void set_active(int branch) { active_ = branch; }
+  int active() const { return active_; }
+
+ private:
+  int active_ = 0;
 };
 
 enum class AggKind { kMin, kMax, kCount, kSum, kAvg };

@@ -75,6 +75,9 @@ void ChordTestbed::MakeNode(size_t slot, const std::string& landmark) {
     nc.metrics = config_.metrics;
     nc.watches = config_.watches;
     nc.sysstats_period_s = config_.sysstats_period_s;
+    nc.planner_mode = config_.planner;
+    nc.counting = config_.counting;
+    nc.replan_interval_s = config_.replan_interval_s;
     s.p2 = std::make_unique<ChordNode>(nc, config_.chord, landmark);
   }
   s.alive = true;

@@ -58,6 +58,12 @@ struct TestbedConfig {
   // control) between every node and its SimTransport.
   bool reliable = false;
   ReliableConfig reliable_config;
+  // Planner configuration for every P2 node the testbed builds (ignored by
+  // the baseline). `counting` toggles support-counted retractions;
+  // `replan_interval_s` > 0 enables the adaptive join-order loop.
+  PlannerMode planner = PlannerMode::kSemiNaive;
+  bool counting = true;
+  double replan_interval_s = 0;
   // Observability (all optional). The registry/trace need shards+1 lanes
   // (shards plus the coordinator); watches and the sysstats period are
   // passed through to every P2 node the testbed builds.

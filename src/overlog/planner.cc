@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <set>
 #include <unordered_set>
 
@@ -159,10 +160,16 @@ class PlanBuilder {
       : program_(program),
         node_(node),
         graph_(node->graph_),
-        semi_naive_(node->planner_mode_ == PlannerMode::kSemiNaive) {}
+        semi_naive_(node->planner_mode_ == PlannerMode::kSemiNaive),
+        counting_(semi_naive_ && node->counting_),
+        replan_(semi_naive_ && node->replan_interval_s_ > 0) {}
 
   bool Run(std::string* err) {
-    explain_ += std::string("plan mode=") + (semi_naive_ ? "semi-naive" : "legacy") + "\n";
+    explain_ += std::string("plan mode=") + (semi_naive_ ? "semi-naive" : "legacy");
+    if (semi_naive_) {
+      explain_ += counting_ ? " counting=on" : " counting=off";
+    }
+    explain_ += "\n";
     // Watched predicates: the program's watch() clauses plus any requested
     // at node construction (p2run --watch). Rule plans splice head taps for
     // these as they are built, so collect the set first.
@@ -174,6 +181,9 @@ class PlanBuilder {
     }
     if (!CreateTables(err)) {
       return false;
+    }
+    if (counting_) {
+      FindRecursiveTables();
     }
     for (const RuleAst& rule : program_.rules) {
       if (rule.IsFact()) {
@@ -209,6 +219,56 @@ class PlanBuilder {
 
   std::string Gensym(const std::string& base) {
     return base + "#" + std::to_string(gensym_++);
+  }
+
+  // Marks every materialized table that can transitively derive itself
+  // through rule dependencies (body table -> materialized head, over any
+  // rule shape — pure-table, event-driven, or aggregate, since deltas
+  // propagate through all of them). Counting excludes such heads: a
+  // retraction that re-derives its own support would oscillate.
+  void FindRecursiveTables() {
+    std::map<std::string, std::set<std::string>> deps;  // body table -> heads
+    for (const RuleAst& rule : program_.rules) {
+      if (rule.IsFact() || !program_.IsMaterialized(rule.head.name)) {
+        continue;
+      }
+      for (const BodyTerm& term : rule.body) {
+        if (!std::holds_alternative<PredicateAst>(term)) {
+          continue;
+        }
+        const PredicateAst& p = std::get<PredicateAst>(term);
+        if (program_.IsMaterialized(p.name)) {
+          deps[p.name].insert(rule.head.name);
+        }
+      }
+    }
+    for (const auto& [start, unused] : deps) {
+      (void)unused;
+      // DFS: does `start` reach itself?
+      std::set<std::string> seen;
+      std::vector<std::string> stack{start};
+      bool cyclic = false;
+      while (!stack.empty() && !cyclic) {
+        std::string at = std::move(stack.back());
+        stack.pop_back();
+        auto it = deps.find(at);
+        if (it == deps.end()) {
+          continue;
+        }
+        for (const std::string& next : it->second) {
+          if (next == start) {
+            cyclic = true;
+            break;
+          }
+          if (seen.insert(next).second) {
+            stack.push_back(next);
+          }
+        }
+      }
+      if (cyclic) {
+        recursive_tables_.insert(start);
+      }
+    }
   }
 
   // Infers each relation's arity from its (consistent) use across rule
@@ -298,11 +358,25 @@ class PlanBuilder {
   struct Chain {
     RuleDriver* driver = nullptr;
     Element* tail = nullptr;
+    // Output port of `tail` the next element attaches to. Almost always 0;
+    // a variant switch fans one branch out of each of its ports.
+    int tail_port = 0;
   };
 
   void Append(Chain* chain, Element* el) {
-    graph_.Connect(chain->tail, 0, el, 0);
+    graph_.Connect(chain->tail, chain->tail_port, el, 0);
     chain->tail = el;
+    chain->tail_port = 0;
+  }
+
+  // Lazily creates the per-head-table derivation count store (counting
+  // planner); shared by every counted rule deriving into `head`.
+  SupportCounts* GetSupportCounts(Table* head) {
+    std::unique_ptr<SupportCounts>& slot = node_->support_counts_[head];
+    if (slot == nullptr) {
+      slot = std::make_unique<SupportCounts>(head);
+    }
+    return slot.get();
   }
 
   // Compiles `expr` against `env` into a standalone program (stack form;
@@ -433,21 +507,33 @@ class PlanBuilder {
     for (const JoinKey& k : keys) {
       key_cols.push_back(k.table_col);
     }
-    double est = table->EstimateFanout(key_cols);
+    double est_static = table->EstimateFanoutStatic(key_cols);
+    double est_live = table->EstimateFanout(key_cols);
     if (pred.negated) {
       if (!new_binds.empty()) {
         *err = "negated predicate '" + pred.name + "' binds new variables";
         return false;
       }
-      explain_ += "    antijoin " + pred.name + " on " + ColsToString(key_cols) + "\n";
+      explain_ += pad_ + "antijoin " + pred.name + " on " + ColsToString(key_cols) + "\n";
       Append(chain, graph_.Add<AntiJoinElement>(Gensym("antijoin:" + pred.name), MakePelEnv(),
                                                 table, std::move(keys)));
       return true;  // width unchanged
     }
-    explain_ += "    join " + pred.name + " on " + ColsToString(key_cols) +
-                " est=" + EstToString(est) + "\n";
+    explain_ += pad_ + "join " + pred.name + " on " + ColsToString(key_cols) +
+                " est=" + EstToString(est_static) + " live=" + EstToString(est_live) + "\n";
     Append(chain, graph_.Add<JoinElement>(Gensym("join:" + pred.name), MakePelEnv(), table,
                                           std::move(keys), "j"));
+    if (probe_sink_ != nullptr) {
+      // The JoinElement just declared its index, so the handle resolves now
+      // and stays valid (indices are append-only).
+      probe_sink_->probes.push_back(ReplanProbe{table, table->IndexHandle(key_cols),
+                                                table->PrimaryKeyCovered(key_cols),
+                                                est_static});
+      if (!probe_sink_->order.empty()) {
+        probe_sink_->order += ",";
+      }
+      probe_sink_->order += pred.name;
+    }
     size_t base = *width;
     for (const Pending& nb : new_binds) {
       (*env)[nb.var] = base + nb.col;
@@ -475,7 +561,7 @@ class PlanBuilder {
     if (!Compile(*assign.expr, *env, &prog, err)) {
       return false;
     }
-    explain_ += "    assign " + assign.var + "\n";
+    explain_ += pad_ + "assign " + assign.var + "\n";
     Append(chain, graph_.Add<ExtendElement>(Gensym("assign:" + assign.var), MakePelEnv(),
                                             std::move(prog)));
     (*env)[assign.var] = *width;
@@ -488,7 +574,7 @@ class PlanBuilder {
     if (!Compile(*e, env, &prog, err)) {
       return false;
     }
-    explain_ += "    filter\n";
+    explain_ += pad_ + "filter\n";
     Append(chain, graph_.Add<FilterElement>(Gensym("filter"), MakePelEnv(), std::move(prog)));
     return true;
   }
@@ -629,7 +715,7 @@ class PlanBuilder {
       // table changes later.
       const PredicateAst& event = std::get<PredicateAst>(rule.body[event_idx]);
       TriggerKind trig = event.name == "periodic" ? TriggerKind::kPeriodic : TriggerKind::kStream;
-      return PlanRuleVariant(rule, agg, event_idx, trig, base_label, err);
+      return PlanRuleVariant(rule, agg, event_idx, trig, base_label, /*counted=*/false, err);
     }
     if (table_idxs.empty()) {
       *err = "rule " + rule.id + ": no event predicate in body";
@@ -639,8 +725,25 @@ class PlanBuilder {
       // Legacy mode (and per-event AggWrap rules, whose bracket semantics
       // are tied to a single triggering event): first table predicate.
       return PlanRuleVariant(rule, agg, table_idxs[0], TriggerKind::kDeltaInsert, base_label,
-                             err);
+                             /*counted=*/false, err);
     }
+    // Counting lifts the single-derivation restriction: with per-head-row
+    // derivation counts a retracted support decrements and deletes only at
+    // zero, so EVERY pure-table rule with a materialized head — including
+    // projected-support shapes like Chord's pingNode :- succ — gets remove
+    // chains. Volatile bodies stay uncounted (re-deriving the retracted
+    // head is not reproducible), and so do heads in a table-dependency
+    // cycle: counting is only sound for non-recursive strata — a cyclic
+    // retract/re-derive (e.g. through an aggregate that feeds its own
+    // support table) would oscillate forever. With counting off, remove
+    // chains keep the PR 6 gate: only provably single-derivation rules
+    // (RemoveChainSafe).
+    bool counted = counting_ && !rule.delete_head && FindTable(rule.head.name) != nullptr &&
+                   !BodyHasVolatileTerm(rule) && recursive_tables_.count(rule.head.name) == 0;
+    bool remove_chains = counting_
+                             ? counted
+                             : !rule.delete_head && FindTable(rule.head.name) != nullptr &&
+                                   RemoveChainSafe(rule);
     // Semi-naive: a row arriving in ANY body table can complete the join,
     // so each materialized predicate gets its own insert-delta chain.
     std::unordered_set<std::string> used_labels;
@@ -651,19 +754,18 @@ class PlanBuilder {
         label += "'";
       }
       used_labels.insert(label);
-      if (!PlanRuleVariant(rule, agg, table_idxs[v], TriggerKind::kDeltaInsert, label, err)) {
+      if (!PlanRuleVariant(rule, agg, table_idxs[v], TriggerKind::kDeltaInsert, label, counted,
+                           err)) {
         return false;
       }
     }
     // Remove path: when the head is itself materialized, a retracted body
     // row un-derives head tuples. Each remove-delta chain re-joins the
     // remaining predicates against current state, projects the head tuple
-    // and deletes it locally — retractions propagate as deltas instead of
-    // waiting for soft-state expiry. Emitted only when RemoveChainSafe
-    // proves the head tuple has exactly one derivation; projected-away
-    // bindings would otherwise let one retracted support kill a head row
-    // that other rows still justify. Unsafe rules fall back to TTL decay.
-    if (!rule.delete_head && FindTable(rule.head.name) != nullptr && RemoveChainSafe(rule)) {
+    // and retracts it locally — retractions propagate as deltas instead of
+    // waiting for soft-state expiry. Counted rules decrement the head's
+    // support count (delete at zero); uncounted safe rules delete outright.
+    if (remove_chains) {
       for (int idx : table_idxs) {
         const PredicateAst& p = std::get<PredicateAst>(rule.body[idx]);
         std::string label = base_label + "-" + p.name;
@@ -671,7 +773,7 @@ class PlanBuilder {
           label += "'";
         }
         used_labels.insert(label);
-        if (!PlanRuleVariant(rule, agg, idx, TriggerKind::kDeltaRemove, label, err)) {
+        if (!PlanRuleVariant(rule, agg, idx, TriggerKind::kDeltaRemove, label, counted, err)) {
           return false;
         }
       }
@@ -679,10 +781,13 @@ class PlanBuilder {
     return true;
   }
 
-  // Plans one delta/event variant of a rule: driver, body chain, head
-  // projection, head routing, event wiring.
+  // Plans one delta/event variant of a rule: driver, body chain(s), head
+  // projection, head routing, event wiring. With adaptive replanning
+  // enabled, multi-join chains are lowered once per candidate join order
+  // behind a VariantSwitchElement.
   bool PlanRuleVariant(const RuleAst& rule, const AggInfo& agg, int event_idx,
-                       TriggerKind trig, const std::string& label, std::string* err) {
+                       TriggerKind trig, const std::string& label, bool counted,
+                       std::string* err) {
     const PredicateAst& event = std::get<PredicateAst>(rule.body[event_idx]);
     bool is_periodic = trig == TriggerKind::kPeriodic;
     switch (trig) {
@@ -710,23 +815,231 @@ class PlanBuilder {
     if (!BindEvent(event, &chain, &env, err, /*skip_constant_checks=*/is_periodic)) {
       return false;
     }
+    counters_current_.clear();
+    retractors_current_.clear();
 
     // 2. Remaining body terms.
     std::vector<const BodyTerm*> remaining;
+    size_t positive_joins = 0;
     for (size_t i = 0; i < rule.body.size(); ++i) {
       if (static_cast<int>(i) != event_idx) {
         remaining.push_back(&rule.body[i]);
+        if (std::holds_alternative<PredicateAst>(rule.body[i]) &&
+            !std::get<PredicateAst>(rule.body[i]).negated) {
+          ++positive_joins;
+        }
       }
     }
     bool cost_order = semi_naive_ && !BodyHasVolatileTerm(rule);
     if (semi_naive_ && !cost_order) {
       explain_ += "    order=source (volatile exprs)\n";
     }
-    if (!(cost_order ? OrderBodyByCost(rule, &remaining, &chain, &env, &width, err)
-                     : OrderBodyBySource(rule, &remaining, &chain, &env, &width, err))) {
-      return false;
+
+    // With replanning on, a cost-ordered chain with a real ordering choice
+    // (≥ 2 positive joins, no per-event aggregate bracket) is lowered once
+    // per distinct candidate order behind a switch; otherwise the single
+    // greedy chain is built inline.
+    if (replan_ && cost_order && !agg.present && positive_joins >= 2) {
+      if (!BuildOrderVariants(rule, agg, trig, label, counted, remaining, &chain, env, width,
+                              err)) {
+        return false;
+      }
+    } else {
+      if (!(cost_order
+                ? OrderBodyByCost(rule, &remaining, &chain, &env, &width, nullptr, err)
+                : OrderBodyBySource(rule, &remaining, &chain, &env, &width, err))) {
+        return false;
+      }
+      if (!FinishChainTail(rule, agg, &event, trig, label, counted, &chain, env, err)) {
+        return false;
+      }
     }
 
+    // 5. Event source wiring.
+    return WireEvent(rule, event, trig, is_periodic, counted, driver, err);
+  }
+
+  // Lowers every distinct candidate join order as its own fully built body
+  // chain off one VariantSwitchElement, recording per-variant probe
+  // sequences for the replan loop. Branch 0 is the greedy static order and
+  // starts active.
+  bool BuildOrderVariants(const RuleAst& rule, const AggInfo& agg, TriggerKind trig,
+                          const std::string& label, bool counted,
+                          const std::vector<const BodyTerm*>& remaining, Chain* chain,
+                          const VarEnv& env, size_t width, std::string* err) {
+    // Candidate orders: greedy, plus greedy-with-forced-first for every
+    // other join that could legally run first. Deduplicate by the positive
+    // join sequence; cap at kMaxOrderVariants fully lowered branches.
+    std::vector<const PredicateAst*> greedy_seq;
+    if (!SimulateOrder(remaining, env, nullptr, &greedy_seq)) {
+      *err = "rule " + rule.id + ": cannot order body terms (unbound variables)";
+      return false;
+    }
+    std::vector<const PredicateAst*> forces{nullptr};
+    std::vector<std::vector<const PredicateAst*>> seqs{greedy_seq};
+    for (const BodyTerm* term : remaining) {
+      if (static_cast<int>(forces.size()) >= kMaxOrderVariants) {
+        break;
+      }
+      if (!std::holds_alternative<PredicateAst>(*term)) {
+        continue;
+      }
+      const PredicateAst* p = &std::get<PredicateAst>(*term);
+      if (p->negated || p == greedy_seq.front()) {
+        continue;
+      }
+      std::vector<const PredicateAst*> seq;
+      if (!SimulateOrder(remaining, env, p, &seq)) {
+        continue;  // can't run first (would leave variables unbound)
+      }
+      if (std::find(seqs.begin(), seqs.end(), seq) != seqs.end()) {
+        continue;
+      }
+      forces.push_back(p);
+      seqs.push_back(std::move(seq));
+    }
+    if (forces.size() < 2) {
+      // No real alternative: build the single greedy chain inline.
+      Chain single = *chain;
+      VarEnv benv = env;
+      size_t bwidth = width;
+      std::vector<const BodyTerm*> terms = remaining;
+      if (!OrderBodyByCost(rule, &terms, &single, &benv, &bwidth, nullptr, err)) {
+        return false;
+      }
+      return FinishChainTail(rule, agg, nullptr, trig, label, counted, &single, benv, err);
+    }
+    auto* sw = graph_.Add<VariantSwitchElement>(Gensym("plansel:" + label));
+    Append(chain, sw);
+    ReplanEntry entry;
+    entry.label = label;
+    entry.sw = sw;
+    for (size_t k = 0; k < forces.size(); ++k) {
+      Chain branch{chain->driver, sw, static_cast<int>(k)};
+      VarEnv benv = env;
+      size_t bwidth = width;
+      std::vector<const BodyTerm*> terms = remaining;
+      if (k > 0) {
+        explain_ += "    alt-plan " + std::to_string(k) + ":\n";
+        pad_ = "      ";
+      }
+      ReplanVariant variant;
+      probe_sink_ = &variant;
+      bool ok = OrderBodyByCost(rule, &terms, &branch, &benv, &bwidth, forces[k], err) &&
+                FinishChainTail(rule, agg, nullptr, trig, label, counted, &branch, benv, err);
+      probe_sink_ = nullptr;
+      pad_ = "    ";
+      if (!ok) {
+        return false;
+      }
+      entry.variants.push_back(std::move(variant));
+    }
+    node_->replan_.AddEntry(std::move(entry));
+    return true;
+  }
+
+  // Mirrors OrderBodyByCost's selection logic without building elements:
+  // computes the positive-join order that the builder would produce, with
+  // `force_first` (when non-null) pinned as the first join. Returns false
+  // when no legal order exists (or the forced join cannot run first).
+  bool SimulateOrder(const std::vector<const BodyTerm*>& terms, VarEnv env,
+                     const PredicateAst* force_first,
+                     std::vector<const PredicateAst*>* join_seq) {
+    std::vector<const BodyTerm*> remaining = terms;
+    size_t next_pos = 10000;  // fake binding slots; only membership matters
+    bool force_pending = force_first != nullptr;
+    while (!remaining.empty()) {
+      bool progressed = true;
+      while (progressed) {
+        progressed = false;
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          const BodyTerm& term = *remaining[i];
+          bool processable = false;
+          if (std::holds_alternative<PredicateAst>(term)) {
+            const PredicateAst& p = std::get<PredicateAst>(term);
+            if (!p.negated) {
+              continue;
+            }
+            processable = true;
+            for (const ExprPtr& a : p.args) {
+              if (a->kind == ExprKind::kVar && a->name != "_" && env.count(a->name) == 0) {
+                processable = false;
+                break;
+              }
+            }
+          } else if (std::holds_alternative<AssignAst>(term)) {
+            processable = ExprBound(*std::get<AssignAst>(term).expr, env);
+          } else {
+            processable = ExprBound(*std::get<ExprPtr>(term), env);
+          }
+          if (!processable) {
+            continue;
+          }
+          if (std::holds_alternative<AssignAst>(term)) {
+            env[std::get<AssignAst>(term).var] = next_pos++;
+          }
+          remaining.erase(remaining.begin() + i);
+          progressed = true;
+          break;
+        }
+      }
+      if (remaining.empty()) {
+        break;
+      }
+      int best = -1;
+      if (force_pending) {
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          if (std::holds_alternative<PredicateAst>(*remaining[i]) &&
+              &std::get<PredicateAst>(*remaining[i]) == force_first) {
+            best = static_cast<int>(i);
+            break;
+          }
+        }
+        if (best < 0 || !PredArgsBound(*force_first, env)) {
+          return false;
+        }
+        force_pending = false;
+      } else {
+        double best_est = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          const BodyTerm& term = *remaining[i];
+          if (!std::holds_alternative<PredicateAst>(term)) {
+            continue;
+          }
+          const PredicateAst& p = std::get<PredicateAst>(term);
+          if (p.negated || !PredArgsBound(p, env)) {
+            continue;
+          }
+          Table* table = FindTable(p.name);
+          double est = table == nullptr ? std::numeric_limits<double>::max()
+                                        : table->EstimateFanout(BoundCols(p, env));
+          if (est < best_est) {
+            best_est = est;
+            best = static_cast<int>(i);
+          }
+        }
+      }
+      if (best < 0) {
+        return false;
+      }
+      const PredicateAst& p = *(&std::get<PredicateAst>(*remaining[best]));
+      join_seq->push_back(&p);
+      for (const ExprPtr& a : p.args) {
+        if (a->kind == ExprKind::kVar && a->name != "_" && env.count(a->name) == 0) {
+          env[a->name] = next_pos++;
+        }
+      }
+      remaining.erase(remaining.begin() + best);
+    }
+    return true;
+  }
+
+  // Steps 3 + 4 of rule planning: head projection (+ aggregation bracket),
+  // watch tap, head routing / retraction. Run once per body chain (so each
+  // order variant carries its own tail).
+  bool FinishChainTail(const RuleAst& rule, const AggInfo& agg, const PredicateAst* event,
+                       TriggerKind trig, const std::string& label, bool counted, Chain* chain,
+                       const VarEnv& env, std::string* err) {
     // 3. Head projection (+ aggregation).
     std::vector<PelProgram> head_programs;
     for (const ExprPtr& a : rule.head.args) {
@@ -748,16 +1061,16 @@ class PlanBuilder {
       }
       head_programs.push_back(std::move(prog));
     }
-    Append(&chain, graph_.Add<ProjectElement>(Gensym("project:" + rule.head.name), MakePelEnv(),
-                                              rule.head.name, std::move(head_programs)));
+    Append(chain, graph_.Add<ProjectElement>(Gensym("project:" + rule.head.name), MakePelEnv(),
+                                             rule.head.name, std::move(head_programs)));
 
-    AggWrapElement* aggwrap = nullptr;
     if (agg.present) {
+      P2_CHECK(event != nullptr);  // agg rules never build order variants
       // Empty-group emission (count<*> over zero matches) requires every
       // group field to be computable from the event alone.
       VarEnv event_env;
-      for (size_t i = 0; i < event.args.size(); ++i) {
-        const Expr& a = *event.args[i];
+      for (size_t i = 0; i < event->args.size(); ++i) {
+        const Expr& a = *event->args[i];
         if (a.kind == ExprKind::kVar && a.name != "_" && event_env.count(a.name) == 0) {
           event_env[a.name] = i;
         }
@@ -779,19 +1092,20 @@ class PlanBuilder {
           empty_programs.push_back(std::move(prog));
         }
       }
-      explain_ += std::string("    aggwrap ") + AggKindName(agg.kind) + "\n";
-      aggwrap = graph_.Add<AggWrapElement>(Gensym("aggwrap:" + rule.head.name), MakePelEnv(),
-                                           agg.kind, agg.head_position, rule.head.name,
-                                           emit_empty, std::move(empty_programs));
-      Append(&chain, aggwrap);
-      driver->set_agg(aggwrap);
+      explain_ += pad_ + "aggwrap " + AggKindName(agg.kind) + "\n";
+      auto* aggwrap = graph_.Add<AggWrapElement>(Gensym("aggwrap:" + rule.head.name),
+                                                 MakePelEnv(), agg.kind, agg.head_position,
+                                                 rule.head.name, emit_empty,
+                                                 std::move(empty_programs));
+      Append(chain, aggwrap);
+      chain->driver->set_agg(aggwrap);
     }
 
     // 4. Head routing. A watched head gets its tap here — after projection,
     // before routing — so every derivation is logged exactly once with the
     // producing rule variant's label.
     if (WatchTapElement* tap = MaybeHeadTap(rule.head.name, label)) {
-      Append(&chain, tap);
+      Append(chain, tap);
     }
     if (trig == TriggerKind::kDeltaRemove) {
       Table* head_table = FindTable(rule.head.name);
@@ -802,24 +1116,49 @@ class PlanBuilder {
       prog.Emit(PelOp::kPushField, 0);
       prog.Emit(PelOp::kPushConst, prog.AddConst(Value::Addr(node_->addr_)));
       prog.Emit(PelOp::kEq);
-      Append(&chain,
+      Append(chain,
              graph_.Add<FilterElement>(Gensym("localguard"), MakePelEnv(), std::move(prog)));
-      Append(&chain, graph_.Add<DeleteElement>(Gensym("retract:" + rule.head.name), head_table));
-      explain_ += "    project " + rule.head.name + " -> retract (local)\n";
+      if (counted) {
+        auto* retractor = graph_.Add<CountedRetractElement>(
+            Gensym("countretract:" + rule.head.name), GetSupportCounts(head_table));
+        Append(chain, retractor);
+        retractors_current_.push_back(retractor);
+        explain_ += pad_ + "project " + rule.head.name + " -> retract-count (local)\n";
+      } else {
+        Append(chain,
+               graph_.Add<DeleteElement>(Gensym("retract:" + rule.head.name), head_table));
+        explain_ += pad_ + "project " + rule.head.name + " -> retract (local)\n";
+      }
     } else if (rule.delete_head) {
       Table* table = FindTable(rule.head.name);
       if (table == nullptr) {
         *err = "delete head on non-materialized relation '" + rule.head.name + "'";
         return false;
       }
-      Append(&chain, graph_.Add<DeleteElement>(Gensym("delete:" + rule.head.name), table));
-      explain_ += "    project " + rule.head.name + " -> delete\n";
+      Append(chain, graph_.Add<DeleteElement>(Gensym("delete:" + rule.head.name), table));
+      explain_ += pad_ + "project " + rule.head.name + " -> delete\n";
+    } else if (counted && trig == TriggerKind::kDeltaInsert) {
+      Table* head_table = FindTable(rule.head.name);
+      P2_CHECK(head_table != nullptr);  // counted implies materialized head
+      auto* counter = graph_.Add<SupportCountElement>(Gensym("count:" + rule.head.name),
+                                                      GetSupportCounts(head_table),
+                                                      node_->addr_);
+      Append(chain, counter);
+      counters_current_.push_back(counter);
+      graph_.Connect(chain->tail, chain->tail_port, node_->route_out_, 0);
+      explain_ += pad_ + "project " + rule.head.name + " -> count+route\n";
     } else {
-      graph_.Connect(chain.tail, 0, node_->route_out_, 0);
-      explain_ += "    project " + rule.head.name + " -> route\n";
+      graph_.Connect(chain->tail, chain->tail_port, node_->route_out_, 0);
+      explain_ += pad_ + "project " + rule.head.name + " -> route\n";
     }
+    return true;
+  }
 
-    // 5. Event source wiring.
+  // Step 5 of rule planning: connects the rule driver to its event source.
+  // Runs once per rule variant, after every body chain is built, so the
+  // counting listeners capture the full set of per-branch mode elements.
+  bool WireEvent(const RuleAst& rule, const PredicateAst& event, TriggerKind trig,
+                 bool is_periodic, bool counted, RuleDriver* driver, std::string* err) {
     if (is_periodic) {
       double period = 0;
       uint64_t count = 0;
@@ -847,18 +1186,79 @@ class PlanBuilder {
     } else if (trig == TriggerKind::kDeltaInsert) {
       Table* table = FindTable(event.name);
       P2_CHECK(table != nullptr);
-      table->AddDeltaListener([driver](const TuplePtr& t) { driver->Push(0, t, nullptr); });
+      if (counted) {
+        // Counting listener: a genuinely new body row (insert, or replace
+        // that changed content) derives NEW supports; a TTL refresh of an
+        // identical row re-derives the head — the refresh must propagate —
+        // without touching counts. The mode is save/restored around the
+        // synchronous push so re-entrant deltas nest correctly.
+        std::vector<SupportCountElement*> counters = std::move(counters_current_);
+        counters_current_.clear();
+        P2_CHECK(!counters.empty());
+        table->AddTypedListener([driver, counters](const TableDelta& d) {
+          if (d.kind == TableDelta::Kind::kRemove) {
+            return;
+          }
+          bool fresh = d.kind == TableDelta::Kind::kInsert ||
+                       (d.old_tuple != nullptr && !d.old_tuple->SameAs(*d.tuple));
+          bool saved = counters.front()->counting();
+          for (SupportCountElement* c : counters) {
+            c->set_counting(fresh);
+          }
+          driver->Push(0, d.tuple, nullptr);
+          for (SupportCountElement* c : counters) {
+            c->set_counting(saved);
+          }
+        });
+      } else {
+        table->AddDeltaListener([driver](const TuplePtr& t) { driver->Push(0, t, nullptr); });
+      }
     } else if (trig == TriggerKind::kDeltaRemove) {
       Table* table = FindTable(event.name);
       P2_CHECK(table != nullptr);
-      // Only true retractions (deletes, evictions) propagate; TTL expiry is
-      // the refresh cycle at work, and derived rows age out on their own
-      // TTL as they always have.
-      table->AddTypedListener([driver](const TableDelta& d) {
-        if (d.kind == TableDelta::Kind::kRemove && d.cause != TableDelta::Cause::kExpiry) {
-          driver->Push(0, d.tuple, nullptr);
-        }
-      });
+      if (counted) {
+        // Counting remove listener. Three retraction sources: real removals
+        // (delete/eviction) retract-and-delete-at-zero; a replace that
+        // changed content retracts the OLD row's derivations (the insert
+        // listener, attached earlier, already counted the new ones — inc
+        // before dec, so a row passing through the same key never dips to
+        // zero transiently); TTL expiry decrements WITHOUT deleting, so
+        // counts track live supports exactly while expiry stays
+        // non-retracting.
+        std::vector<CountedRetractElement*> retractors = std::move(retractors_current_);
+        retractors_current_.clear();
+        P2_CHECK(!retractors.empty());
+        table->AddTypedListener([driver, retractors](const TableDelta& d) {
+          TuplePtr gone;
+          bool retract = true;
+          if (d.kind == TableDelta::Kind::kRemove) {
+            gone = d.tuple;
+            retract = d.cause != TableDelta::Cause::kExpiry;
+          } else if (d.kind == TableDelta::Kind::kReplace && d.old_tuple != nullptr &&
+                     !d.old_tuple->SameAs(*d.tuple)) {
+            gone = d.old_tuple;
+          } else {
+            return;
+          }
+          bool saved = retractors.front()->retracting();
+          for (CountedRetractElement* r : retractors) {
+            r->set_retracting(retract);
+          }
+          driver->Push(0, gone, nullptr);
+          for (CountedRetractElement* r : retractors) {
+            r->set_retracting(saved);
+          }
+        });
+      } else {
+        // Only true retractions (deletes, evictions) propagate; TTL expiry
+        // is the refresh cycle at work, and derived rows age out on their
+        // own TTL as they always have.
+        table->AddTypedListener([driver](const TableDelta& d) {
+          if (d.kind == TableDelta::Kind::kRemove && d.cause != TableDelta::Cause::kExpiry) {
+            driver->Push(0, d.tuple, nullptr);
+          }
+        });
+      }
     } else {
       // Stream event: demux -> (shared per-name dup) -> driver.
       DupElement*& dup = node_->event_dups_[event.name];
@@ -919,9 +1319,12 @@ class PlanBuilder {
   // Cost-aware term ordering: selective cheap terms (filters, assignments,
   // anti-joins) apply as soon as their variables are bound; positive joins
   // are chosen greedily by estimated fanout so the narrowest probe runs
-  // first and intermediate results stay small.
+  // first and intermediate results stay small. `force_first`, when set,
+  // overrides the FIRST join choice only (alternate-order lowering);
+  // SimulateOrder has already validated it is processable.
   bool OrderBodyByCost(const RuleAst& rule, std::vector<const BodyTerm*>* remaining,
-                       Chain* chain, VarEnv* env, size_t* width, std::string* err) {
+                       Chain* chain, VarEnv* env, size_t* width,
+                       const PredicateAst* force_first, std::string* err) {
     while (!remaining->empty()) {
       // 1) Drain every currently-processable non-join term, source order.
       bool progressed = true;
@@ -970,6 +1373,13 @@ class PlanBuilder {
           continue;
         }
         const PredicateAst& p = std::get<PredicateAst>(term);
+        if (force_first != nullptr) {
+          if (&p == force_first) {
+            best = static_cast<int>(i);
+            break;
+          }
+          continue;
+        }
         if (p.negated || !PredArgsBound(p, *env)) {
           continue;
         }
@@ -981,6 +1391,7 @@ class PlanBuilder {
           best = static_cast<int>(i);
         }
       }
+      force_first = nullptr;
       if (best < 0) {
         *err = "rule " + rule.id + ": cannot order body terms (unbound variables)";
         return false;
@@ -1020,6 +1431,27 @@ class PlanBuilder {
   P2Node* node_;
   Graph& graph_;
   const bool semi_naive_;
+  // Support counting (tentpole 1): on by default under semi-naive; off
+  // reproduces the PR 6 remove-chain gating bit-for-bit.
+  const bool counting_;
+  // Adaptive replanning (tentpole 2): lower alternate join orders when the
+  // node is configured with a replan interval.
+  const bool replan_;
+  // Explain indentation: deepened to six spaces inside alt-plan branches.
+  std::string pad_ = "    ";
+  // When non-null, AppendTableTerm records each join's probe into this
+  // variant (alternate-order lowering).
+  ReplanVariant* probe_sink_ = nullptr;
+  // Mode elements built by the CURRENT rule variant's chains; WireEvent
+  // moves them into the event listeners' closures.
+  std::vector<SupportCountElement*> counters_current_;
+  std::vector<CountedRetractElement*> retractors_current_;
+  // At most this many fully lowered join orders per chain: the greedy
+  // static order plus up to two forced-first alternates.
+  static constexpr int kMaxOrderVariants = 3;
+  // Tables in a rule-dependency cycle: their rules fall back to TTL decay
+  // instead of counted retraction (non-recursive strata only).
+  std::set<std::string> recursive_tables_;
   std::string explain_;
   std::set<std::string> watched_;
   int gensym_ = 0;

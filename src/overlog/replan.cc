@@ -1,0 +1,61 @@
+#include "src/overlog/replan.h"
+
+#include <algorithm>
+
+#include "src/obs/registry.h"
+#include "src/runtime/logging.h"
+
+namespace p2 {
+
+void ReplanManager::BindObs(obs::Registry* registry, size_t lane) {
+  obs_swaps_ = registry->GetCounter(lane, "p2_replan_swaps_total");
+}
+
+double ReplanManager::VariantCost(const ReplanVariant& v) {
+  // Sequential cardinality model, same shape as the planner's greedy
+  // ordering: each probe costs the current candidate count, and multiplies
+  // it by the probe's live fanout.
+  double candidates = 1.0;
+  double cost = 0.0;
+  for (const ReplanProbe& p : v.probes) {
+    double fanout = p.table->LiveFanoutAt(p.index_handle, p.pk_covered, p.static_est);
+    cost += candidates * std::max(fanout, 1.0);
+    candidates *= std::max(fanout, 1e-6);
+  }
+  return cost;
+}
+
+size_t ReplanManager::Evaluate() {
+  size_t pass_swaps = 0;
+  for (ReplanEntry& entry : entries_) {
+    if (entry.variants.size() < 2 || entry.sw == nullptr) {
+      continue;
+    }
+    int active = entry.sw->active();
+    int best = active;
+    double active_cost = VariantCost(entry.variants[static_cast<size_t>(active)]);
+    double best_cost = active_cost;
+    for (size_t i = 0; i < entry.variants.size(); ++i) {
+      double cost = VariantCost(entry.variants[i]);
+      if (cost < best_cost) {
+        best = static_cast<int>(i);
+        best_cost = cost;
+      }
+    }
+    if (best != active && active_cost > best_cost * kHysteresis) {
+      P2_LOG(LogLevel::kInfo, "replan %s: swap variant %d -> %d [%s -> %s] cost %.1f -> %.1f",
+             entry.label.c_str(), active, best,
+             entry.variants[static_cast<size_t>(active)].order.c_str(),
+             entry.variants[static_cast<size_t>(best)].order.c_str(), active_cost, best_cost);
+      entry.sw->set_active(best);
+      ++swaps_;
+      ++pass_swaps;
+      if (obs_swaps_ != nullptr) {
+        obs_swaps_->Inc();
+      }
+    }
+  }
+  return pass_swaps;
+}
+
+}  // namespace p2

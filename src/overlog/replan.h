@@ -1,0 +1,85 @@
+// Adaptive join re-planning from live table statistics.
+//
+// The planner freezes join orders at install time from static priors
+// (tables are empty when plans are built). For every cost-ordered chain
+// with at least two table joins it additionally lowers up to two alternate
+// join orders behind a VariantSwitchElement — fully built element chains,
+// like PEL programs lowered once at plan time — and registers the chain
+// here with, per variant, the probe sequence (table, index handle,
+// pk-coverage, static prior).
+//
+// Periodically (p2run --replan-interval, gated on a table-delta count
+// threshold so quiet nodes pay nothing) the manager re-costs every variant
+// under live DistinctKeys statistics with the same sequential cardinality
+// model the planner uses, and flips the switch when another variant is
+// cheaper by more than a hysteresis factor. Swaps are counted per node
+// (p2_replan_swaps_total) and logged with both orders.
+#ifndef P2_OVERLOG_REPLAN_H_
+#define P2_OVERLOG_REPLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/rel_elements.h"
+#include "src/table/table.h"
+
+namespace p2 {
+
+namespace obs {
+class Counter;
+class Registry;
+}  // namespace obs
+
+// One equality probe in a variant's join sequence, pre-resolved at plan
+// time so the replan loop never compares column sets.
+struct ReplanProbe {
+  Table* table = nullptr;
+  int index_handle = -1;  // Table::IndexHandle at plan time; -1 = unindexed
+  bool pk_covered = false;
+  double static_est = 1.0;
+};
+
+struct ReplanVariant {
+  std::vector<ReplanProbe> probes;
+  std::string order;  // predicate names in join order, for logs/explain
+};
+
+struct ReplanEntry {
+  std::string label;  // the planner's chain label
+  VariantSwitchElement* sw = nullptr;
+  std::vector<ReplanVariant> variants;
+};
+
+class ReplanManager {
+ public:
+  void AddEntry(ReplanEntry entry) { entries_.push_back(std::move(entry)); }
+
+  // Re-costs every registered chain and swaps switches where the live
+  // statistics say another variant is cheaper (beyond hysteresis).
+  // Returns the number of swaps performed this pass.
+  size_t Evaluate();
+
+  size_t entries() const { return entries_.size(); }
+  uint64_t swaps() const { return swaps_; }
+
+  void BindObs(obs::Registry* registry, size_t lane);
+
+  // Estimated probe work for one variant under live statistics: the sum of
+  // index probes weighted by the running candidate cardinality.
+  static double VariantCost(const ReplanVariant& v);
+
+  // A variant must beat the active one by this factor to trigger a swap —
+  // estimates are coarse, and flapping between near-equal orders would
+  // churn caches for nothing.
+  static constexpr double kHysteresis = 1.25;
+
+ private:
+  std::vector<ReplanEntry> entries_;
+  uint64_t swaps_ = 0;
+  obs::Counter* obs_swaps_ = nullptr;
+};
+
+}  // namespace p2
+
+#endif  // P2_OVERLOG_REPLAN_H_

@@ -1,0 +1,53 @@
+#include "src/table/support_counts.h"
+
+#include "src/table/table.h"
+
+namespace p2 {
+
+SupportCounts::SupportCounts(Table* head) : head_(head) {
+  // Erase the count whenever the row leaves the table — counted deletes
+  // (already erased below), rule deletes, evictions and head-row expiry
+  // all reset the row's derivation history along with the row.
+  head_->AddTypedListener([this](const TableDelta& d) {
+    if (d.kind == TableDelta::Kind::kRemove) {
+      counts_.erase(KeyOf(*d.tuple));
+    }
+  });
+}
+
+std::vector<Value> SupportCounts::KeyOf(const Tuple& t) const {
+  const std::vector<size_t>& key = head_->spec().key_positions;
+  if (key.empty()) {
+    return t.fields();
+  }
+  return t.KeyOf(key);
+}
+
+void SupportCounts::Inc(const Tuple& head_row) { ++counts_[KeyOf(head_row)]; }
+
+void SupportCounts::Dec(const Tuple& head_row, bool retract) {
+  std::vector<Value> key = KeyOf(head_row);
+  auto it = counts_.find(key);
+  if (it == counts_.end()) {
+    // Untracked: the row predates counting (e.g. arrived off the wire) or
+    // already aged out. Nothing to retract; soft state decays by TTL.
+    return;
+  }
+  if (it->second > 1) {
+    --it->second;
+    return;
+  }
+  // Last support gone. Erase the entry first: DeleteByKey re-enters the
+  // cleanup listener, which would otherwise look the key up again.
+  counts_.erase(it);
+  if (retract) {
+    head_->DeleteByKey(key);
+  }
+}
+
+uint64_t SupportCounts::Count(const Tuple& head_row) const {
+  auto it = counts_.find(KeyOf(head_row));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace p2

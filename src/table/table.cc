@@ -83,6 +83,7 @@ void Table::EraseRow(RowList::iterator it, bool notify_removal, TableDelta::Caus
   IndexErase(it);
   primary_.erase(PrimaryKeyOf(*gone));
   rows_.erase(it);
+  ++delta_seq_;
   if (obs_rows_ != nullptr) {
     obs_rows_->Add(-1);
     obs::Counter* by_cause = cause == TableDelta::Cause::kDelete     ? obs_deletes_
@@ -103,7 +104,11 @@ void Table::EraseRow(RowList::iterator it, bool notify_removal, TableDelta::Caus
 
 void Table::IndexInsert(RowList::iterator it) {
   for (SecondaryIndex& idx : secondary_) {
-    idx.map[it->tuple->KeyOf(idx.cols)].push_back(it);
+    auto [bucket, fresh] = idx.map.try_emplace(it->tuple->KeyOf(idx.cols));
+    if (fresh) {
+      ++idx.distinct;
+    }
+    bucket->second.push_back(it);
   }
 }
 
@@ -122,6 +127,7 @@ void Table::IndexErase(RowList::iterator it) {
     }
     if (rows.empty()) {
       idx.map.erase(bucket);
+      --idx.distinct;
     }
   }
 }
@@ -174,6 +180,7 @@ bool Table::Insert(const TuplePtr& t) {
   if (obs_inserts_ != nullptr) {
     (displaced == nullptr ? obs_inserts_ : obs_replaces_)->Inc();
   }
+  ++delta_seq_;
   ArmExpiryTimer();
   // Listeners fire on every insertion, including TTL refreshes of identical
   // rows. Refresh visibility matters: e.g. Chord's ping-response rule
@@ -216,6 +223,7 @@ void Table::AddIndex(const std::vector<size_t>& cols) {
   for (auto it = rows_.begin(); it != rows_.end(); ++it) {
     idx.map[it->tuple->KeyOf(cols)].push_back(it);
   }
+  idx.distinct = idx.map.size();
   secondary_.push_back(std::move(idx));
   // Any scan statistics for this column set are moot now.
   scan_stats_.erase(
@@ -227,30 +235,77 @@ void Table::AddIndex(const std::vector<size_t>& cols) {
 size_t Table::DistinctKeys(const std::vector<size_t>& cols) const {
   for (const SecondaryIndex& idx : secondary_) {
     if (idx.cols == cols) {
-      return idx.map.size();
+      return idx.distinct;
     }
   }
   return 0;
 }
 
-double Table::EstimateFanout(const std::vector<size_t>& bound_cols) const {
+int Table::IndexHandle(const std::vector<size_t>& cols) const {
+  for (size_t i = 0; i < secondary_.size(); ++i) {
+    if (secondary_[i].cols == cols) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+size_t Table::DistinctKeysAt(int handle) const {
+  if (handle < 0 || static_cast<size_t>(handle) >= secondary_.size()) {
+    return 0;
+  }
+  return secondary_[static_cast<size_t>(handle)].distinct;
+}
+
+double Table::LiveFanoutAt(int handle, bool pk_covered, double static_est) const {
+  if (pk_covered) {
+    return 1.0;
+  }
+  if (rows_.empty()) {
+    return static_est;
+  }
+  if (handle < 0) {
+    // Unbound probe: a full scan costs every live row.
+    return std::max(static_est, static_cast<double>(rows_.size()));
+  }
+  size_t distinct = DistinctKeysAt(handle);
+  if (distinct == 0) {
+    return static_est;
+  }
+  return static_cast<double>(rows_.size()) / static_cast<double>(distinct);
+}
+
+bool Table::PrimaryKeyCovered(const std::vector<size_t>& bound_cols) const {
   // Bound columns covering the primary key pin at most one row. An empty
   // key_positions means "whole tuple is the key": covered only when every
   // column is bound, which we can't know without the arity — treat a
   // declared arity as the column count.
   const std::vector<size_t>& key = spec_.key_positions;
-  auto covered = [&bound_cols](const std::vector<size_t>& needed) {
-    for (size_t k : needed) {
-      if (std::find(bound_cols.begin(), bound_cols.end(), k) == bound_cols.end()) {
-        return false;
-      }
+  if (key.empty()) {
+    return spec_.arity != 0 && bound_cols.size() >= spec_.arity;
+  }
+  for (size_t k : key) {
+    if (std::find(bound_cols.begin(), bound_cols.end(), k) == bound_cols.end()) {
+      return false;
     }
-    return true;
-  };
-  if (!key.empty() && covered(key)) {
+  }
+  return true;
+}
+
+double Table::EstimateFanoutStatic(const std::vector<size_t>& bound_cols) const {
+  if (PrimaryKeyCovered(bound_cols)) {
     return 1.0;
   }
-  if (key.empty() && spec_.arity != 0 && bound_cols.size() >= spec_.arity) {
+  // Static prior from the spec (deterministic at plan time).
+  double cap = static_cast<double>(std::min(spec_.max_size, kFanoutCap));
+  if (bound_cols.empty()) {
+    return cap;
+  }
+  return std::sqrt(cap);
+}
+
+double Table::EstimateFanout(const std::vector<size_t>& bound_cols) const {
+  if (PrimaryKeyCovered(bound_cols)) {
     return 1.0;
   }
   // Live refinement: an existing index over exactly these columns gives the
@@ -261,7 +316,6 @@ double Table::EstimateFanout(const std::vector<size_t>& bound_cols) const {
       return static_cast<double>(rows_.size()) / static_cast<double>(distinct);
     }
   }
-  // Static prior from the spec (deterministic at plan time).
   double cap = static_cast<double>(std::min(spec_.max_size, kFanoutCap));
   if (bound_cols.empty()) {
     return std::max(cap, static_cast<double>(rows_.size()));

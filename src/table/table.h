@@ -157,9 +157,24 @@ class Table {
 
   // Live row count without purging (const; planner-safe).
   size_t row_count() const { return rows_.size(); }
+  // Monotonic count of content deltas (inserts, replaces, removals) this
+  // table has emitted. The adaptive replan loop polls it to decide whether
+  // enough has changed since the last pass to be worth re-costing joins.
+  uint64_t delta_seq() const { return delta_seq_; }
   // Distinct keys currently held by the index over `cols`, or 0 when no
-  // such index exists.
+  // such index exists. Maintained incrementally per index (bucket
+  // creation/destruction), so polling is O(#indices), not O(rows).
   size_t DistinctKeys(const std::vector<size_t>& cols) const;
+  // Stable handle for the index over `cols` (-1 when absent). Indices are
+  // only ever appended, so a handle resolved at plan time stays valid; the
+  // replan loop uses it to poll DistinctKeysAt without comparing column
+  // sets on every pass.
+  int IndexHandle(const std::vector<size_t>& cols) const;
+  size_t DistinctKeysAt(int handle) const;
+  // Live mean bucket size for the index at `handle`, falling back to
+  // `static_est` when the table is empty or the handle is invalid.
+  // `pk_covered` probes pin one row regardless of statistics.
+  double LiveFanoutAt(int handle, bool pk_covered, double static_est) const;
   // Estimated number of rows matching an equality probe over `bound_cols`.
   // Uses live index cardinality when available; otherwise a static prior
   // from the table spec, so plan-time estimates (tables usually empty at
@@ -169,6 +184,12 @@ class Table {
   //   - no bound columns (full scan)            -> capacity,
   // where capacity = min(max_size, kFanoutCap).
   double EstimateFanout(const std::vector<size_t>& bound_cols) const;
+  // The prior-only estimate: never consults live index statistics. This is
+  // the install-time column `--explain` prints as est=; EstimateFanout is
+  // the live-refined value (live=). Identical on empty tables.
+  double EstimateFanoutStatic(const std::vector<size_t>& bound_cols) const;
+  // True iff an equality probe over `bound_cols` covers the primary key.
+  bool PrimaryKeyCovered(const std::vector<size_t>& bound_cols) const;
 
   // Cap on the static capacity prior (unbounded tables assume this many
   // rows for costing purposes).
@@ -218,6 +239,9 @@ class Table {
     std::unordered_map<std::vector<Value>, std::vector<RowList::iterator>, ValueVecHash,
                        ValueVecEq>
         map;
+    // Bucket count, maintained incrementally on bucket creation/erase so
+    // DistinctKeys never touches the map shape.
+    size_t distinct = 0;
   };
   // Flat: tables carry at most a handful of indices, and probing a vector
   // by column-set equality beats a map keyed on stringified signatures.
@@ -229,6 +253,7 @@ class Table {
   };
   std::vector<ScanStat> scan_stats_;
   std::vector<TypedDeltaFn> typed_listeners_;
+  uint64_t delta_seq_ = 0;
   TimerId expiry_timer_ = kInvalidTimer;
   double expiry_armed_at_ = std::numeric_limits<double>::infinity();
 

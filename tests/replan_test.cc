@@ -1,0 +1,128 @@
+// Adaptive join re-planning tests.
+//
+// The planner freezes join orders from static priors (table caps) at
+// install time. With --replan-interval the node also lowers alternate
+// orders behind a switch element and periodically re-costs them against
+// live DistinctKeys statistics. These tests build a two-join rule whose
+// static priors point one way and whose live data is skewed the other way,
+// and pin that (a) the replan loop swaps to the cheaper order, (b) results
+// stay correct after the swap, and (c) the machinery is fully inert at the
+// default interval of 0.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/p2/node.h"
+#include "src/sim/network.h"
+
+namespace p2 {
+namespace {
+
+// small's cap (16) gives it the lower static prior (sqrt(16)=4 vs
+// sqrt(1024)=32), so the greedy install-time order probes it first. The
+// drive then loads small with ONE hot key and big with all-distinct keys,
+// inverting the real fanouts.
+constexpr char kSkewProgram[] =
+    "materialize(small, infinity, 16, keys(2,3)).\n"
+    "materialize(big, infinity, 1024, keys(2,3)).\n"
+    "r1 out@X(X,A,B,C) :- ev@X(X,A), small@X(X,A,B), big@X(X,A,C).\n";
+
+class ReplanTest : public ::testing::Test {
+ protected:
+  ReplanTest() : net_(&loop_, Topology(TopologyConfig{}), 17) {
+    transport_ = net_.MakeTransport("n1", 0);
+  }
+
+  std::unique_ptr<P2Node> Make(double replan_interval_s) {
+    P2NodeConfig c;
+    c.executor = &loop_;
+    c.transport = transport_.get();
+    c.seed = 1;
+    c.replan_interval_s = replan_interval_s;
+    auto node = std::make_unique<P2Node>(c);
+    std::string err;
+    EXPECT_TRUE(node->Install(kSkewProgram, &err)) << err;
+    return node;
+  }
+
+  void LoadSkew(P2Node* n) {
+    // 12 small rows, all key A=1: live fanout 12 on the (X,A) probe.
+    for (int64_t b = 0; b < 12; ++b) {
+      n->GetTable("small")->Insert(
+          Tuple::Make("small", {Value::Addr("n1"), Value::Int(1), Value::Int(b)}));
+    }
+    // 200 big rows, all-distinct keys: live fanout ~1.
+    for (int64_t a = 0; a < 200; ++a) {
+      n->GetTable("big")->Insert(
+          Tuple::Make("big", {Value::Addr("n1"), Value::Int(a), Value::Int(a * 10)}));
+    }
+  }
+
+  SimEventLoop loop_;
+  SimNetwork net_;
+  std::unique_ptr<SimTransport> transport_;
+};
+
+TEST_F(ReplanTest, AlternateOrdersAreLoweredBehindASwitch) {
+  auto n = Make(/*replan_interval_s=*/0.5);
+  EXPECT_GE(n->ReplanEntries(), 1u);
+  EXPECT_NE(n->PlanExplain().find("alt-plan 1:"), std::string::npos);
+}
+
+TEST_F(ReplanTest, DefaultIntervalBuildsNoVariants) {
+  auto n = Make(/*replan_interval_s=*/0);
+  EXPECT_EQ(n->ReplanEntries(), 0u);
+  EXPECT_EQ(n->PlanExplain().find("alt-plan"), std::string::npos);
+  EXPECT_EQ(n->ReplanSwaps(), 0u);
+}
+
+TEST_F(ReplanTest, SkewedStatisticsTriggerASwap) {
+  auto n = Make(/*replan_interval_s=*/0.5);
+  n->Start();
+  EXPECT_EQ(n->ReplanSwaps(), 0u);
+  LoadSkew(n.get());
+  // Static order probes small first (cost 12 + 12*1 = 24); the alternate
+  // big-first order costs 1 + 1*12 = 13 — past the 1.25x hysteresis.
+  loop_.RunUntil(2.0);
+  EXPECT_GE(n->ReplanSwaps(), 1u);
+}
+
+TEST_F(ReplanTest, ResultsStayCorrectAfterTheSwap) {
+  auto n = Make(/*replan_interval_s=*/0.5);
+  std::vector<std::string> outs;
+  n->Subscribe("out", [&outs](const TuplePtr& t) { outs.push_back(t->ToString()); });
+  n->Start();
+  LoadSkew(n.get());
+  loop_.RunUntil(2.0);
+  ASSERT_GE(n->ReplanSwaps(), 1u);
+  // A=1 matches all 12 small rows and exactly one big row.
+  n->Inject(Tuple::Make("ev", {Value::Addr("n1"), Value::Int(1)}));
+  loop_.RunUntil(3.0);
+  EXPECT_EQ(outs.size(), 12u);
+  // A=5: one small miss (all small rows have A=1) — no output.
+  outs.clear();
+  n->Inject(Tuple::Make("ev", {Value::Addr("n1"), Value::Int(5)}));
+  loop_.RunUntil(4.0);
+  EXPECT_EQ(outs.size(), 0u);
+}
+
+TEST_F(ReplanTest, QuietNodeBelowDeltaThresholdNeverSwaps) {
+  P2NodeConfig c;
+  c.executor = &loop_;
+  c.transport = transport_.get();
+  c.seed = 1;
+  c.replan_interval_s = 0.5;
+  c.replan_delta_threshold = 1u << 20;  // effectively unreachable
+  auto n = std::make_unique<P2Node>(c);
+  std::string err;
+  ASSERT_TRUE(n->Install(kSkewProgram, &err)) << err;
+  n->Start();
+  LoadSkew(n.get());
+  loop_.RunUntil(2.0);
+  EXPECT_EQ(n->ReplanSwaps(), 0u);
+}
+
+}  // namespace
+}  // namespace p2

@@ -147,7 +147,8 @@ std::string RowKey(const Tuple& t) {
   return s + ")";
 }
 
-RunResult Drive(const GenProgram& p, PlannerMode mode, uint64_t seed) {
+RunResult Drive(const GenProgram& p, PlannerMode mode, uint64_t seed,
+                bool counting = true) {
   SimEventLoop loop;
   SimNetwork net(&loop, Topology(TopologyConfig{}), 7);
   auto transport = net.MakeTransport("n1", 0);
@@ -156,6 +157,7 @@ RunResult Drive(const GenProgram& p, PlannerMode mode, uint64_t seed) {
   c.transport = transport.get();
   c.seed = 42;
   c.planner_mode = mode;
+  c.counting = counting;
   P2Node node(c);
   std::string err;
   EXPECT_TRUE(node.Install(p.text, &err)) << err << "\n" << p.text;
@@ -206,14 +208,137 @@ RunResult Drive(const GenProgram& p, PlannerMode mode, uint64_t seed) {
 }
 
 TEST(RuleEquivTest, RandomProgramsAgreeAcrossPlanners) {
+  // Three-way: legacy, semi-naive with support counting (the default), and
+  // semi-naive with counting off (the PR 6 wiring). The corpus is
+  // insert-only, where all three are specified to be equivalent.
   for (uint64_t case_id = 0; case_id < 25; ++case_id) {
     std::mt19937 rng(static_cast<unsigned>(1000 + case_id));
     GenProgram p = Generate(&rng);
     RunResult legacy = Drive(p, PlannerMode::kLegacy, case_id);
-    RunResult seminaive = Drive(p, PlannerMode::kSemiNaive, case_id);
-    EXPECT_EQ(legacy.tables, seminaive.tables) << "case " << case_id << "\n" << p.text;
-    EXPECT_EQ(legacy.streams, seminaive.streams) << "case " << case_id << "\n" << p.text;
+    RunResult counting = Drive(p, PlannerMode::kSemiNaive, case_id);
+    RunResult no_counting = Drive(p, PlannerMode::kSemiNaive, case_id, /*counting=*/false);
+    EXPECT_EQ(legacy.tables, counting.tables) << "case " << case_id << "\n" << p.text;
+    EXPECT_EQ(legacy.streams, counting.streams) << "case " << case_id << "\n" << p.text;
+    EXPECT_EQ(legacy.tables, no_counting.tables) << "case " << case_id << "\n" << p.text;
+    EXPECT_EQ(legacy.streams, no_counting.streams) << "case " << case_id << "\n" << p.text;
   }
+}
+
+// Projected-support rule h(B) :- b(A,B): the head drops A, so several b
+// rows derive the SAME h row. PR 6 refused such rules a remove chain
+// (deleting h on the first support loss would over-delete); counting keeps
+// a per-head-row derivation count instead and deletes only at zero.
+class MultiDerivationTest : public ::testing::Test {
+ protected:
+  static constexpr char kProgram[] =
+      "materialize(b, infinity, 1000, keys(2,3)).\n"
+      "materialize(h, infinity, 1000, keys(2)).\n"
+      "r h@X(X,B) :- b@X(X,A,B).\n";
+
+  MultiDerivationTest() : net_(&loop_, Topology(TopologyConfig{}), 7) {
+    transport_ = net_.MakeTransport("n1", 0);
+  }
+
+  std::unique_ptr<P2Node> Make(PlannerMode mode, bool counting) {
+    P2NodeConfig c;
+    c.executor = &loop_;
+    c.transport = transport_.get();
+    c.seed = 42;
+    c.planner_mode = mode;
+    c.counting = counting;
+    auto node = std::make_unique<P2Node>(c);
+    std::string err;
+    EXPECT_TRUE(node->Install(kProgram, &err)) << err;
+    node->Start();
+    return node;
+  }
+
+  void InsertB(P2Node* n, int64_t a, int64_t b) {
+    n->GetTable("b")->Insert(
+        Tuple::Make("b", {Value::Addr("n1"), Value::Int(a), Value::Int(b)}));
+  }
+  bool DeleteB(P2Node* n, int64_t a, int64_t b) {
+    return n->GetTable("b")->DeleteByKey({Value::Int(a), Value::Int(b)});
+  }
+  std::vector<std::string> DumpH(P2Node* n) {
+    std::vector<std::string> rows;
+    for (const TuplePtr& row : n->GetTable("h")->Scan()) {
+      rows.push_back(RowKey(*row));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  SimEventLoop loop_;
+  SimNetwork net_;
+  std::unique_ptr<SimTransport> transport_;
+};
+
+TEST_F(MultiDerivationTest, CountingNeverDeletesARowWithALiveSupport) {
+  auto counting = Make(PlannerMode::kSemiNaive, /*counting=*/true);
+  auto ttl_only = Make(PlannerMode::kSemiNaive, /*counting=*/false);
+  for (P2Node* n : {counting.get(), ttl_only.get()}) {
+    for (int64_t a = 0; a < 3; ++a) {
+      InsertB(n, a, 7);
+    }
+  }
+  loop_.RunUntil(loop_.Now() + 0.1);
+  const SupportCounts* counts = counting->SupportCountsFor("h");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->Count(*Tuple::Make("h", {Value::Addr("n1"), Value::Int(7)})), 3u);
+  ASSERT_EQ(ttl_only->SupportCountsFor("h"), nullptr);
+
+  // Two of three supports retract: h(7) must survive under counting.
+  for (P2Node* n : {counting.get(), ttl_only.get()}) {
+    EXPECT_TRUE(DeleteB(n, 0, 7));
+    EXPECT_TRUE(DeleteB(n, 1, 7));
+  }
+  loop_.RunUntil(loop_.Now() + 0.1);
+  EXPECT_EQ(counting->GetTable("h")->size(), 1u);
+  EXPECT_EQ(counts->Count(*Tuple::Make("h", {Value::Addr("n1"), Value::Int(7)})), 1u);
+
+  // Last support retracts: counting deletes the head; the TTL-only node
+  // (PR 6 gating: projected supports get NO remove chain) keeps it until
+  // soft-state expiry — which never comes at infinite lifetime.
+  for (P2Node* n : {counting.get(), ttl_only.get()}) {
+    EXPECT_TRUE(DeleteB(n, 2, 7));
+  }
+  loop_.RunUntil(loop_.Now() + 0.1);
+  EXPECT_EQ(counting->GetTable("h")->size(), 0u);
+  EXPECT_EQ(ttl_only->GetTable("h")->size(), 1u);
+}
+
+TEST_F(MultiDerivationTest, FinalStatesAgreeWhenEverySurvivingHeadHasSupport) {
+  // Retractions mid-run, then one support re-inserted per surviving head
+  // value: every planner mode must converge to the same final h table
+  // (counting deleted-and-rederived, the others just kept deriving).
+  auto drive = [&](P2Node* n) {
+    for (int64_t b = 0; b < 3; ++b) {
+      for (int64_t a = 0; a < 4; ++a) {
+        InsertB(n, a, b);
+      }
+    }
+    loop_.RunUntil(loop_.Now() + 0.05);
+    for (int64_t a = 0; a < 4; ++a) {
+      DeleteB(n, a, 0);  // all supports of h(0)
+    }
+    DeleteB(n, 0, 1);  // some supports of h(1)
+    DeleteB(n, 1, 1);
+    loop_.RunUntil(loop_.Now() + 0.05);
+    for (int64_t b = 0; b < 3; ++b) {
+      InsertB(n, 9, b);  // fresh support for every head value
+    }
+    loop_.RunUntil(loop_.Now() + 0.05);
+  };
+  auto legacy = Make(PlannerMode::kLegacy, true);
+  auto counting = Make(PlannerMode::kSemiNaive, true);
+  auto ttl_only = Make(PlannerMode::kSemiNaive, false);
+  drive(legacy.get());
+  drive(counting.get());
+  drive(ttl_only.get());
+  EXPECT_EQ(DumpH(legacy.get()), DumpH(counting.get()));
+  EXPECT_EQ(DumpH(legacy.get()), DumpH(ttl_only.get()));
+  EXPECT_EQ(DumpH(counting.get()).size(), 3u);
 }
 
 TEST(RuleEquivTest, ModeReachesThePlan) {
@@ -232,9 +357,13 @@ TEST(RuleEquivTest, ModeReachesThePlan) {
     ASSERT_TRUE(node.Install(p.text, &err)) << err;
     const std::string& dump = node.PlanExplain();
     if (mode == PlannerMode::kSemiNaive) {
-      EXPECT_NE(dump.find("plan mode=semi-naive"), std::string::npos);
+      EXPECT_NE(dump.find("plan mode=semi-naive counting=on"), std::string::npos);
       EXPECT_NE(dump.find("delta-insert"), std::string::npos);
       EXPECT_NE(dump.find("(incremental)"), std::string::npos);
+      // Counting reaches the chains: counted heads route through the
+      // support counter and retract through the counted path.
+      EXPECT_NE(dump.find("-> count+route"), std::string::npos);
+      EXPECT_NE(dump.find("-> retract-count (local)"), std::string::npos);
     } else {
       EXPECT_NE(dump.find("plan mode=legacy"), std::string::npos);
       // Single trigger per rule: no "+pred" delta variants, no remove chains.
@@ -243,6 +372,19 @@ TEST(RuleEquivTest, ModeReachesThePlan) {
       EXPECT_NE(dump.find("(full-scan)"), std::string::npos);
     }
   }
+  // counting=off keeps the PR 6 wiring: no counted chains anywhere.
+  P2NodeConfig c;
+  c.executor = &loop;
+  c.transport = transport.get();
+  c.planner_mode = PlannerMode::kSemiNaive;
+  c.counting = false;
+  P2Node node(c);
+  std::string err;
+  ASSERT_TRUE(node.Install(p.text, &err)) << err;
+  const std::string& dump = node.PlanExplain();
+  EXPECT_NE(dump.find("plan mode=semi-naive counting=off"), std::string::npos);
+  EXPECT_EQ(dump.find("count+route"), std::string::npos);
+  EXPECT_EQ(dump.find("retract-count"), std::string::npos);
 }
 
 }  // namespace
