@@ -40,10 +40,19 @@
 // otherwise, so a silently-skipped shard count can't produce a stale
 // artifact that still looks complete.
 //
+// Fault probes: --partition START:DUR:DOMAINS (repeatable) schedules a
+// healing partition in every cell and the JSON gains partition_heal_s —
+// virtual seconds from the heal until chord's ring re-converged (cells
+// expected to converge are additionally gated on the ring recovering).
+// --byzantine FRAC compiles that fraction of chord nodes as dishonest
+// responders; those cells are detection probes, reported via
+// wrong_lookup_rate and never convergence-gated.
+//
 //   scale_sweep [--overlay chord,pathvector] [--nodes 64,256,1024]
 //               [--shards 1] [--loss 0.2] [--lookups 20] [--seed 1]
 //               [--mode both|reliable|plain] [--planner semi-naive|legacy]
-//               [--counting on|off] [--json PATH]
+//               [--counting on|off] [--partition S:D:G] [--byzantine F]
+//               [--json PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -85,6 +94,7 @@ int main(int argc, char** argv) {
   bool run_reliable = true;
   p2::PlannerMode planner = p2::PlannerMode::kSemiNaive;
   bool counting = true;
+  p2::FaultPlan faults;
   const char* json_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -150,6 +160,19 @@ int main(int argc, char** argv) {
       const char* mode = need("--mode");
       run_plain = std::strcmp(mode, "reliable") != 0;
       run_reliable = std::strcmp(mode, "plain") != 0;
+    } else if (std::strcmp(arg, "--partition") == 0) {
+      p2::PartitionSpec part;
+      if (!p2::ParsePartitionSpec(need("--partition"), &part)) {
+        std::fprintf(stderr, "--partition expects START:DUR:DOMAINS\n");
+        return 2;
+      }
+      faults.partitions.push_back(part);
+    } else if (std::strcmp(arg, "--byzantine") == 0) {
+      faults.byzantine_fraction = std::atof(need("--byzantine"));
+      if (faults.byzantine_fraction < 0 || faults.byzantine_fraction > 1) {
+        std::fprintf(stderr, "--byzantine must be in [0, 1]\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = need("--json");
     } else {
@@ -174,9 +197,14 @@ int main(int argc, char** argv) {
               loss, lookups, static_cast<unsigned long long>(seed),
               planner == p2::PlannerMode::kLegacy ? "legacy" : "semi-naive",
               counting ? "on" : "off");
-  std::printf("%10s %7s %7s %9s %10s %9s %12s %8s %12s %8s %s\n", "overlay", "nodes",
-              "shards", "reliable", "converged", "virt_s", "events", "wall_s",
-              "events/sec", "heal_s", "lookups");
+  if (faults.byzantine_fraction > 0 &&
+      (overlays.size() != 1 || overlays[0] != p2::OverlayKind::kChord)) {
+    std::fprintf(stderr, "--byzantine probes need --overlay chord\n");
+    return 2;
+  }
+  std::printf("%10s %7s %7s %9s %10s %9s %12s %8s %12s %8s %9s %6s %s\n", "overlay",
+              "nodes", "shards", "reliable", "converged", "virt_s", "events", "wall_s",
+              "events/sec", "heal_s", "part_heal", "wrong", "lookups");
 
   bool gated_ok = true;
   std::string json = "[\n";
@@ -202,17 +230,23 @@ int main(int argc, char** argv) {
           cfg.planner = planner;
           cfg.counting = counting;
           cfg.heal_probe = overlay == p2::OverlayKind::kPathVector;
+          cfg.faults = faults;
+          if (overlay != p2::OverlayKind::kChord) {
+            cfg.faults.byzantine_fraction = 0;  // chord-only probe
+          }
           p2::ScenarioReport report = p2::RunScenario(cfg);
 
           double evps = report.wall_s > 0
                             ? static_cast<double>(report.sim_events) / report.wall_s
                             : 0;
-          std::printf("%10s %7zu %7zu %9s %10s %9.0f %12llu %8.1f %12.0f %8.2f %zu/%zu\n",
+          std::printf("%10s %7zu %7zu %9s %10s %9.0f %12llu %8.1f %12.0f %8.2f %9.2f "
+                      "%6.3f %zu/%zu\n",
                       p2::OverlayKindName(overlay), n, report.shards,
                       reliable ? "on" : "off", report.converged ? "yes" : "NO",
                       report.ran_for_s,
                       static_cast<unsigned long long>(report.sim_events), report.wall_s,
-                      evps, report.healing_s, report.lookups_consistent,
+                      evps, report.healing_s, report.partition_heal_s,
+                      report.wrong_lookup_rate, report.lookups_consistent,
                       report.lookups_issued);
           std::fflush(stdout);
 
@@ -225,6 +259,8 @@ int main(int argc, char** argv) {
                           "\"counting\": %s, \"converged\": %s, "
                           "\"virtual_s\": %.1f, \"events\": %llu, \"wall_s\": %.2f, "
                           "\"events_per_sec\": %.0f, \"healing_s\": %.2f, "
+                          "\"partition_heal_s\": %.2f, \"wrong_lookup_rate\": %.4f, "
+                          "\"byzantine\": %.3f, "
                           "\"lookups_issued\": %zu, \"lookups_consistent\": %zu}",
                           p2::OverlayKindName(overlay), n, report.shards,
                           reliable ? "true" : "false", loss,
@@ -233,8 +269,9 @@ int main(int argc, char** argv) {
                           counting ? "true" : "false",
                           report.converged ? "true" : "false", report.ran_for_s,
                           static_cast<unsigned long long>(report.sim_events),
-                          report.wall_s, evps, report.healing_s, report.lookups_issued,
-                          report.lookups_consistent);
+                          report.wall_s, evps, report.healing_s, report.partition_heal_s,
+                          report.wrong_lookup_rate, cfg.faults.byzantine_fraction,
+                          report.lookups_issued, report.lookups_consistent);
             if (json_rows > 0) {
               json += ",\n";
             }
@@ -242,8 +279,18 @@ int main(int argc, char** argv) {
             json += row;
           }
 
-          bool expected_to_converge = reliable == 1 || loss == 0;
+          // Byzantine cells are detection probes: the wrong-answer rate is
+          // the product, so dishonest answers failing the consistency gate
+          // must not fail the sweep.
+          bool expected_to_converge =
+              (reliable == 1 || loss == 0) && cfg.faults.byzantine_fraction == 0;
           if (expected_to_converge && !report.converged) {
+            gated_ok = false;
+          }
+          // A partitioned chord cell that is expected to converge must also
+          // demonstrate the heal: the ring back at strength after the cut.
+          if (expected_to_converge && overlay == p2::OverlayKind::kChord &&
+              !cfg.faults.partitions.empty() && report.partition_heal_s < 0) {
             gated_ok = false;
           }
         }

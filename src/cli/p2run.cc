@@ -54,6 +54,26 @@ void Usage(const char* argv0) {
       "  --heal-probe         pathvector --sim: kill one node mid-run, only its\n"
       "                       neighbors react, and report the virtual seconds\n"
       "                       until every live node's routes match ground truth\n"
+      "  --loss-asym <S:D:R>  sim: one-way loss — datagrams from domain S to\n"
+      "                       domain D drop with probability R, the reverse\n"
+      "                       direction untouched (repeatable)\n"
+      "  --partition <S:D:G>  sim: full cut between domain group G (e.g. 0,\n"
+      "                       0-4, 0,3,7) and the rest, forming S seconds into\n"
+      "                       measurement and healing D seconds later; chord\n"
+      "                       reports how long the ring takes to re-converge\n"
+      "                       (repeatable)\n"
+      "  --latency-spike <S:D:DOM:F>  sim: multiply the latency of datagrams\n"
+      "                       to/from domain DOM by F (>= 1) during the window\n"
+      "                       [S, S+D) of measurement time (repeatable)\n"
+      "  --slow-nodes <F:X>   sim: each node is slow with probability F\n"
+      "                       (deterministic per-slot choice); a slow node's\n"
+      "                       timers run X times slower\n"
+      "  --corrupt <rate>     sim: flip 1-3 random bytes of a datagram with\n"
+      "                       this probability; the wire parsers must reject\n"
+      "                       the damage (p2_corrupt_* counters) without crash\n"
+      "  --byzantine <frac>   sim chord: this fraction of nodes answers every\n"
+      "                       lookup with itself as successor; the report's\n"
+      "                       wrong-lookup rate is the detection metric\n"
       "  --explain            print the overlay's compiled rule plans (triggers,\n"
       "                       join order, fanout estimates, indices) and exit\n"
       "  --watch <p1,p2,..>   tap the named predicates: log every tuple that\n"
@@ -214,6 +234,73 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--heal-probe") == 0) {
       config.heal_probe = true;
+    } else if (std::strcmp(arg, "--loss-asym") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      p2::AsymLossRule rule;
+      if (!p2::ParseAsymLossSpec(argv[++i], &rule)) {
+        std::fprintf(stderr, "--loss-asym expects SRC:DST:RATE (rate in [0,1]), got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.faults.asym_loss.push_back(rule);
+    } else if (std::strcmp(arg, "--partition") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      p2::PartitionSpec part;
+      if (!p2::ParsePartitionSpec(argv[++i], &part)) {
+        std::fprintf(stderr,
+                     "--partition expects START:DUR:DOMAINS (e.g. 10:30:0 or 0:60:0-4), "
+                     "got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.faults.partitions.push_back(part);
+    } else if (std::strcmp(arg, "--latency-spike") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      p2::LatencySpikeSpec spike;
+      if (!p2::ParseLatencySpikeSpec(argv[++i], &spike)) {
+        std::fprintf(stderr,
+                     "--latency-spike expects START:DUR:DOMAIN:FACTOR (factor >= 1), "
+                     "got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.faults.latency_spikes.push_back(spike);
+    } else if (std::strcmp(arg, "--slow-nodes") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      if (!p2::ParseSlowNodesSpec(argv[++i], &config.faults.slow_fraction,
+                                  &config.faults.slow_factor)) {
+        std::fprintf(stderr,
+                     "--slow-nodes expects FRAC:FACTOR (frac in [0,1], factor >= 1), "
+                     "got %s\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--corrupt") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.faults.corrupt_rate = std::atof(argv[++i]);
+      if (config.faults.corrupt_rate < 0 || config.faults.corrupt_rate >= 1) {
+        std::fprintf(stderr, "--corrupt must be in [0, 1), got %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--byzantine") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      config.faults.byzantine_fraction = std::atof(argv[++i]);
+      if (config.faults.byzantine_fraction < 0 || config.faults.byzantine_fraction > 1) {
+        std::fprintf(stderr, "--byzantine must be in [0, 1], got %s\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--explain") == 0) {
       explain = true;
     } else if (std::strcmp(arg, "--watch") == 0) {
@@ -291,6 +378,25 @@ int main(int argc, char** argv) {
   }
   if (config.shards > 1) {
     std::printf(" shards=%zu", config.shards);
+  }
+  if (!config.faults.asym_loss.empty()) {
+    std::printf(" loss-asym=%zu", config.faults.asym_loss.size());
+  }
+  if (!config.faults.partitions.empty()) {
+    std::printf(" partitions=%zu", config.faults.partitions.size());
+  }
+  if (!config.faults.latency_spikes.empty()) {
+    std::printf(" spikes=%zu", config.faults.latency_spikes.size());
+  }
+  if (config.faults.slow_fraction > 0) {
+    std::printf(" slow=%.2f:%.1fx", config.faults.slow_fraction,
+                config.faults.slow_factor);
+  }
+  if (config.faults.corrupt_rate > 0) {
+    std::printf(" corrupt=%.3f", config.faults.corrupt_rate);
+  }
+  if (config.faults.byzantine_fraction > 0) {
+    std::printf(" byzantine=%.2f", config.faults.byzantine_fraction);
   }
   std::printf("\n");
   std::fflush(stdout);

@@ -65,14 +65,17 @@ const char* BackendKindName(BackendKind kind) {
 
 ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
                          double loss_rate, uint16_t udp_base_port,
-                         bool reliable, ReliableConfig reliable_config, size_t shards)
+                         bool reliable, ReliableConfig reliable_config, size_t shards,
+                         FaultPlan faults)
     : backend_(backend),
       seed_(seed),
       loss_rate_(loss_rate),
       reliable_(reliable),
-      reliable_config_(reliable_config) {
+      reliable_config_(reliable_config),
+      faults_(std::move(faults)) {
   lossy_.resize(nodes);
   channels_.resize(nodes);
+  dilated_.resize(nodes);
   // Live halves of the fleet channel aggregation; Kill() retires the dead.
   pool_.SetLiveSource(
       [this](ReliableChannelStats* total) {
@@ -93,6 +96,14 @@ ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
     sim_engine_ = std::make_unique<ShardedSim>(shards);
     sim_net_ = std::make_unique<SimNetwork>(sim_engine_.get(), Topology(TopologyConfig{}), seed);
     sim_net_->set_loss_rate(loss_rate);
+    if (faults_.any()) {
+      injector_ = std::make_unique<FaultInjector>(faults_, seed ^ 0xFA17ULL);
+      sim_net_->SetFaults(injector_.get());
+      // Generic fleets measure from t=0, so timed windows anchor there (the
+      // chord testbed instead arms after its settle phase).
+      injector_->Arm(0.0);
+      injector_->ScheduleTransitions(sim_engine_->control());
+    }
     for (size_t i = 0; i < nodes; ++i) {
       std::string addr = "n" + std::to_string(i);
       sim_transports_.push_back(sim_net_->MakeTransport(addr, i));
@@ -163,7 +174,16 @@ Executor* ScenarioNet::executor(size_t i) {
   if (backend_ != BackendKind::kSim) {
     return udp_loop_.get();
   }
-  return sim_engine_->shard(sim_net_->ShardOf(i));
+  Executor* base = sim_engine_->shard(sim_net_->ShardOf(i));
+  if (injector_ != nullptr && injector_->IsSlowNode(i)) {
+    // One wrapper per slot, reused across churn revivals so the slot stays
+    // slow for its whole life regardless of how often it is rebuilt.
+    if (dilated_[i] == nullptr) {
+      dilated_[i] = std::make_unique<DilatedExecutor>(base, faults_.slow_factor);
+    }
+    return dilated_[i].get();
+  }
+  return base;
 }
 
 Executor* ScenarioNet::control_executor() {
@@ -378,6 +398,7 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
   cfg.planner = config.planner;
   cfg.counting = config.counting;
   cfg.replan_interval_s = config.replan_interval_s;
+  cfg.faults = config.faults;
   if (config.nodes > 64) {
     // Scale profile: a freshly built large ring heals its successor
     // pointers about one step per stabilization round, so round length
@@ -423,6 +444,32 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
     }
   }
 
+  // Fault timeline starts now: "--partition 10:30:0" forms 10 virtual
+  // seconds into the measurement phase, against a settled ring. Untimed
+  // axes (asymmetric loss, corruption, slow nodes, byzantine rules) were
+  // live the whole time — they stress join/stabilization too.
+  double pre_fault_ring = tb.RingConsistencyFraction();
+  tb.ArmFaults();
+  if (!config.faults.partitions.empty()) {
+    // Drive straight through every scheduled window, then probe recovery:
+    // virtual seconds from the last heal until ring consistency is back to
+    // its pre-partition level. Partitioned minorities drop their severed
+    // successors (succ TTL) and re-join through the landmark machinery
+    // once the cut heals, so recovery takes real stabilization rounds.
+    double transitions = config.faults.LastTransitionS();
+    tb.RunFor(transitions);
+    double heal_instant = tb.Now();
+    double target = std::min(0.95, pre_fault_ring);
+    double cap = 180.0 + static_cast<double>(config.nodes);
+    while (tb.Now() - heal_instant < cap) {
+      tb.RunFor(1.0);
+      if (tb.RingConsistencyFraction() >= target) {
+        report.partition_heal_s = tb.Now() - heal_instant;
+        break;
+      }
+    }
+  }
+
   ChurnConfig churn_cfg;
   churn_cfg.session_mean_s = config.churn_session_mean_s;
   churn_cfg.seed = config.seed ^ 0xC0FFEE;
@@ -451,6 +498,11 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
   }
   report.ring_consistency = tb.RingConsistencyFraction();
   report.churn_deaths = churn ? churn->deaths() : 0;
+  report.wrong_lookup_rate =
+      report.lookups_completed == 0
+          ? 0
+          : static_cast<double>(report.lookups_completed - report.lookups_consistent) /
+                static_cast<double>(report.lookups_completed);
 
   // A static ring must answer everything consistently; under churn we accept
   // the usual evaluation slack (some lookups race dead nodes).
@@ -467,6 +519,19 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
   if (churn) {
     os << "churn deaths: " << report.churn_deaths << " (mean session "
        << config.churn_session_mean_s << "s)\n";
+  }
+  if (!config.faults.partitions.empty()) {
+    if (report.partition_heal_s >= 0) {
+      os << "partition probe: ring recovered " << report.partition_heal_s
+         << "s after the last heal\n";
+    } else {
+      os << "partition probe: ring NOT recovered after the last heal\n";
+    }
+  }
+  if (config.faults.byzantine_fraction > 0) {
+    os << "byzantine: " << tb.faults()->CountByzantine(config.nodes) << "/"
+       << config.nodes << " nodes answer lookups dishonestly, wrong-lookup rate "
+       << report.wrong_lookup_rate << "\n";
   }
   FinishTransportReport(config, tb.TotalReliableStats(), &report, &os);
   report.shards = tb.engine()->num_shards();
@@ -942,6 +1007,18 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
     report.detail = "--shards applies to the simulator backend only (use --sim)\n";
     return report;
   }
+  // Fault injection rides the deterministic fabric: the injector hooks
+  // SimNetwork's send path and the timed windows hook the shard
+  // coordinator's control timeline, neither of which exists under udp.
+  if (config.faults.any() && config.backend != BackendKind::kSim) {
+    report.detail = "fault injection flags (--loss-asym/--partition/--latency-spike/"
+                    "--slow-nodes/--corrupt/--byzantine) need --sim\n";
+    return report;
+  }
+  if (config.faults.byzantine_fraction > 0 && config.overlay != OverlayKind::kChord) {
+    report.detail = "--byzantine applies to the chord overlay only\n";
+    return report;
+  }
 
   if (config.overlay == OverlayKind::kChord && config.backend == BackendKind::kSim) {
     return RunChordSim(config);
@@ -954,7 +1031,7 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
   std::unique_ptr<obs::TraceLog> trace;
   ScenarioNet net(config.backend, config.nodes, config.seed, config.loss_rate,
                   config.udp_base_port, config.reliable, ReliableConfig{},
-                  config.shards);
+                  config.shards, config.faults);
   if (!net.ok()) {
     report.detail = "failed to bring up transports (UDP bind failure?)\n";
     return report;

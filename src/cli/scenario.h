@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/harness/faults.h"
 #include "src/harness/metrics.h"
 #include "src/net/stack/lossy.h"
 #include "src/obs/channel_stats.h"
@@ -100,6 +101,13 @@ struct ScenarioConfig {
   bool stats_dump = false;
   // When > 0, every node maintains a sysstats table at this period.
   double sysstats_period_s = 0;
+  // --- Fault injection (sim backend only) ---
+  // Asymmetric loss, healing partitions, latency spikes, slow nodes,
+  // corruption, byzantine chord responders (p2run --loss-asym --partition
+  // --latency-spike --slow-nodes --corrupt --byzantine). Timed windows
+  // (partitions, spikes) are armed at measurement start: for chord that is
+  // the end of the settle phase, for the other overlays t=0.
+  FaultPlan faults;
 };
 
 struct ScenarioReport {
@@ -126,6 +134,14 @@ struct ScenarioReport {
   // through the dead node withdrawn, detours settled). -1 when the probe
   // did not run or did not converge within its cap.
   double healing_s = -1;
+  // Partition probe (chord sim with config.faults.partitions): virtual
+  // seconds from the last scheduled heal until ring consistency recovered
+  // to its pre-partition level (capped at 0.95). -1 when no partition ran
+  // or the ring did not recover within the cap.
+  double partition_heal_s = -1;
+  // Chord: completed-but-wrong lookup fraction against the live ground
+  // truth — the byzantine detection metric (0 when nothing completed).
+  double wrong_lookup_rate = 0;
   // Reliable-transport counters summed over the fleet (all-zero unless the
   // scenario ran with reliable = true).
   bool reliable = false;
@@ -166,7 +182,7 @@ class ScenarioNet {
   ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
               double loss_rate = 0, uint16_t udp_base_port = 0,
               bool reliable = false, ReliableConfig reliable_config = ReliableConfig{},
-              size_t shards = 1);
+              size_t shards = 1, FaultPlan faults = FaultPlan{});
   ~ScenarioNet();
   ScenarioNet(const ScenarioNet&) = delete;
   ScenarioNet& operator=(const ScenarioNet&) = delete;
@@ -179,7 +195,8 @@ class ScenarioNet {
   size_t shards() const;
   // The executor node i must run on (its shard's loop under sim, the one
   // UdpLoop under udp). Everything a node owns — its timers, its reliable
-  // channel — must be scheduled here.
+  // channel — must be scheduled here. When the fault plan marks slot i
+  // slow, this is the slot's dilating wrapper (same shard underneath).
   Executor* executor(size_t i);
   // The fleet-control executor: churn drivers and other cross-node actions
   // schedule here so they run with every shard parked (the sharded engine's
@@ -218,8 +235,16 @@ class ScenarioNet {
 
   // Metrics registry the fleet's nodes report into (may stay null). The
   // runner sets this before building nodes; churn rebuilds read it back.
-  void set_metrics(obs::Registry* m) { metrics_ = m; }
+  void set_metrics(obs::Registry* m) {
+    metrics_ = m;
+    if (injector_ != nullptr && m != nullptr) {
+      injector_->BindObs(m);
+    }
+  }
   obs::Registry* metrics() { return metrics_; }
+
+  // Non-null when the fleet runs with a non-empty fault plan (sim only).
+  FaultInjector* faults() { return injector_.get(); }
 
   // Non-null only for the sim backend (loss injection, delivery counters).
   SimNetwork* sim_network() { return sim_net_.get(); }
@@ -238,6 +263,12 @@ class ScenarioNet {
   bool reliable_;
   ReliableConfig reliable_config_;
   uint64_t revive_counter_ = 0;
+  FaultPlan faults_;
+  // Declared before the engines: shard threads consult the injector via
+  // SimNetwork until they park for the last time.
+  std::unique_ptr<FaultInjector> injector_;
+  // Per-slot timer-dilation wrappers for slow nodes (null when not slow).
+  std::vector<std::unique_ptr<DilatedExecutor>> dilated_;
   std::vector<std::string> addrs_;
   obs::ChannelStatsPool pool_;
   obs::Registry* metrics_ = nullptr;

@@ -13,8 +13,18 @@ ChordTestbed::ChordTestbed(TestbedConfig config)
       rng_(config.seed),
       boot_seed_rng_(config.seed ^ 0xB007) {
   network_.set_loss_rate(config.loss_rate);
+  if (config.faults.any()) {
+    injector_ = std::make_unique<FaultInjector>(config.faults, config.seed ^ 0xFA17ULL);
+    network_.SetFaults(injector_.get());
+    injector_->BindObs(config.metrics);
+  }
   pending_.resize(engine_.num_shards());
   hop_arrivals_.resize(engine_.num_shards());
+  if (config.metrics != nullptr) {
+    for (size_t s = 0; s < engine_.num_shards(); ++s) {
+      wrong_lookup_.push_back(config.metrics->GetCounter(s, "p2_lookup_wrong_total"));
+    }
+  }
   engine_.SetObs(config.metrics, config.trace);
   channel_pool_.SetLiveSource(
       [this](ReliableChannelStats* total) {
@@ -55,6 +65,14 @@ void ChordTestbed::MakeNode(size_t slot, const std::string& landmark) {
   s.boot_rng = std::make_unique<Rng>(boot_seed_rng_.NextU64());
   s.transport = network_.MakeTransport(s.addr, s.topo_index);
   Executor* executor = engine_.shard(s.shard);
+  if (injector_ != nullptr && injector_->IsSlowNode(slot)) {
+    // The wrapper survives churn replacements, so a slow slot's replacement
+    // inherits the same dilation (the hash picks slots, not incarnations).
+    if (s.dilated == nullptr) {
+      s.dilated = std::make_unique<DilatedExecutor>(executor, config_.faults.slow_factor);
+    }
+    executor = s.dilated.get();
+  }
   Transport* endpoint = s.transport.get();
   if (config_.reliable) {
     s.channel = std::make_unique<ReliableChannel>(s.transport.get(), executor,
@@ -78,7 +96,11 @@ void ChordTestbed::MakeNode(size_t slot, const std::string& landmark) {
     nc.planner_mode = config_.planner;
     nc.counting = config_.counting;
     nc.replan_interval_s = config_.replan_interval_s;
-    s.p2 = std::make_unique<ChordNode>(nc, config_.chord, landmark);
+    std::string extra;
+    if (injector_ != nullptr && injector_->IsByzantineNode(slot)) {
+      extra = ByzantineChordRules();
+    }
+    s.p2 = std::make_unique<ChordNode>(nc, config_.chord, landmark, extra);
   }
   s.alive = true;
   ++live_count_;
@@ -200,6 +222,14 @@ void ChordTestbed::BuildAndSettle(double settle_deadline_s) {
 
 void ChordTestbed::RunFor(double seconds) { engine_.RunFor(seconds); }
 
+void ChordTestbed::ArmFaults() {
+  if (injector_ == nullptr) {
+    return;
+  }
+  injector_->Arm(engine_.Now());
+  injector_->ScheduleTransitions(engine_.control());
+}
+
 void ChordTestbed::IssueRandomLookup() {
   // Pick a random live node.
   std::vector<size_t> live;
@@ -280,6 +310,9 @@ void ChordTestbed::OnLookupResult(size_t shard, const Uint160& key,
   rec.latency_s = engine_.shard(shard)->Now() - rec.issued_at;
   rec.result_addr = result_addr;
   rec.consistent = result_addr == GroundTruthSuccessor(key);
+  if (!rec.consistent && shard < wrong_lookup_.size()) {
+    wrong_lookup_[shard]->Inc();
+  }
 }
 
 const std::vector<ChordTestbed::LookupRecord>& ChordTestbed::lookups() {

@@ -26,6 +26,7 @@
 
 #include "src/baseline/chord_baseline.h"
 #include "src/harness/churn.h"
+#include "src/harness/faults.h"
 #include "src/net/stack/reliable_channel.h"
 #include "src/obs/channel_stats.h"
 #include "src/overlays/chord.h"
@@ -71,6 +72,11 @@ struct TestbedConfig {
   obs::TraceLog* trace = nullptr;
   std::vector<std::string> watches;
   double sysstats_period_s = 0;
+  // Fault plan evaluated on the fabric's send path (asymmetric loss,
+  // partitions, spikes, corruption), at node construction (slow-node
+  // dilation, byzantine responder rules) and — for the timed windows — via
+  // ArmFaults() once the ring has settled.
+  FaultPlan faults;
 };
 
 class ChordTestbed : public ChurnTarget {
@@ -97,6 +103,13 @@ class ChordTestbed : public ChurnTarget {
   void BuildAndSettle(double settle_deadline_s);
 
   void RunFor(double seconds);
+  // Fixes the fault plan's time base at the current virtual time and
+  // schedules its partition/spike transitions on the control timeline.
+  // Call once, after settle, so "--partition 10:30:0" means "10s into
+  // measurement"; no-op without a fault plan.
+  void ArmFaults();
+  // Non-null when config.faults was non-empty.
+  FaultInjector* faults() { return injector_.get(); }
   ShardedSim* engine() { return &engine_; }
   double Now() const { return engine_.Now(); }
   // Events executed across every shard (plus control tasks).
@@ -161,6 +174,10 @@ class ChordTestbed : public ChurnTarget {
     size_t topo_index = 0;
     size_t shard = 0;
     std::unique_ptr<Rng> boot_rng;  // landmark-provider stream (shard thread)
+    // Slow-node timer dilation. Declared before (so destroyed after) the
+    // channel and nodes, which hold it as their executor; kept across churn
+    // replacements so the slot stays slow for life.
+    std::unique_ptr<DilatedExecutor> dilated;
     std::unique_ptr<SimTransport> transport;
     std::unique_ptr<ReliableChannel> channel;  // only when config.reliable
     std::unique_ptr<ChordNode> p2;
@@ -186,6 +203,10 @@ class ChordTestbed : public ChurnTarget {
   TestbedConfig config_;
   ShardedSim engine_;
   SimNetwork network_;
+  std::unique_ptr<FaultInjector> injector_;  // non-null iff config.faults.any()
+  // Per-shard p2_lookup_wrong_total handles (byzantine detection metric);
+  // empty without a registry.
+  std::vector<obs::Counter*> wrong_lookup_;
   Rng rng_;
   Rng boot_seed_rng_;  // seeds per-slot landmark-provider streams
   std::vector<Slot> slots_;

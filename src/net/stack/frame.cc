@@ -1,8 +1,16 @@
 #include "src/net/stack/frame.h"
 
+#include "src/net/wire.h"
 #include "src/runtime/marshal.h"
 
 namespace p2 {
+
+namespace {
+// The checksum field sits right after magic+version; it covers every byte
+// that follows it (flags, counters, payload).
+constexpr size_t kChecksumOffset = 2;
+constexpr size_t kChecksummedFrom = kChecksumOffset + 4;
+}  // namespace
 
 std::vector<uint8_t> EncodeStackFrame(const StackFrame& f) {
   return EncodeStackFrame(f, f.payload);
@@ -13,6 +21,7 @@ std::vector<uint8_t> EncodeStackFrame(const StackFrame& f,
   ByteWriter w;
   w.PutU8(kStackMagic);
   w.PutU8(kStackVersion);
+  w.PutU32(0);  // checksum placeholder, patched below
   uint8_t flags = 0;
   if (f.has_data) {
     flags |= kStackFlagData;
@@ -29,17 +38,29 @@ std::vector<uint8_t> EncodeStackFrame(const StackFrame& f,
   if (f.has_data && !payload.empty()) {
     w.PutBytes(payload.data(), payload.size());
   }
-  return w.Take();
+  std::vector<uint8_t> bytes = w.Take();
+  uint32_t sum = WireChecksum(bytes.data() + kChecksummedFrom,
+                              bytes.size() - kChecksummedFrom);
+  bytes[kChecksumOffset + 0] = static_cast<uint8_t>(sum);
+  bytes[kChecksumOffset + 1] = static_cast<uint8_t>(sum >> 8);
+  bytes[kChecksumOffset + 2] = static_cast<uint8_t>(sum >> 16);
+  bytes[kChecksumOffset + 3] = static_cast<uint8_t>(sum >> 24);
+  return bytes;
 }
 
 std::optional<StackFrame> DecodeStackFrame(const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
   uint8_t magic;
   uint8_t version;
+  uint32_t checksum;
   uint8_t flags;
   StackFrame f;
-  if (!r.GetU8(&magic) || !r.GetU8(&version) || !r.GetU8(&flags) ||
-      magic != kStackMagic || version != kStackVersion) {
+  if (!r.GetU8(&magic) || !r.GetU8(&version) || !r.GetU32(&checksum) ||
+      !r.GetU8(&flags) || magic != kStackMagic || version != kStackVersion) {
+    return std::nullopt;
+  }
+  if (checksum != WireChecksum(bytes.data() + kChecksummedFrom,
+                               bytes.size() - kChecksummedFrom)) {
     return std::nullopt;
   }
   if ((flags & ~(kStackFlagData | kStackFlagAck)) != 0 || flags == 0) {

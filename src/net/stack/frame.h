@@ -11,7 +11,8 @@
 //
 // Layout (little-endian, fixed width):
 //   u8  magic      0xD5
-//   u8  version    0x01
+//   u8  version    0x02
+//   u32 checksum   WireChecksum over everything after this field
 //   u8  flags      bit0 = carries data, bit1 = carries ack
 //   u32 epoch      sender's channel incarnation (data stream id)
 //   u32 seq        data sequence number; 0 when no data
@@ -19,6 +20,10 @@
 //   u32 cum_ack    highest contiguously received seq of that stream
 //   u32 sack_bits  selective acks: bit i => seq cum_ack+1+i also received
 //   [payload]      only when bit0 set
+//
+// The checksum stands in for the UDP checksum the simulated wire lacks:
+// a frame damaged by the corruption fault axis must fail DecodeStackFrame
+// rather than resurface as plausible protocol state.
 //
 // DATA frames piggyback the current ACK state of the reverse direction
 // (both flag bits set) so steady bidirectional traffic needs no pure ACKs.
@@ -32,10 +37,10 @@
 namespace p2 {
 
 inline constexpr uint8_t kStackMagic = 0xD5;
-inline constexpr uint8_t kStackVersion = 0x01;
+inline constexpr uint8_t kStackVersion = 0x02;
 inline constexpr uint8_t kStackFlagData = 0x01;
 inline constexpr uint8_t kStackFlagAck = 0x02;
-inline constexpr size_t kStackHeaderBytes = 3 + 5 * 4;
+inline constexpr size_t kStackHeaderBytes = 3 + 6 * 4;
 
 struct StackFrame {
   bool has_data = false;

@@ -6,12 +6,15 @@
 namespace p2 {
 
 std::vector<uint8_t> FrameTuple(const Tuple& t) {
-  ByteWriter w;
-  w.PutU8(0xD2);  // magic
-  w.PutU8(0x01);  // version
-  if (!MarshalTuple(t, &w)) {
+  ByteWriter body;
+  if (!MarshalTuple(t, &body)) {
     return {};  // oversize tuple: callers drop the datagram
   }
+  ByteWriter w;
+  w.PutU8(0xD2);  // magic
+  w.PutU8(0x02);  // version
+  w.PutU32(WireChecksum(body.buffer().data(), body.size()));
+  w.PutBytes(body.buffer().data(), body.size());
   return w.Take();
 }
 
@@ -19,7 +22,13 @@ std::optional<TuplePtr> UnframeTuple(const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
   uint8_t magic;
   uint8_t version;
-  if (!r.GetU8(&magic) || !r.GetU8(&version) || magic != 0xD2 || version != 0x01) {
+  uint32_t checksum;
+  if (!r.GetU8(&magic) || !r.GetU8(&version) || !r.GetU32(&checksum) ||
+      magic != 0xD2 || version != 0x02) {
+    return std::nullopt;
+  }
+  if (checksum != WireChecksum(bytes.data() + (bytes.size() - r.remaining()),
+                               r.remaining())) {
     return std::nullopt;
   }
   return UnmarshalTuple(&r);

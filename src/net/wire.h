@@ -15,10 +15,28 @@
 
 namespace p2 {
 
-// Serializes `t` into a framed datagram payload.
+// FNV-1a over the frame body. Plays the role of the UDP/Ethernet checksum
+// the simulated wire does not have: random bit corruption must be detected
+// and dropped at unmarshal, never decoded into a plausible tuple. (The
+// byzantine fault axis covers adversarial well-formed data; this guards
+// against *accidental* damage only, so a non-cryptographic hash is enough.)
+inline uint32_t WireChecksum(const uint8_t* data, size_t n) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ data[i]) * 16777619u;
+  }
+  return h;
+}
+
+// Serializes `t` into a framed datagram payload:
+//   u8  magic    0xD2
+//   u8  version  0x02
+//   u32 checksum WireChecksum of the marshaled tuple bytes
+//   [marshaled tuple]
 std::vector<uint8_t> FrameTuple(const Tuple& t);
 
-// Parses a framed datagram; nullopt on bad magic/truncation (untrusted).
+// Parses a framed datagram; nullopt on bad magic/truncation/checksum
+// (untrusted).
 std::optional<TuplePtr> UnframeTuple(const std::vector<uint8_t>& bytes);
 
 // The wire size a tuple would occupy, including the UDP/IP header estimate

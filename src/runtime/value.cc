@@ -247,14 +247,26 @@ const ValueList& Value::AsList() const {
   return list_rep()->items;
 }
 
+// Total order over doubles: NaN compares equal to itself and after every
+// number. IEEE semantics (NaN != NaN, all comparisons false) would break
+// strict weak ordering in tuple containers and let the fixpoint loop derive
+// the "same" NaN tuple as new forever — and a bit-flipped frame from the
+// corruption fault can smuggle a NaN into any double field.
+static int CompareDoubleTotal(double x, double y) {
+  bool nx = std::isnan(x);
+  bool ny = std::isnan(y);
+  if (nx || ny) {
+    return nx == ny ? 0 : (nx ? 1 : -1);
+  }
+  return x == y ? 0 : (x < y ? -1 : 1);
+}
+
 int Value::Compare(const Value& a, const Value& b) {
   ValueType ta = a.tag_;
   ValueType tb = b.tag_;
   // Cross-type numeric comparison.
   if (IsNumeric(ta) && IsNumeric(tb) && ta != tb) {
-    double da = a.AsDouble();
-    double db = b.AsDouble();
-    return da < db ? -1 : (da > db ? 1 : 0);
+    return CompareDoubleTotal(a.AsDouble(), b.AsDouble());
   }
   if (ta != tb) {
     return static_cast<int>(ta) < static_cast<int>(tb) ? -1 : 1;
@@ -272,11 +284,8 @@ int Value::Compare(const Value& a, const Value& b) {
       int64_t y = b.u_.i;
       return x == y ? 0 : (x < y ? -1 : 1);
     }
-    case ValueType::kDouble: {
-      double x = a.u_.d;
-      double y = b.u_.d;
-      return x == y ? 0 : (x < y ? -1 : 1);
-    }
+    case ValueType::kDouble:
+      return CompareDoubleTotal(a.u_.d, b.u_.d);
     case ValueType::kStr:
     case ValueType::kAddr:
       return a.str_rep()->s.compare(b.str_rep()->s);
@@ -372,7 +381,8 @@ size_t Value::HashValue() const {
     case ValueType::kInt:
       return std::hash<int64_t>()(u_.i);
     case ValueType::kDouble:
-      return std::hash<double>()(u_.d);
+      // All NaN payloads are Compare-equal, so they must share one hash.
+      return std::isnan(u_.d) ? 0x7FF8DEADu : std::hash<double>()(u_.d);
     case ValueType::kStr:
     case ValueType::kId:
     case ValueType::kList:
@@ -387,7 +397,8 @@ bool Value::operator==(const Value& o) const {
   ValueType t = tag_;
   if (t != o.tag_) {
     // Only numeric types compare equal across types.
-    return IsNumeric(t) && IsNumeric(o.tag_) && AsDouble() == o.AsDouble();
+    return IsNumeric(t) && IsNumeric(o.tag_) &&
+           CompareDoubleTotal(AsDouble(), o.AsDouble()) == 0;
   }
   switch (t) {
     case ValueType::kNull:
@@ -397,7 +408,7 @@ bool Value::operator==(const Value& o) const {
     case ValueType::kInt:
       return u_.i == o.u_.i;
     case ValueType::kDouble:
-      return u_.d == o.u_.d;
+      return CompareDoubleTotal(u_.d, o.u_.d) == 0;
     case ValueType::kStr:
     case ValueType::kAddr: {
       const StrRep* a = str_rep();

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "src/harness/faults.h"
 #include "src/runtime/logging.h"
 
 namespace p2 {
@@ -69,14 +70,31 @@ void SimNetwork::Send(SimTransport* from, const std::string& to,
   }
   size_t src = from->topo_index_;
   size_t dst = it->second.topo_index;
+  double now = loops_[from->shard_]->Now();
+  if (faults_ != nullptr) {
+    // Fault decisions use the sender's own RNG stream and shard clock, so
+    // they are as shard-count-invariant as the loss/jitter draws above.
+    size_t sd = topology_.DomainOf(src);
+    size_t dd = topology_.DomainOf(dst);
+    if (faults_->DropOnSend(now, sd, dd, from->shard_, &from->rng_)) {
+      return;
+    }
+    faults_->MaybeCorrupt(now, from->shard_, &from->rng_, &bytes);
+  }
   double latency = topology_.LatencyBetween(src, dst) +
                    topology_.SerializationDelay(src, dst, bytes.size() + kUdpIpHeaderBytes);
+  if (faults_ != nullptr) {
+    // Spike factors are >= 1 (parser-enforced), so a spiked cross-shard
+    // datagram still lands at or after the conservative sync window.
+    latency *= faults_->LatencyFactor(now, topology_.DomainOf(src),
+                                      topology_.DomainOf(dst), from->shard_);
+  }
   double jitter = topology_.config().jitter_fraction;
   if (jitter > 0) {
     latency *= 1.0 + jitter * (2.0 * from->rng_.NextDouble() - 1.0);
   }
   SimDelivery d;
-  d.at = loops_[from->shard_]->Now() + latency;
+  d.at = now + latency;
   d.src = from->ordinal_;
   d.seq = from->send_seq_++;
   d.from = from->addr_;

@@ -30,6 +30,7 @@
 
 namespace p2 {
 
+class FaultInjector;
 class SimTransport;
 
 // The shared fabric: owns the address registry and delivers datagrams with
@@ -58,6 +59,13 @@ class SimNetwork {
 
   // Probability that any datagram is silently dropped (default 0).
   void set_loss_rate(double p) { loss_rate_ = p; }
+
+  // Optional fault injector (asymmetric loss, partitions, latency spikes,
+  // corruption) consulted on every send. Not owned; must outlive the runs.
+  // Set on the coordinator thread while shards are parked. The injector's
+  // decisions draw only from the sender's RNG stream and shard clock, so
+  // the fabric's shard-count determinism is preserved.
+  void SetFaults(FaultInjector* faults) { faults_ = faults; }
 
   // Simulates a node crash: datagrams to `addr` vanish. Called by the
   // transport destructor as well.
@@ -91,6 +99,7 @@ class SimNetwork {
   Topology topology_;
   Rng rng_;  // seeds per-endpoint streams, in registration order
   double loss_rate_ = 0.0;
+  FaultInjector* faults_ = nullptr;
   uint64_t next_ordinal_ = 1;
   std::vector<SimEventLoop*> loops_;
   std::vector<uint64_t> delivered_by_shard_;

@@ -10,6 +10,7 @@
 
 #include "src/net/stack/aimd.h"
 #include "src/net/stack/frame.h"
+#include "src/net/wire.h"
 #include "src/net/stack/reliable_channel.h"
 #include "src/net/stack/send_queue.h"
 #include "src/sim/event_loop.h"
@@ -72,6 +73,17 @@ TEST(StackFrame, EmptyPayloadDataFrame) {
   EXPECT_TRUE(d->payload.empty());
 }
 
+// Recomputes the header checksum (bytes 2..5, covering everything after it)
+// so a deliberate field mutation exercises its own rejection path instead of
+// tripping the integrity check first.
+void ResealChecksum(std::vector<uint8_t>& bytes) {
+  uint32_t sum = WireChecksum(bytes.data() + 6, bytes.size() - 6);
+  bytes[2] = static_cast<uint8_t>(sum);
+  bytes[3] = static_cast<uint8_t>(sum >> 8);
+  bytes[4] = static_cast<uint8_t>(sum >> 16);
+  bytes[5] = static_cast<uint8_t>(sum >> 24);
+}
+
 TEST(StackFrame, MalformedInputRejected) {
   StackFrame f;
   f.has_data = true;
@@ -95,12 +107,19 @@ TEST(StackFrame, MalformedInputRejected) {
   bad_version[1] = 0x7F;
   EXPECT_FALSE(DecodeStackFrame(bad_version).has_value());
 
+  // A damaged checksum alone must sink the frame.
+  std::vector<uint8_t> bad_checksum = good;
+  bad_checksum[2] ^= 0xFF;
+  EXPECT_FALSE(DecodeStackFrame(bad_checksum).has_value());
+
   std::vector<uint8_t> unknown_flags = good;
-  unknown_flags[2] = 0x80 | unknown_flags[2];
+  unknown_flags[6] = 0x80 | unknown_flags[6];
+  ResealChecksum(unknown_flags);
   EXPECT_FALSE(DecodeStackFrame(unknown_flags).has_value());
 
   std::vector<uint8_t> no_flags = good;
-  no_flags[2] = 0;
+  no_flags[6] = 0;
+  ResealChecksum(no_flags);
   EXPECT_FALSE(DecodeStackFrame(no_flags).has_value());
 
   // A pure ACK with trailing bytes is garbage, not a payload.
@@ -108,6 +127,7 @@ TEST(StackFrame, MalformedInputRejected) {
   ack.has_ack = true;
   std::vector<uint8_t> trailing = EncodeStackFrame(ack);
   trailing.push_back(0x55);
+  ResealChecksum(trailing);
   EXPECT_FALSE(DecodeStackFrame(trailing).has_value());
 
   EXPECT_FALSE(DecodeStackFrame({}).has_value());
