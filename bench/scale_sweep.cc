@@ -16,9 +16,12 @@
 //
 // With --json PATH the sweep additionally writes one machine-readable
 // record per run (overlay, nodes, reliable, loss, convergence, events,
-// events/sec, lookup consistency) — the perf-trajectory artifact CI
-// uploads as BENCH_scale.json so throughput regressions are diffable
-// across PRs instead of anecdotal.
+// events/sec, host_cores, speedup_vs_1shard, lookup consistency) — the
+// perf-trajectory artifact CI uploads as BENCH_scale.json so throughput
+// regressions are diffable across PRs instead of anecdotal. host_cores
+// and speedup_vs_1shard (vs the same cell at --shards 1 earlier in the
+// sweep; -1 when no baseline ran) make multi-shard numbers interpretable
+// across 1-core dev containers and multi-core CI runners.
 //
 // The sweep also carries a shard dimension: --shards 1,8 runs every
 // (nodes, reliable) cell once per shard count, reporting events/sec per
@@ -56,7 +59,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/cli/scenario.h"
@@ -202,9 +208,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--byzantine probes need --overlay chord\n");
     return 2;
   }
-  std::printf("%10s %7s %7s %9s %10s %9s %12s %8s %12s %8s %9s %6s %s\n", "overlay",
+  std::printf("%10s %7s %7s %9s %10s %9s %12s %8s %12s %7s %8s %9s %6s %s\n", "overlay",
               "nodes", "shards", "reliable", "converged", "virt_s", "events", "wall_s",
-              "events/sec", "heal_s", "part_heal", "wrong", "lookups");
+              "events/sec", "spdup", "heal_s", "part_heal", "wrong", "lookups");
+
+  // Every row records the host's core count and its speedup over the same
+  // cell at --shards 1, so the perf trajectory is interpretable across
+  // 1-core dev containers and multi-core CI runners. -1 = no 1-shard
+  // baseline ran earlier in this sweep.
+  unsigned host_cores = std::thread::hardware_concurrency();
+  std::map<std::tuple<p2::OverlayKind, size_t, int>, double> evps_1shard;
 
   bool gated_ok = true;
   std::string json = "[\n";
@@ -239,26 +252,38 @@ int main(int argc, char** argv) {
           double evps = report.wall_s > 0
                             ? static_cast<double>(report.sim_events) / report.wall_s
                             : 0;
-          std::printf("%10s %7zu %7zu %9s %10s %9.0f %12llu %8.1f %12.0f %8.2f %9.2f "
-                      "%6.3f %zu/%zu\n",
+          auto cell_key = std::make_tuple(overlay, n, reliable);
+          if (shards == 1) {
+            evps_1shard[cell_key] = evps;
+          }
+          auto base = evps_1shard.find(cell_key);
+          double speedup = 1.0;
+          if (shards != 1) {
+            speedup = (base != evps_1shard.end() && base->second > 0)
+                          ? evps / base->second
+                          : -1.0;
+          }
+          std::printf("%10s %7zu %7zu %9s %10s %9.0f %12llu %8.1f %12.0f %7.2f %8.2f "
+                      "%9.2f %6.3f %zu/%zu\n",
                       p2::OverlayKindName(overlay), n, report.shards,
                       reliable ? "on" : "off", report.converged ? "yes" : "NO",
                       report.ran_for_s,
                       static_cast<unsigned long long>(report.sim_events), report.wall_s,
-                      evps, report.healing_s, report.partition_heal_s,
+                      evps, speedup, report.healing_s, report.partition_heal_s,
                       report.wrong_lookup_rate, report.lookups_consistent,
                       report.lookups_issued);
           std::fflush(stdout);
 
           if (json_path != nullptr) {
-            char row[640];
+            char row[768];
             std::snprintf(row, sizeof(row),
                           "  {\"overlay\": \"%s\", \"nodes\": %zu, \"shards\": %zu, "
                           "\"reliable\": %s, "
                           "\"loss\": %.3f, \"seed\": %llu, \"planner\": \"%s\", "
                           "\"counting\": %s, \"converged\": %s, "
                           "\"virtual_s\": %.1f, \"events\": %llu, \"wall_s\": %.2f, "
-                          "\"events_per_sec\": %.0f, \"healing_s\": %.2f, "
+                          "\"events_per_sec\": %.0f, \"host_cores\": %u, "
+                          "\"speedup_vs_1shard\": %.2f, \"healing_s\": %.2f, "
                           "\"partition_heal_s\": %.2f, \"wrong_lookup_rate\": %.4f, "
                           "\"byzantine\": %.3f, "
                           "\"lookups_issued\": %zu, \"lookups_consistent\": %zu}",
@@ -269,9 +294,10 @@ int main(int argc, char** argv) {
                           counting ? "true" : "false",
                           report.converged ? "true" : "false", report.ran_for_s,
                           static_cast<unsigned long long>(report.sim_events),
-                          report.wall_s, evps, report.healing_s, report.partition_heal_s,
-                          report.wrong_lookup_rate, cfg.faults.byzantine_fraction,
-                          report.lookups_issued, report.lookups_consistent);
+                          report.wall_s, evps, host_cores, speedup, report.healing_s,
+                          report.partition_heal_s, report.wrong_lookup_rate,
+                          cfg.faults.byzantine_fraction, report.lookups_issued,
+                          report.lookups_consistent);
             if (json_rows > 0) {
               json += ",\n";
             }

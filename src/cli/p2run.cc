@@ -38,9 +38,14 @@ void Usage(const char* argv0) {
       "  --reliable           layer the reliable transport stack (ACK/retry,\n"
       "                       RTT estimation, AIMD cwnd, bounded send queues)\n"
       "                       over every endpoint\n"
-      "  --shards <n>         sim: share-nothing simulator shards (threads);\n"
-      "                       same seed => identical per-node event order at\n"
-      "                       any shard count (default 1)\n"
+      "  --shards <n>         sim: worker threads executing the simulator's\n"
+      "                       share-nothing shards (one per topology domain\n"
+      "                       when > 1); same seed => identical per-node event\n"
+      "                       order at any shard count (default 1)\n"
+      "  --steal <on|off>     sim: work stealing — re-assign whole shards to\n"
+      "                       workers at window barriers from the completed\n"
+      "                       window's per-shard event counts (default on;\n"
+      "                       results are bit-for-bit identical either way)\n"
       "  --port <base>        udp: first port to bind (default: kernel picks)\n"
       "  --seed <n>           RNG seed (default 1)\n"
       "  --planner <mode>     seminaive (default) or legacy rule compilation\n"
@@ -223,6 +228,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--counting expects on|off, got %s\n", v);
         return 2;
       }
+    } else if (std::strcmp(arg, "--steal") == 0) {
+      if (!NeedValue(argc, argv, i)) {
+        return 2;
+      }
+      const char* v = argv[++i];
+      if (std::strcmp(v, "on") == 0) {
+        config.steal = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        config.steal = false;
+      } else {
+        std::fprintf(stderr, "--steal expects on|off, got %s\n", v);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--replan-interval") == 0) {
       if (!NeedValue(argc, argv, i)) {
         return 2;
@@ -377,7 +395,7 @@ int main(int argc, char** argv) {
     std::printf(" reliable=on");
   }
   if (config.shards > 1) {
-    std::printf(" shards=%zu", config.shards);
+    std::printf(" shards=%zu%s", config.shards, config.steal ? "" : " steal=off");
   }
   if (!config.faults.asym_loss.empty()) {
     std::printf(" loss-asym=%zu", config.faults.asym_loss.size());

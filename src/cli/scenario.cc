@@ -66,7 +66,7 @@ const char* BackendKindName(BackendKind kind) {
 ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
                          double loss_rate, uint16_t udp_base_port,
                          bool reliable, ReliableConfig reliable_config, size_t shards,
-                         FaultPlan faults)
+                         FaultPlan faults, bool steal)
     : backend_(backend),
       seed_(seed),
       loss_rate_(loss_rate),
@@ -94,6 +94,7 @@ ScenarioNet::ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
       });
   if (backend_ == BackendKind::kSim) {
     sim_engine_ = std::make_unique<ShardedSim>(shards);
+    sim_engine_->SetStealing(steal);
     sim_net_ = std::make_unique<SimNetwork>(sim_engine_.get(), Topology(TopologyConfig{}), seed);
     sim_net_->set_loss_rate(loss_rate);
     if (faults_.any()) {
@@ -167,7 +168,11 @@ void ScenarioNet::BuildStack(size_t i) {
 }
 
 size_t ScenarioNet::shards() const {
-  return sim_engine_ != nullptr ? sim_engine_->num_shards() : 1;
+  return sim_engine_ != nullptr ? sim_engine_->num_workers() : 1;
+}
+
+size_t ScenarioNet::metrics_lanes() const {
+  return sim_engine_ != nullptr ? sim_engine_->num_shards() + 1 : 2;
 }
 
 Executor* ScenarioNet::executor(size_t i) {
@@ -375,22 +380,24 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
   report.nodes = config.nodes;
   auto wall_start = std::chrono::steady_clock::now();
 
-  // One registry/trace lane per shard plus the coordinator's.
-  std::unique_ptr<obs::Registry> registry;
-  if (config.metrics) {
-    registry = std::make_unique<obs::Registry>(config.shards + 1);
-  }
-  std::unique_ptr<obs::TraceLog> trace;
-  if (!config.trace_out.empty()) {
-    trace = std::make_unique<obs::TraceLog>(config.shards + 1);
-  }
-
   TestbedConfig cfg;
   cfg.num_nodes = config.nodes;
   cfg.seed = config.seed;
   cfg.shards = config.shards;
+  cfg.steal = config.steal;
   cfg.loss_rate = config.loss_rate;
   cfg.reliable = config.reliable;
+  // One registry/trace lane per shard plus the coordinator's. With more
+  // than one worker the engine runs one shard per topology domain.
+  size_t lanes = (config.shards > 1 ? cfg.topology.num_domains : 1) + 1;
+  std::unique_ptr<obs::Registry> registry;
+  if (config.metrics) {
+    registry = std::make_unique<obs::Registry>(lanes);
+  }
+  std::unique_ptr<obs::TraceLog> trace;
+  if (!config.trace_out.empty()) {
+    trace = std::make_unique<obs::TraceLog>(lanes);
+  }
   cfg.metrics = registry.get();
   cfg.trace = trace.get();
   cfg.watches = config.watches;
@@ -534,7 +541,7 @@ ScenarioReport RunChordSim(const ScenarioConfig& config) {
        << report.wrong_lookup_rate << "\n";
   }
   FinishTransportReport(config, tb.TotalReliableStats(), &report, &os);
-  report.shards = tb.engine()->num_shards();
+  report.shards = tb.engine()->num_workers();
   report.sim_events = tb.EventsRun();
   report.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                 wall_start)
@@ -1031,12 +1038,12 @@ ScenarioReport RunScenario(const ScenarioConfig& config) {
   std::unique_ptr<obs::TraceLog> trace;
   ScenarioNet net(config.backend, config.nodes, config.seed, config.loss_rate,
                   config.udp_base_port, config.reliable, ReliableConfig{},
-                  config.shards, config.faults);
+                  config.shards, config.faults, config.steal);
   if (!net.ok()) {
     report.detail = "failed to bring up transports (UDP bind failure?)\n";
     return report;
   }
-  size_t lanes = net.shards() + 1;
+  size_t lanes = net.metrics_lanes();
   if (config.metrics) {
     registry = std::make_unique<obs::Registry>(lanes);
     registry->AddCollector(

@@ -66,10 +66,15 @@ struct ScenarioConfig {
   // Layer a ReliableChannel (ACK/retry, RTT estimation, AIMD congestion
   // control, bounded send queues) over every endpoint.
   bool reliable = false;
-  // Sim backend only: number of share-nothing simulator shards (threads)
-  // the fleet is partitioned across. 1 = single-threaded. A fixed seed
-  // produces identical per-node event orders at any shard count.
+  // Sim backend only: number of worker threads executing the simulator's
+  // share-nothing shards (one per topology domain when > 1). 1 =
+  // single-threaded. A fixed seed produces identical per-node event
+  // orders at any shard count.
   size_t shards = 1;
+  // Sim backend only: work stealing — re-assign whole shards to workers
+  // at window barriers from the completed window's per-shard event
+  // counts. Bit-for-bit identical results either way (p2run --steal).
+  bool steal = true;
   // Udp backend only: first port to bind (node i gets base+i); 0 lets the
   // kernel pick free ports.
   uint16_t udp_base_port = 0;
@@ -182,7 +187,7 @@ class ScenarioNet {
   ScenarioNet(BackendKind backend, size_t nodes, uint64_t seed,
               double loss_rate = 0, uint16_t udp_base_port = 0,
               bool reliable = false, ReliableConfig reliable_config = ReliableConfig{},
-              size_t shards = 1, FaultPlan faults = FaultPlan{});
+              size_t shards = 1, FaultPlan faults = FaultPlan{}, bool steal = true);
   ~ScenarioNet();
   ScenarioNet(const ScenarioNet&) = delete;
   ScenarioNet& operator=(const ScenarioNet&) = delete;
@@ -192,7 +197,12 @@ class ScenarioNet {
 
   BackendKind backend() const { return backend_; }
   size_t size() const { return addrs_.size(); }
+  // Worker threads driving the fleet (what --shards requested, capped by
+  // the shard count; 1 for udp).
   size_t shards() const;
+  // Registry/trace lanes a fleet on this net needs: one per simulator
+  // shard plus the coordinator (2 for udp: the loop plus a merge lane).
+  size_t metrics_lanes() const;
   // The executor node i must run on (its shard's loop under sim, the one
   // UdpLoop under udp). Everything a node owns — its timers, its reliable
   // channel — must be scheduled here. When the fault plan marks slot i

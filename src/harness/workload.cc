@@ -12,6 +12,7 @@ ChordTestbed::ChordTestbed(TestbedConfig config)
       network_(&engine_, Topology(config.topology), config.seed ^ 0x5EED),
       rng_(config.seed),
       boot_seed_rng_(config.seed ^ 0xB007) {
+  engine_.SetStealing(config.steal);
   network_.set_loss_rate(config.loss_rate);
   if (config.faults.any()) {
     injector_ = std::make_unique<FaultInjector>(config.faults, config.seed ^ 0xFA17ULL);

@@ -39,9 +39,16 @@ struct TestbedConfig {
   size_t num_nodes = 100;
   uint64_t seed = 42;
   bool use_baseline = false;  // false: P2 OverLog Chord; true: hand-coded
-  // Share-nothing simulator shards (1 = single-threaded). Parallelism is
-  // bounded by the topology's domain count: shards never split a domain.
+  // Requested simulator worker threads (1 = single-threaded). With more
+  // than one, the engine runs one share-nothing shard per topology domain
+  // and min(shards, domains) workers execute them; a domain is never
+  // split across shards.
   size_t shards = 1;
+  // Work stealing: re-assign whole shards to workers at window barriers,
+  // balancing the completed window's per-shard event counts. Results are
+  // bit-for-bit identical either way (the plan is pure virtual-time
+  // state); off pins the static shard = id-mod-workers map.
+  bool steal = true;
   ChordConfig chord;
   BaselineChordConfig baseline;
   TopologyConfig topology;
@@ -65,9 +72,10 @@ struct TestbedConfig {
   PlannerMode planner = PlannerMode::kSemiNaive;
   bool counting = true;
   double replan_interval_s = 0;
-  // Observability (all optional). The registry/trace need shards+1 lanes
-  // (shards plus the coordinator); watches and the sysstats period are
-  // passed through to every P2 node the testbed builds.
+  // Observability (all optional). The registry/trace need one lane per
+  // shard plus the coordinator — with shards > 1 that is
+  // topology.num_domains + 1 lanes, else 2; watches and the sysstats
+  // period are passed through to every P2 node the testbed builds.
   obs::Registry* metrics = nullptr;
   obs::TraceLog* trace = nullptr;
   std::vector<std::string> watches;

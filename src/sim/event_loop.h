@@ -12,11 +12,13 @@
 //    node's datagrams in exactly the order the single-shard run would.
 //
 // At equal timestamps timers fire before deliveries. Cross-shard senders
-// push into the bounded MPSC mailbox; the owner (or the coordinator, at a
-// window barrier) folds the mailbox into the delivery heap with
-// DrainMailbox. Conservative-window synchronization (see src/sim/shard.h)
-// guarantees a message is always staged before its shard's clock reaches
-// its delivery time.
+// stage datagrams into per-destination outboxes local to the sending loop
+// and flush them as one batch — one mailbox lock round-trip per (source,
+// destination, window) instead of per datagram. The owner folds the
+// mailbox into the delivery heap with DrainMailbox; conservative-window
+// synchronization (see src/sim/shard.h) guarantees a message is always
+// staged before its shard's clock reaches its delivery time, and the
+// content-keyed heap order makes mailbox *arrival* order irrelevant.
 #ifndef P2_SIM_EVENT_LOOP_H_
 #define P2_SIM_EVENT_LOOP_H_
 
@@ -32,6 +34,7 @@
 namespace p2 {
 
 namespace obs {
+class Counter;
 class LogHistogram;
 class Registry;
 }  // namespace obs
@@ -88,9 +91,9 @@ class SimEventLoop : public Executor {
   // coordinator/main thread while every shard is parked at a barrier.
   void EnqueueLocal(SimDelivery d);
 
-  // Bounded cross-thread push; returns false (leaving `d` intact) when the
-  // mailbox is full. Senders relieve the pressure by draining their own
-  // mailbox while they retry, which breaks push-cycles between shards.
+  // Bounded cross-thread push of a single datagram; returns false (leaving
+  // `d` intact) when the mailbox is full. The batched staging path below is
+  // what the simulated network uses; this survives for direct/unit use.
   bool TryEnqueueRemote(SimDelivery& d);
 
   // Folds the mailbox into the delivery heap. Called by the owning thread
@@ -99,13 +102,39 @@ class SimEventLoop : public Executor {
 
   void set_mailbox_capacity(size_t cap) { mailbox_capacity_ = cap; }
 
-  // Binds the mailbox-depth histogram (sampled at every fold) into this
-  // shard's registry lane. Called by ShardedSim::SetObs.
+  // --- Batched cross-shard staging -----------------------------------------
+
+  // Wires this loop to its peer set (index-aligned with shard ids). Called
+  // by ShardedSim whenever the loop set is (re)built.
+  void SetPeers(std::vector<SimEventLoop*> peers);
+
+  // Stages a datagram bound for peer `dst`, flushing that outbox early if
+  // it crosses the overflow threshold. Only the thread currently running
+  // this loop may call it.
+  void StageRemote(size_t dst, SimDelivery d);
+
+  // Flushes every non-empty outbox into its destination mailbox, one lock
+  // round-trip per destination. A full destination blocks the flush with
+  // bounded exponential backoff; while blocked the caller folds every loop
+  // its worker owns (see BindWorkerLoops), so cyclic backpressure between
+  // workers always drains instead of deadlocking.
+  void FlushOutbox();
+
+  // Declares the loops the calling thread owns for the current window; a
+  // blocked flush relieves pressure by draining all of them. Falls back to
+  // the running loop when unset. Pass (nullptr, 0) to clear.
+  static void BindWorkerLoops(SimEventLoop* const* loops, size_t n);
+
+  void set_outbox_flush_threshold(size_t n) { outbox_flush_threshold_ = n; }
+
+  // Binds the mailbox-depth histogram (sampled at every fold) and the
+  // backpressure counter into this shard's registry lane. Called by
+  // ShardedSim::SetObs.
   void BindObs(obs::Registry* registry);
 
   // The loop currently executing events on this thread; null on the
   // coordinator/main thread. The simulated network uses it to route sends
-  // (local heap push vs. cross-shard mailbox).
+  // (local heap push vs. cross-shard staging).
   static SimEventLoop* Current();
 
   // Number of events executed so far — timer fires plus deliveries.
@@ -127,6 +156,11 @@ class SimEventLoop : public Executor {
     }
   };
 
+  // Moves as many of batch[from..] into the mailbox as capacity allows
+  // (one lock acquisition); returns how many were accepted.
+  size_t AcceptBatch(std::vector<SimDelivery>& batch, size_t from);
+  void FlushTo(size_t dst);
+
   double now_ = 0.0;
   uint64_t events_run_ = 0;
   size_t shard_index_ = 0;  // set by ShardedSim
@@ -137,7 +171,14 @@ class SimEventLoop : public Executor {
   std::mutex mailbox_mu_;
   std::vector<SimDelivery> mailbox_;
   size_t mailbox_capacity_ = 1 << 15;
+
+  // Staging outboxes, touched only by the thread running this loop.
+  std::vector<SimEventLoop*> peers_;
+  std::vector<std::vector<SimDelivery>> outbox_;  // indexed by shard id
+  size_t outbox_flush_threshold_ = 1024;
+
   obs::LogHistogram* obs_mailbox_depth_ = nullptr;
+  obs::Counter* obs_backpressure_ = nullptr;
 };
 
 }  // namespace p2

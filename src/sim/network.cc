@@ -1,7 +1,5 @@
 #include "src/sim/network.h"
 
-#include <thread>
-
 #include "src/harness/faults.h"
 #include "src/runtime/logging.h"
 
@@ -9,11 +7,15 @@ namespace p2 {
 
 SimNetwork::SimNetwork(ShardedSim* engine, Topology topology, uint64_t seed)
     : topology_(topology), rng_(seed) {
+  if (engine->num_workers() > 1) {
+    // One shard per domain: domains are the migration granule for the
+    // engine's work stealing, and windows stay bounded by the minimum
+    // cross-domain latency.
+    engine->ConfigureLoops(topology_.config().num_domains);
+    engine->set_sync_window(topology_.MinCrossDomainLatency());
+  }
   for (size_t i = 0; i < engine->num_shards(); ++i) {
     loops_.push_back(engine->shard(i));
-  }
-  if (engine->num_shards() > 1) {
-    engine->set_sync_window(topology_.MinCrossDomainLatency());
   }
   Init();
 }
@@ -108,14 +110,12 @@ void SimNetwork::Send(SimTransport* from, const std::string& to,
     dst_loop->EnqueueLocal(std::move(d));
     return;
   }
-  // Cross-shard: bounded mailbox with backpressure. While the destination's
-  // mailbox is full, fold our own mailbox into our delivery heap — that
-  // unblocks any shard stuck pushing toward us, so cyclic pressure always
-  // drains instead of deadlocking.
-  while (!dst_loop->TryEnqueueRemote(d)) {
-    running->DrainMailbox();
-    std::this_thread::yield();
-  }
+  // Cross-shard: stage into the sending shard's local outbox. The owning
+  // worker flushes the whole batch into the destination mailbox at the
+  // window boundary (or on overflow) — one lock round-trip per (source,
+  // destination, window) instead of per datagram. Delivery order is
+  // unaffected: destinations execute in (at, src, seq) heap order.
+  running->StageRemote(it->second.shard, std::move(d));
 }
 
 void SimNetwork::Deliver(size_t shard, const SimDelivery& d) {

@@ -1,10 +1,12 @@
 // Simulated datagram network over the transit-stub topology.
 //
-// The fabric spans every shard of a ShardedSim: each endpoint is pinned to
-// the shard that owns its topology domain (shard = domain mod num_shards),
-// so two endpoints on different shards are always in different domains and
-// every cross-shard datagram experiences at least the inter-domain latency
-// — the conservative synchronization window the coordinator advances by.
+// The fabric spans every shard of a ShardedSim. When the engine runs more
+// than one worker the fabric reshapes it to one shard per topology domain
+// (the engine's work-stealing granule) and pins each endpoint to its
+// domain's shard, so two endpoints on different shards are always in
+// different domains and every cross-shard datagram experiences at least
+// the inter-domain latency — the conservative synchronization window the
+// coordinator advances by.
 //
 // Determinism is independent of the shard count:
 //  - loss and jitter draw from a per-endpoint RNG stream, so the coin
@@ -44,8 +46,10 @@ class SimTransport;
 // state, and the destination shard's delivery lane.
 class SimNetwork {
  public:
-  // Sharded fabric. Tightens the engine's sync window to the topology's
-  // minimum cross-domain latency when the engine has more than one shard.
+  // Sharded fabric. When the engine has more than one worker this
+  // reconfigures it to one shard per topology domain (ConfigureLoops — so
+  // it must run before any endpoints or events exist) and tightens the
+  // sync window to the topology's minimum cross-domain latency.
   SimNetwork(ShardedSim* engine, Topology topology, uint64_t seed);
 
   // Single-loop fabric (unit tests, single-threaded harnesses): the whole

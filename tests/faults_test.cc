@@ -337,6 +337,10 @@ FaultedChordResult RunFaultedChord(const FaultPlan& plan, size_t shards) {
   cfg.num_nodes = 16;
   cfg.seed = 4242;
   cfg.shards = shards;
+  // Work stealing stays on (the default): every fault axis below must be
+  // invariant not just to the shard count but to domains migrating
+  // between workers mid-run.
+  cfg.steal = true;
   cfg.chord.finger_fix_period_s = 2.0;
   cfg.chord.stabilize_period_s = 2.5;
   cfg.chord.ping_period_s = 0.8;

@@ -1,11 +1,13 @@
 // Shard-count determinism: the whole point of conservative-window
 // synchronization plus content-keyed delivery ordering is that sharding is
-// a pure performance lever. For a fixed seed, --shards 1 and --shards 4
-// must produce the same simulation — same per-node event sequences, hence
-// same converged routing tables, same per-node delivered-datagram counts,
-// and the same fleet-wide event totals — for both a heavyweight overlay
-// (declarative Chord with loss and workload lookups) and a lightweight one
-// (gossip membership).
+// a pure performance lever. For a fixed seed, --shards 1, 4 and 8 — with
+// work stealing on or off — must produce the same simulation: same
+// per-node event sequences, hence same converged routing tables, same
+// per-node delivered-datagram counts, and the same fleet-wide event
+// totals. Verified for a heavyweight overlay (declarative Chord with loss
+// and workload lookups), a lightweight one (gossip membership), and a
+// deliberately imbalanced fleet where domains demonstrably migrate
+// between workers (p2_shard_steals_total > 0) without changing results.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -14,7 +16,10 @@
 
 #include "src/cli/scenario.h"
 #include "src/harness/workload.h"
+#include "src/obs/registry.h"
 #include "src/overlays/gossip.h"
+#include "src/sim/network.h"
+#include "src/sim/shard.h"
 
 namespace p2 {
 namespace {
@@ -26,13 +31,20 @@ struct ChordRunResult {
   size_t completed = 0;
   size_t consistent = 0;
   std::vector<int> hops;
+
+  bool operator==(const ChordRunResult& o) const {
+    return successors == o.successors && delivered == o.delivered &&
+           events == o.events && completed == o.completed &&
+           consistent == o.consistent && hops == o.hops;
+  }
 };
 
-ChordRunResult RunChord(size_t shards) {
+ChordRunResult RunChord(size_t shards, bool steal) {
   TestbedConfig cfg;
   cfg.num_nodes = 24;
   cfg.seed = 4242;
   cfg.shards = shards;
+  cfg.steal = steal;
   cfg.loss_rate = 0.1;
   cfg.chord.finger_fix_period_s = 2.0;
   cfg.chord.stabilize_period_s = 2.5;
@@ -58,9 +70,9 @@ ChordRunResult RunChord(size_t shards) {
   return r;
 }
 
-TEST(ShardDeterminism, ChordIdenticalAcrossShardCounts) {
-  ChordRunResult one = RunChord(1);
-  ChordRunResult four = RunChord(4);
+TEST(ShardDeterminism, ChordIdenticalAcrossShardCountsAndStealModes) {
+  ChordRunResult one = RunChord(1, /*steal=*/true);
+  ChordRunResult four = RunChord(4, /*steal=*/true);
   // Converged routing tables: every node's best successor matches.
   EXPECT_EQ(one.successors, four.successors);
   // Per-node delivered-event counts match endpoint for endpoint.
@@ -69,6 +81,12 @@ TEST(ShardDeterminism, ChordIdenticalAcrossShardCounts) {
   EXPECT_EQ(one.completed, four.completed);
   EXPECT_EQ(one.consistent, four.consistent);
   EXPECT_EQ(one.hops, four.hops);
+  // Stealing is a pure scheduling decision: turning it off, or running
+  // more workers than a 4-way split, changes nothing observable.
+  ChordRunResult four_static = RunChord(4, /*steal=*/false);
+  EXPECT_TRUE(four == four_static);
+  ChordRunResult eight = RunChord(8, /*steal=*/true);
+  EXPECT_TRUE(one == eight);
   // And the run did something: a settled 24-ring answers its lookups.
   EXPECT_GE(one.completed, 6u);
 }
@@ -121,6 +139,97 @@ TEST(ShardDeterminism, GossipIdenticalAcrossShardCounts) {
   for (size_t view : one.view_sizes) {
     EXPECT_EQ(view, 16u);
   }
+}
+
+// A deliberately imbalanced fleet: most endpoints — and nearly all the
+// traffic — live in topology domain 0, so the shard = id-mod-workers map
+// pins almost the whole load on one worker. The balancer must migrate
+// domains off it (steals observed via the registry) while the simulation
+// stays bit-for-bit identical to the 1-shard and steal-off runs.
+struct HotDomainResult {
+  std::vector<uint64_t> delivered;
+  uint64_t events = 0;
+  uint64_t steals = 0;
+  uint64_t owner_moves = 0;
+};
+
+HotDomainResult RunHotDomainFleet(size_t shards, bool steal) {
+  constexpr size_t kDomains = 10;  // stock TopologyConfig
+  constexpr size_t kHot = 12;      // endpoints in domain 0
+  ShardedSim sim(shards);
+  sim.SetStealing(steal);
+  SimNetwork net(&sim, Topology(TopologyConfig{}), /*seed=*/99);
+  obs::Registry registry(sim.num_shards() + 1);
+  sim.SetObs(&registry, nullptr);
+
+  // Hot endpoints at topo indices 0, 10, 20, ... (all domain 0); three
+  // cold ones in domains 1..3.
+  std::vector<std::unique_ptr<SimTransport>> eps;
+  std::vector<size_t> topo;
+  for (size_t i = 0; i < kHot; ++i) {
+    topo.push_back(i * kDomains);
+  }
+  topo.push_back(1);
+  topo.push_back(2);
+  topo.push_back(3);
+  for (size_t i = 0; i < topo.size(); ++i) {
+    eps.push_back(net.MakeTransport("e" + std::to_string(i), topo[i]));
+    eps.back()->SetReceiver([](const std::string&, const std::vector<uint8_t>&) {});
+  }
+
+  // Chatty intra-domain-0 ring (every 50ms) plus a slow cold ring, driven
+  // by self-rescheduling timers so every window has work to balance.
+  std::vector<uint8_t> payload{1, 2, 3, 4};
+  for (size_t i = 0; i < topo.size(); ++i) {
+    bool hot = i < kHot;
+    size_t next = hot ? (i + 1) % kHot : kHot + (i - kHot + 1) % 3;
+    double period = hot ? 0.05 : 1.0;
+    Executor* ex = sim.shard(net.ShardOf(topo[i]));
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&eps, &payload, ex, tick, i, next, period]() {
+      eps[i]->SendTo(eps[next]->local_addr(), payload, TrafficClass::kMaintenance);
+      ex->ScheduleAfter(period, [tick]() { (*tick)(); });
+    };
+    ex->ScheduleAfter(period, [tick]() { (*tick)(); });
+  }
+  sim.RunUntil(60.0);
+
+  HotDomainResult r;
+  for (auto& e : eps) {
+    r.delivered.push_back(e->stats().msgs_in);
+  }
+  r.events = sim.events_run();
+  obs::Snapshot snap = registry.TakeSnapshot();
+  r.steals = snap.counters["p2_shard_steals_total"];
+  r.owner_moves = snap.counters["p2_domain_owner_moves_total"];
+  return r;
+}
+
+TEST(ShardDeterminism, HotDomainMigratesWithoutChangingResults) {
+  HotDomainResult one = RunHotDomainFleet(1, /*steal=*/true);
+  HotDomainResult stolen = RunHotDomainFleet(4, /*steal=*/true);
+  HotDomainResult pinned = RunHotDomainFleet(4, /*steal=*/false);
+
+  // Same simulation in all three schedules.
+  EXPECT_EQ(one.delivered, stolen.delivered);
+  EXPECT_EQ(one.delivered, pinned.delivered);
+  EXPECT_EQ(one.events, stolen.events);
+  EXPECT_EQ(one.events, pinned.events);
+
+  // The imbalance actually triggered migration — and only with stealing.
+  EXPECT_GT(stolen.steals, 0u);
+  EXPECT_GT(stolen.owner_moves, 0u);
+  EXPECT_EQ(pinned.steals, 0u);
+  EXPECT_EQ(pinned.owner_moves, 0u);
+  EXPECT_EQ(one.steals, 0u);  // one worker: nothing to steal from
+
+  // The workload was genuinely lopsided: the hot ring dominates traffic.
+  uint64_t hot_msgs = 0;
+  uint64_t cold_msgs = 0;
+  for (size_t i = 0; i < one.delivered.size(); ++i) {
+    (i < 12 ? hot_msgs : cold_msgs) += one.delivered[i];
+  }
+  EXPECT_GT(hot_msgs, 10 * cold_msgs);
 }
 
 }  // namespace
